@@ -1,0 +1,36 @@
+// Ablation: SKYPEER's flood-tree strategies vs. a pipelined Euler-tour
+// walk (the Wu et al., EDBT'06 style the paper cites in §2). The walk
+// ships tiny merged results per hop (low volume) but is fully serial
+// (~2 N_sp sequential transfers), so its total time degrades with the
+// backbone size while FTPM's stays flat.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(10);
+
+  std::printf(
+      "== Ablation: flood-tree (FTPM/RTPM) vs pipelined walk (PIPE) ==\n");
+  Table table({"N_p", "variant", "comp (ms)", "total (s)", "volume (KB)",
+               "messages"});
+  for (int num_peers : {1000, 4000, 12000}) {
+    NetworkConfig config;
+    config.num_peers = num_peers;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    for (Variant variant :
+         {Variant::kFTPM, Variant::kRTPM, Variant::kPipeline}) {
+      const AggregateMetrics agg = RunVariant(
+          &network, /*k=*/3, queries, options.seed + num_peers, variant);
+      table.AddRow({std::to_string(num_peers), VariantName(variant),
+                    FmtMs(agg.avg_comp_s()), Fmt(agg.avg_total_s(), 2),
+                    Fmt(agg.avg_kb(), 1), Fmt(agg.avg_messages(), 0)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: backbone topology. The paper runs on GT-ITM random graphs
+// (Waxman); Edutella (cited in §2) uses HyperCuP hypercubes. The
+// hypercube's logarithmic diameter shortens routing paths, which lowers
+// total response time exactly like a higher DEG_sp does in Fig 4(e).
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(15);
+
+  std::printf("== Ablation: Waxman random graph vs HyperCuP backbone ==\n");
+  Table table({"topology", "avg degree", "variant", "comp (ms)", "total (s)",
+               "volume (KB)"});
+  for (BackboneTopology topology :
+       {BackboneTopology::kWaxman, BackboneTopology::kHypercube}) {
+    NetworkConfig config;
+    config.topology = topology;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    const double degree = network.overlay().backbone.AverageDegree();
+    for (Variant variant :
+         {Variant::kNaive, Variant::kFTPM, Variant::kRTPM}) {
+      const AggregateMetrics agg = RunVariant(
+          &network, /*k=*/3, queries, options.seed + 11, variant);
+      table.AddRow({BackboneTopologyName(topology), Fmt(degree, 1),
+                    VariantName(variant), FmtMs(agg.avg_comp_s()),
+                    Fmt(agg.avg_total_s(), 2), Fmt(agg.avg_kb(), 1)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 3(a): pre-processing selectivity vs. data dimensionality.
+// Uniform data over 4000 peers; reports SEL_p (fraction of points shipped
+// peer -> super-peer), SEL_sp (fraction stored after super-peer merging)
+// and their ratio, for d = 5..10.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+
+  std::printf("== Figure 3(a): pre-processing selectivity vs d ==\n");
+  Table table({"d", "SEL_p %", "SEL_sp %", "SEL_sp/SEL_p %", "peer cpu s",
+               "sp cpu s"});
+  for (int d = 5; d <= 10; ++d) {
+    NetworkConfig config;
+    config.dims = d;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    const PreprocessStats stats = network.Preprocess();
+    table.AddRow({std::to_string(d), Fmt(stats.sel_p() * 100, 1),
+                  Fmt(stats.sel_sp() * 100, 1),
+                  Fmt(stats.sel_ratio() * 100, 1), Fmt(stats.peer_cpu_s, 2),
+                  Fmt(stats.super_peer_cpu_s, 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 3(b): average skyline-query computational time (network delays
+// neglected) vs. data dimensionality, for all SKYPEER variants and the
+// naive baseline. Uniform data, 4000 peers, k = 3.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(20);
+
+  std::printf("== Figure 3(b): computational time (ms) vs d, k=3 ==\n");
+  Table table({"d", "naive", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int d = 5; d <= 10; ++d) {
+    NetworkConfig config;
+    config.dims = d;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    std::vector<std::string> row = {std::to_string(d)};
+    for (Variant variant : kAllVariants) {
+      const AggregateMetrics agg =
+          RunVariant(&network, /*k=*/3, queries, options.seed + d, variant);
+      row.push_back(FmtMs(agg.avg_comp_s()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 3(d): average volume of transferred data (KB) vs. data
+// dimensionality, comparing fixed (FTFM) against progressive (FTPM)
+// merging for query dimensionality k = 2 and k = 3. Uniform data, 4000
+// peers.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(20);
+
+  std::printf("== Figure 3(d): transferred volume (KB) vs d ==\n");
+  Table table({"d", "FTFM k=2", "FTPM k=2", "FTFM k=3", "FTPM k=3"});
+  for (int d = 5; d <= 10; ++d) {
+    NetworkConfig config;
+    config.dims = d;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    std::vector<std::string> row = {std::to_string(d)};
+    for (int k : {2, 3}) {
+      for (Variant variant : {Variant::kFTFM, Variant::kFTPM}) {
+        const AggregateMetrics agg =
+            RunVariant(&network, k, queries, options.seed + d + 100 * k,
+                       variant);
+        row.push_back(Fmt(agg.avg_kb(), 1));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 3(e): computational time vs. query dimensionality k = 2..4 for
+// the fixed (FTFM) against the refined (RTFM) threshold variant.
+// Uniform data, 12000 peers.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(10);
+
+  std::printf("== Figure 3(e): computational time (ms) vs k, 12000 peers ==\n");
+  NetworkConfig config;
+  config.num_peers = 12000;
+  config.seed = options.seed;
+  SkypeerNetwork network = BuildNetwork(config);
+  network.Preprocess();
+
+  Table table({"k", "FTFM", "RTFM"});
+  for (int k = 2; k <= 4; ++k) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (Variant variant : {Variant::kFTFM, Variant::kRTFM}) {
+      const AggregateMetrics agg =
+          RunVariant(&network, k, queries, options.seed + k, variant);
+      row.push_back(FmtMs(agg.avg_comp_s()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 3(f): SKYPEER's relative performance to the naive baseline
+// (naive total time / variant total time) for network sizes 4000..12000
+// peers. Uniform data, k = 3. The paper reports FTPM 17x faster than
+// naive at 12000 peers.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(10);
+
+  std::printf(
+      "== Figure 3(f): speedup over naive (total time) vs N_p, k=3 ==\n");
+  Table table({"N_p", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int num_peers : {4000, 8000, 12000}) {
+    NetworkConfig config;
+    config.num_peers = num_peers;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    const AggregateMetrics naive = RunVariant(
+        &network, /*k=*/3, queries, options.seed + num_peers, Variant::kNaive);
+    std::vector<std::string> row = {std::to_string(num_peers)};
+    for (Variant variant :
+         {Variant::kFTFM, Variant::kFTPM, Variant::kRTFM, Variant::kRTPM}) {
+      const AggregateMetrics agg = RunVariant(
+          &network, /*k=*/3, queries, options.seed + num_peers, variant);
+      row.push_back(Fmt(naive.avg_total_s() / agg.avg_total_s(), 2) + "x");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

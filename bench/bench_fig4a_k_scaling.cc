@@ -1,0 +1,31 @@
+// Figure 4(a): total response time vs. query dimensionality k for all
+// variants and the naive baseline. Uniform data, 12000 peers.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(10);
+
+  std::printf("== Figure 4(a): total time (s) vs k, 12000 peers ==\n");
+  NetworkConfig config;
+  config.num_peers = 12000;
+  config.seed = options.seed;
+  SkypeerNetwork network = BuildNetwork(config);
+  network.Preprocess();
+
+  Table table({"k", "naive", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int k = 2; k <= 4; ++k) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (Variant variant : kAllVariants) {
+      const AggregateMetrics agg =
+          RunVariant(&network, k, queries, options.seed + k, variant);
+      row.push_back(Fmt(agg.avg_total_s(), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 4(b): computational time vs. network size N_p = 20000..80000
+// (N_sp = 1% of N_p), all variants vs. naive. Uniform data, k = 3.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(5, /*full_value=*/100);
+
+  std::printf("== Figure 4(b): computational time (ms) vs N_p, k=3 ==\n");
+  Table table({"N_p", "naive", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int num_peers : {20000, 40000, 80000}) {
+    NetworkConfig config;
+    config.num_peers = num_peers;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    std::vector<std::string> row = {std::to_string(num_peers)};
+    for (Variant variant : kAllVariants) {
+      const AggregateMetrics agg = RunVariant(
+          &network, /*k=*/3, queries, options.seed + num_peers, variant);
+      row.push_back(FmtMs(agg.avg_comp_s()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

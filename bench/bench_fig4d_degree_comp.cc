@@ -1,0 +1,31 @@
+// Figure 4(d): computational time vs. super-peer connectivity DEG_sp =
+// 4..7. Uniform data, 4000 peers, k = 3. The paper finds computational
+// time essentially unaffected by the degree.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(20);
+
+  std::printf("== Figure 4(d): computational time (ms) vs DEG_sp, k=3 ==\n");
+  Table table({"DEG_sp", "naive", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int degree = 4; degree <= 7; ++degree) {
+    NetworkConfig config;
+    config.degree_sp = degree;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    std::vector<std::string> row = {std::to_string(degree)};
+    for (Variant variant : kAllVariants) {
+      const AggregateMetrics agg = RunVariant(
+          &network, /*k=*/3, queries, options.seed + degree, variant);
+      row.push_back(FmtMs(agg.avg_comp_s()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

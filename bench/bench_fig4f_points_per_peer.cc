@@ -1,0 +1,31 @@
+// Figure 4(f): total response time as the number of points per peer grows
+// from 250 to 1000 (1M to 4M points in total). Uniform data, 4000 peers,
+// k = 3. Progressive merging pulls further ahead as data grows.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(10);
+
+  std::printf("== Figure 4(f): total time (s) vs points per peer, k=3 ==\n");
+  Table table({"points/peer", "naive", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int ppp : {250, 500, 1000}) {
+    NetworkConfig config;
+    config.points_per_peer = ppp;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    std::vector<std::string> row = {std::to_string(ppp)};
+    for (Variant variant : kAllVariants) {
+      const AggregateMetrics agg =
+          RunVariant(&network, /*k=*/3, queries, options.seed + ppp, variant);
+      row.push_back(Fmt(agg.avg_total_s(), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

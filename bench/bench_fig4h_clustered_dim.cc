@@ -1,0 +1,32 @@
+// Figure 4(h): clustered datasets of increasing dimensionality — the
+// refined-threshold variants (RT*M) gain importance as d grows when data
+// is clustered. Global skyline queries (k = d), 4000 peers.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(15);
+
+  std::printf("== Figure 4(h): clustered data, total time (s) vs d ==\n");
+  Table table({"d", "naive", "FTFM", "FTPM", "RTFM", "RTPM"});
+  for (int d = 3; d <= 6; ++d) {
+    NetworkConfig config;
+    config.dims = d;
+    config.distribution = Distribution::kClustered;
+    config.seed = options.seed;
+    SkypeerNetwork network = BuildNetwork(config);
+    network.Preprocess();
+    std::vector<std::string> row = {std::to_string(d)};
+    for (Variant variant : kAllVariants) {
+      const AggregateMetrics agg =
+          RunVariant(&network, /*k=*/d, queries, options.seed + d, variant);
+      row.push_back(Fmt(agg.avg_total_s(), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

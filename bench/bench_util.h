@@ -1,0 +1,139 @@
+#ifndef SKYPEER_BENCH_BENCH_UTIL_H_
+#define SKYPEER_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "skypeer/engine/experiment.h"
+#include "skypeer/engine/network_builder.h"
+
+namespace skypeer::bench {
+
+/// Command-line options shared by all figure benches.
+///
+///   --queries N   queries per data point (default: figure-specific)
+///   --seed S      master seed (default 1)
+///   --full        paper-scale parameters (more queries, larger sweeps)
+struct BenchOptions {
+  int queries = -1;  // -1: use the bench's default.
+  uint64_t seed = 1;
+  bool full = false;
+
+  int QueriesOr(int fallback, int full_value = 100) const {
+    if (queries > 0) {
+      return queries;
+    }
+    return full ? full_value : fallback;
+  }
+};
+
+inline BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      options.full = true;
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      options.queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--queries N] [--seed S] [--full]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  return options;
+}
+
+/// Fixed-width table printer for paper-style series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+    }
+    PrintRow(columns_, widths);
+    std::string rule;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < columns_.size()) {
+        rule += "-+-";
+      }
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(std::max(cell.size(), widths[c]), ' ');
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line += " | ";
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double value, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+inline std::string FmtMs(double seconds) { return Fmt(seconds * 1e3, 3); }
+
+/// Builds + preprocesses a network, echoing the configuration.
+inline SkypeerNetwork BuildNetwork(const NetworkConfig& config) {
+  std::printf(
+      "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu\n",
+      config.num_peers,
+      config.num_super_peers > 0 ? config.num_super_peers
+                                 : DefaultNumSuperPeers(config.num_peers),
+      config.points_per_peer, config.dims, config.degree_sp,
+      DistributionName(config.distribution),
+      static_cast<unsigned long long>(config.seed));
+  return SkypeerNetwork(config);
+}
+
+/// Runs `queries` workload queries of dimensionality `k` under `variant`.
+inline AggregateMetrics RunVariant(SkypeerNetwork* network, int k,
+                                   int queries, uint64_t seed,
+                                   Variant variant) {
+  const auto tasks = GenerateWorkload(network->dims(), k, queries,
+                                      network->num_super_peers(), seed);
+  return RunWorkload(network, tasks, variant);
+}
+
+}  // namespace skypeer::bench
+
+#endif  // SKYPEER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Explores the full SkyCube of a dataset — the skyline of *every*
+// subspace — and demonstrates why SKYPEER's extended skyline is the right
+// summary: computing each cuboid over the (much smaller) extended skyline
+// yields identical results at a fraction of the work.
+//
+//   $ ./skycube_explorer
+
+#include <chrono>
+#include <cstdio>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/extended_skyline.h"
+#include "skypeer/algo/skycube.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+int main() {
+  using namespace skypeer;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr int kDims = 6;
+  Rng rng(2026);
+  // Discrete attributes (prices in steps, star ratings, ...) so the
+  // extended skyline genuinely differs from the plain skyline.
+  PointSet data(kDims);
+  for (int i = 0; i < 20000; ++i) {
+    double row[kDims];
+    for (int d = 0; d < kDims; ++d) {
+      row[d] = rng.UniformInt(0, 9) / 10.0;
+    }
+    data.Append(row, i);
+  }
+
+  const auto t0 = Clock::now();
+  ResultList ext = ExtendedSkyline(data);
+  const auto t1 = Clock::now();
+  std::printf("dataset: %zu points, d=%d\n", data.size(), kDims);
+  std::printf("extended skyline: %zu points (%.1f%%), computed in %.1f ms\n\n",
+              ext.size(), 100.0 * ext.size() / data.size(),
+              std::chrono::duration<double>(t1 - t0).count() * 1e3);
+
+  // Every subspace skyline, computed over the full data and over the
+  // extended skyline only.
+  std::printf("%-12s | %8s | %14s | %13s\n", "subspace", "|SKY_U|",
+              "full data (ms)", "ext only (ms)");
+  std::printf("-------------+----------+----------------+--------------\n");
+  double full_total = 0.0;
+  double ext_total = 0.0;
+  for (int k = 1; k <= kDims; ++k) {
+    // One representative subspace per size: the first k dimensions.
+    std::vector<int> dims;
+    for (int d = 0; d < k; ++d) {
+      dims.push_back(d);
+    }
+    const Subspace u = Subspace::FromDims(dims);
+
+    const auto f0 = Clock::now();
+    PointSet from_full = BnlSkyline(data, u);
+    const auto f1 = Clock::now();
+    PointSet from_ext = BnlSkyline(ext.points, u);
+    const auto f2 = Clock::now();
+
+    if (from_full.size() != from_ext.size()) {
+      std::printf("MISMATCH on %s!\n", u.ToString().c_str());
+      return 1;
+    }
+    const double full_ms = std::chrono::duration<double>(f1 - f0).count() * 1e3;
+    const double ext_ms = std::chrono::duration<double>(f2 - f1).count() * 1e3;
+    full_total += full_ms;
+    ext_total += ext_ms;
+    std::printf("%-12s | %8zu | %14.1f | %13.1f\n", u.ToString().c_str(),
+                from_full.size(), full_ms, ext_ms);
+  }
+  std::printf("\nanswering over the extended skyline was %.1fx faster "
+              "overall and always exact (Observation 4).\n",
+              full_total / ext_total);
+
+  // The full cube on a small sample, for the curious.
+  PointSet sample(kDims);
+  for (size_t i = 0; i < 500; ++i) {
+    sample.AppendFrom(data, i);
+  }
+  SkyCube cube(sample);
+  size_t total_cuboids = 0;
+  size_t total_points = 0;
+  for (Subspace u : AllSubspaces(kDims)) {
+    ++total_cuboids;
+    total_points += cube.Skyline(u).size();
+  }
+  std::printf("\nSkyCube of a 500-point sample: %zu cuboids, %zu skyline "
+              "memberships, %zu distinct points in any cuboid.\n",
+              total_cuboids, total_points,
+              cube.UnionOfAllSkylines().size());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Compares the four SKYPEER strategies and the naive baseline on one
+// medium-sized network, reporting the trade-offs of Table 2 as a small
+// report: threshold propagation cuts traffic, progressive merging cuts
+// both traffic and the merge bottleneck at the initiator.
+//
+//   $ ./variant_comparison [uniform|clustered]
+
+#include <cstdio>
+#include <cstring>
+
+#include "skypeer/engine/experiment.h"
+#include "skypeer/engine/network_builder.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+
+  Distribution distribution = Distribution::kUniform;
+  if (argc > 1 && std::strcmp(argv[1], "clustered") == 0) {
+    distribution = Distribution::kClustered;
+  }
+
+  NetworkConfig config;
+  config.num_peers = 1000;
+  config.num_super_peers = 50;
+  config.points_per_peer = 200;
+  config.dims = 6;
+  config.distribution = distribution;
+  config.seed = 11;
+
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  std::printf("network: %d peers / %d super-peers, %zu %s points, d=%d\n\n",
+              network.num_peers(), network.num_super_peers(),
+              network.total_points(), DistributionName(distribution),
+              network.dims());
+
+  const auto tasks = GenerateWorkload(config.dims, /*query_dims=*/3,
+                                      /*num_queries=*/25,
+                                      network.num_super_peers(), /*seed=*/3);
+
+  std::printf("%-6s | %12s | %10s | %12s | %9s\n", "strategy", "comp (ms)",
+              "total (s)", "volume (KB)", "messages");
+  std::printf("-------+--------------+------------+--------------+----------\n");
+  double naive_total = 0.0;
+  for (Variant variant : kAllVariants) {
+    const AggregateMetrics agg = RunWorkload(&network, tasks, variant);
+    if (variant == Variant::kNaive) {
+      naive_total = agg.avg_total_s();
+    }
+    std::printf("%-6s | %12.3f | %10.2f | %12.1f | %9.1f\n",
+                VariantName(variant), agg.avg_comp_s() * 1e3,
+                agg.avg_total_s(), agg.avg_kb(), agg.avg_messages());
+  }
+
+  const AggregateMetrics best = RunWorkload(&network, tasks, Variant::kFTPM);
+  std::printf("\nFTPM answers %.1fx faster than the naive baseline here.\n",
+              naive_total / best.avg_total_s());
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "skypeer/algo/anchored_skyline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "skypeer/common/macros.h"
+#include "skypeer/common/rng.h"
+
+namespace skypeer {
+
+namespace {
+
+/// Plain Lloyd k-means over the rows of `points`; returns per-point
+/// cluster assignments (clusters may come out empty).
+std::vector<int> KMeansAssign(const PointSet& points, int k, int iterations,
+                              uint64_t seed) {
+  const int dims = points.dims();
+  const size_t n = points.size();
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  for (int c = 0; c < k; ++c) {
+    const size_t pick = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(n) - 1));
+    centers.emplace_back(points[pick], points[pick] + dims);
+  }
+  std::vector<int> assignment(n, 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (int d = 0; d < dims; ++d) {
+          const double delta = points[i][d] - centers[c][d];
+          dist += delta * delta;
+        }
+        if (dist < best) {
+          best = dist;
+          assignment[i] = c;
+        }
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int c = assignment[i];
+      ++counts[c];
+      for (int d = 0; d < dims; ++d) {
+        sums[c][d] += points[i][d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        continue;  // Keep the stale center; the cluster may refill.
+      }
+      for (int d = 0; d < dims; ++d) {
+        centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+AnchoredSkylineIndex::AnchoredSkylineIndex(const PointSet& points,
+                                           const Options& options)
+    : points_(points) {
+  SKYPEER_CHECK(options.num_anchors >= 1);
+  const int dims = points_.dims();
+  if (points_.empty()) {
+    return;
+  }
+  const int k =
+      std::min<int>(options.num_anchors, static_cast<int>(points_.size()));
+  const std::vector<int> assignment =
+      KMeansAssign(points_, k, options.kmeans_iterations, options.seed);
+
+  // Lower corners per cluster.
+  std::vector<std::vector<double>> lower(
+      k, std::vector<double>(dims, std::numeric_limits<double>::infinity()));
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const int c = assignment[i];
+    ++counts[c];
+    for (int d = 0; d < dims; ++d) {
+      lower[c][d] = std::min(lower[c][d], points_[i][d]);
+    }
+  }
+
+  // Materialize the non-empty clusters; remap assignments.
+  std::vector<int> remap(k, -1);
+  for (int c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      continue;
+    }
+    remap[c] = static_cast<int>(clusters_.size());
+    clusters_.emplace_back();
+    clusters_.back().lower = std::move(lower[c]);
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    Cluster& cluster = clusters_[remap[assignment[i]]];
+    double key = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < dims; ++d) {
+      key = std::min(key, points_[i][d] - cluster.lower[d]);
+    }
+    cluster.tree.Insert(key, i);
+  }
+}
+
+PointSet AnchoredSkylineIndex::Query(Subspace u,
+                                     ThresholdScanStats* stats) const {
+  SKYPEER_CHECK(!u.empty());
+  const int dims = points_.dims();
+  ThresholdScanOptions accumulator_options;
+  SkylineAccumulator accumulator(dims, u, accumulator_options);
+
+  struct Scan {
+    BPlusTree::Cursor cursor;
+    const Cluster* cluster;
+    /// Prune bound: min over accepted candidates s of
+    /// max_{i in U}(s[i] - L_c[i]).
+    double threshold = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Scan> scans;
+  scans.reserve(clusters_.size());
+  for (const Cluster& cluster : clusters_) {
+    scans.push_back(Scan{cluster.tree.Begin(), &cluster,
+                         std::numeric_limits<double>::infinity()});
+  }
+
+  size_t consumed = 0;
+  while (true) {
+    // Pick the processable cursor with the smallest key (greedy: points
+    // near their cluster's corner enter the window early and set tight
+    // thresholds).
+    int best = -1;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < scans.size(); ++s) {
+      if (scans[s].cursor.Valid() &&
+          scans[s].cursor.key() <= scans[s].threshold &&
+          scans[s].cursor.key() < best_key) {
+        best = static_cast<int>(s);
+        best_key = scans[s].cursor.key();
+      }
+    }
+    if (best == -1) {
+      break;  // Every remaining point is beyond its cluster threshold.
+    }
+    Scan& scan = scans[best];
+    const size_t row = scan.cursor.payload();
+    scan.cursor.Next();
+    ++consumed;
+
+    // The accumulator's own f-based pruning is bypassed (f = -inf); the
+    // per-cluster thresholds above do that job.
+    if (accumulator.Offer(points_[row], points_.id(row),
+                          -std::numeric_limits<double>::infinity())) {
+      // A new candidate tightens every cluster's bound.
+      const double* s = points_[row];
+      for (Scan& other : scans) {
+        double reach = -std::numeric_limits<double>::infinity();
+        for (int dim : u) {
+          reach = std::max(reach, s[dim] - other.cluster->lower[dim]);
+        }
+        other.threshold = std::min(other.threshold, reach);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->scanned = consumed;
+    stats->final_threshold = std::numeric_limits<double>::quiet_NaN();
+  }
+  ResultList result = accumulator.TakeResult();
+  return std::move(result.points);
+}
+
+}  // namespace skypeer

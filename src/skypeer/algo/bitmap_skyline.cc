@@ -1,0 +1,120 @@
+#include "skypeer/algo/bitmap_skyline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+BitmapSkyline::BitmapSkyline(const PointSet& points) : points_(points) {
+  const size_t n = points_.size();
+  words_ = (n + 63) / 64;
+  dims_.resize(points_.dims());
+  for (int d = 0; d < points_.dims(); ++d) {
+    // Rank-discretize dimension d.
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = points_[i][d];
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    Dimension& dimension = dims_[d];
+    dimension.ranks.resize(n);
+    dimension.slices.assign(sorted.size(),
+                            std::vector<uint64_t>(words_, 0));
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t rank = static_cast<uint32_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), values[i]) -
+          sorted.begin());
+      dimension.ranks[i] = rank;
+      dimension.slices[rank][i / 64] |= uint64_t{1} << (i % 64);
+    }
+    // Make the slices cumulative: slice r = points with rank <= r.
+    for (size_t r = 1; r < dimension.slices.size(); ++r) {
+      for (size_t w = 0; w < words_; ++w) {
+        dimension.slices[r][w] |= dimension.slices[r - 1][w];
+      }
+    }
+  }
+}
+
+const std::vector<uint64_t>* BitmapSkyline::SliceAtMost(int dim,
+                                                        size_t i) const {
+  return &dims_[dim].slices[dims_[dim].ranks[i]];
+}
+
+const std::vector<uint64_t>* BitmapSkyline::SliceBelow(int dim,
+                                                       size_t i) const {
+  const uint32_t rank = dims_[dim].ranks[i];
+  if (rank == 0) {
+    return nullptr;  // Nothing strictly below the smallest value.
+  }
+  return &dims_[dim].slices[rank - 1];
+}
+
+bool BitmapSkyline::IsDominated(size_t i, Subspace u, bool ext) const {
+  SKYPEER_CHECK(!u.empty());
+  SKYPEER_CHECK(i < points_.size());
+  if (words_ == 0) {
+    return false;
+  }
+  // AND factor: <= p (or < p, for ext) on every queried dimension.
+  std::vector<uint64_t> candidates(words_, ~uint64_t{0});
+  for (int dim : u) {
+    const std::vector<uint64_t>* slice =
+        ext ? SliceBelow(dim, i) : SliceAtMost(dim, i);
+    if (slice == nullptr) {
+      return false;  // ext with minimal value: nobody strictly below.
+    }
+    for (size_t w = 0; w < words_; ++w) {
+      candidates[w] &= (*slice)[w];
+    }
+  }
+  if (!ext) {
+    // OR factor: strictly below p on at least one queried dimension.
+    std::vector<uint64_t> strict(words_, 0);
+    for (int dim : u) {
+      const std::vector<uint64_t>* slice = SliceBelow(dim, i);
+      if (slice == nullptr) {
+        continue;
+      }
+      for (size_t w = 0; w < words_; ++w) {
+        strict[w] |= (*slice)[w];
+      }
+    }
+    for (size_t w = 0; w < words_; ++w) {
+      candidates[w] &= strict[w];
+    }
+  }
+  // Remove p itself (only relevant for the non-strict test, but cheap).
+  candidates[i / 64] &= ~(uint64_t{1} << (i % 64));
+  for (size_t w = 0; w < words_; ++w) {
+    if (candidates[w] != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PointSet BitmapSkyline::Skyline(Subspace u, bool ext) const {
+  PointSet result(points_.dims());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (!IsDominated(i, u, ext)) {
+      result.AppendFrom(points_, i);
+    }
+  }
+  return result;
+}
+
+size_t BitmapSkyline::bitmap_bytes() const {
+  size_t total = 0;
+  for (const Dimension& dimension : dims_) {
+    total += dimension.slices.size() * words_ * sizeof(uint64_t);
+  }
+  return total;
+}
+
+}  // namespace skypeer

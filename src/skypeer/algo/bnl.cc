@@ -1,0 +1,48 @@
+#include "skypeer/algo/bnl.h"
+
+#include <vector>
+
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext) {
+  SKYPEER_CHECK(!u.empty());
+  const size_t n = input.size();
+  // Window of candidate indices into `input`.
+  std::vector<size_t> window;
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = input[i];
+    bool dominated = false;
+    size_t kept = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const double* q = input[window[w]];
+      if (ext ? ExtDominates(q, p, u) : Dominates(q, p, u)) {
+        dominated = true;
+        // Keep the remaining window untouched.
+        for (; w < window.size(); ++w) {
+          window[kept++] = window[w];
+        }
+        break;
+      }
+      if (ext ? ExtDominates(p, q, u) : Dominates(p, q, u)) {
+        continue;  // Evict q.
+      }
+      window[kept++] = window[w];
+    }
+    window.resize(kept);
+    if (!dominated) {
+      window.push_back(i);
+    }
+  }
+
+  PointSet result(input.dims());
+  result.Reserve(window.size());
+  for (size_t i : window) {
+    result.AppendFrom(input, i);
+  }
+  return result;
+}
+
+}  // namespace skypeer

@@ -1,0 +1,20 @@
+#ifndef SKYPEER_ALGO_BNL_H_
+#define SKYPEER_ALGO_BNL_H_
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief Block-Nested-Loops skyline (Börzsönyi et al., ICDE'01), the
+/// classic baseline: every point is compared against a window of current
+/// candidates.
+///
+/// Since the library is main-memory, the window is unbounded (a single
+/// "block"). Returns the skyline of `input` on subspace `u`, in input
+/// order; with `ext` the extended skyline (strict dominance) instead.
+PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext = false);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_BNL_H_

@@ -1,0 +1,35 @@
+#include "skypeer/algo/constrained.h"
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+Status ValidateConstraint(const RangeConstraint& constraint) {
+  const size_t k = static_cast<size_t>(constraint.dims.Count());
+  if (constraint.lo.size() != k || constraint.hi.size() != k) {
+    return Status::InvalidArgument(
+        "lo/hi must be parallel to the constrained dimensions");
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (constraint.lo[i] > constraint.hi[i]) {
+      return Status::InvalidArgument("empty range");
+    }
+  }
+  return Status::OK();
+}
+
+PointSet ConstrainedSkyline(const PointSet& input, Subspace u,
+                            const RangeConstraint& constraint) {
+  SKYPEER_CHECK(!u.empty());
+  SKYPEER_CHECK(ValidateConstraint(constraint).ok());
+  PointSet eligible(input.dims());
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (constraint.Matches(input[i])) {
+      eligible.AppendFrom(input, i);
+    }
+  }
+  return BnlSkyline(eligible, u);
+}
+
+}  // namespace skypeer

@@ -1,0 +1,57 @@
+#ifndef SKYPEER_ALGO_CONSTRAINED_H_
+#define SKYPEER_ALGO_CONSTRAINED_H_
+
+#include <vector>
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/status.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief A per-dimension range restriction for constrained subspace
+/// skyline queries (Dellis et al., CIKM'06 — cited by the paper as the
+/// generalization of all meaningful skyline queries).
+///
+/// Only the dimensions of `dims` are restricted; `lo`/`hi` are parallel
+/// to `dims.Dims()` (ascending dimension order). A point participates in
+/// the query iff every restricted coordinate lies in the closed range.
+struct RangeConstraint {
+  Subspace dims;
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  /// An unconstrained query (matches every point).
+  static RangeConstraint None() { return RangeConstraint{}; }
+
+  bool Matches(const double* point) const {
+    int i = 0;
+    for (int dim : dims) {
+      if (point[dim] < lo[i] || point[dim] > hi[i]) {
+        return false;
+      }
+      ++i;
+    }
+    return true;
+  }
+};
+
+/// Validates that `lo`/`hi` are parallel to the constrained dimensions
+/// and each range is non-empty.
+Status ValidateConstraint(const RangeConstraint& constraint);
+
+/// \brief Constrained subspace skyline: the skyline on subspace `u` of
+/// the points satisfying `constraint`.
+///
+/// Note that the *distributed* SKYPEER stores cannot answer constrained
+/// queries losslessly (a point strictly dominated in the full space may
+/// become a constrained-skyline point once its dominator is excluded by
+/// the constraint), so this operator is provided on raw point sets only —
+/// the centralized building block a constrained extension would ship to
+/// peers. Returns the result in input order.
+PointSet ConstrainedSkyline(const PointSet& input, Subspace u,
+                            const RangeConstraint& constraint);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_CONSTRAINED_H_

@@ -1,0 +1,92 @@
+#include "skypeer/algo/divide_conquer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+namespace {
+
+constexpr size_t kBaseCaseSize = 64;
+
+PointSet Recurse(const PointSet& input, Subspace u, bool ext, int depth) {
+  if (input.size() <= kBaseCaseSize) {
+    return BnlSkyline(input, u, ext);
+  }
+
+  // Choose a queried dimension with a non-degenerate split, starting from
+  // the depth-th one (round robin over |u| dimensions).
+  const std::vector<int> dims = u.Dims();
+  const int k = static_cast<int>(dims.size());
+  int split_dim = -1;
+  double median = 0.0;
+  std::vector<double> values(input.size());
+  for (int attempt = 0; attempt < k; ++attempt) {
+    const int dim = dims[(depth + attempt) % k];
+    for (size_t i = 0; i < input.size(); ++i) {
+      values[i] = input[i][dim];
+    }
+    auto mid = values.begin() + values.size() / 2;
+    std::nth_element(values.begin(), mid, values.end());
+    const double candidate = *mid;
+    // The split is `< median` vs `>= median`; it degenerates when no
+    // value is strictly below the median.
+    const double min_value = *std::min_element(values.begin(), values.end());
+    if (min_value < candidate) {
+      split_dim = dim;
+      median = candidate;
+      break;
+    }
+  }
+  if (split_dim == -1) {
+    // All queried coordinates constant: nothing dominates anything.
+    return BnlSkyline(input, u, ext);
+  }
+
+  PointSet better(input.dims());
+  PointSet worse(input.dims());
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i][split_dim] < median) {
+      better.AppendFrom(input, i);
+    } else {
+      worse.AppendFrom(input, i);
+    }
+  }
+  SKYPEER_DCHECK(!better.empty() && !worse.empty());
+
+  PointSet sky_better = Recurse(better, u, ext, depth + 1);
+  PointSet sky_worse = Recurse(worse, u, ext, depth + 1);
+
+  // No worse-half point dominates a better-half point (strictly larger on
+  // split_dim), so only the worse skyline needs filtering.
+  PointSet result(input.dims());
+  result.AppendAll(sky_better);
+  for (size_t i = 0; i < sky_worse.size(); ++i) {
+    const double* p = sky_worse[i];
+    bool dominated = false;
+    for (size_t j = 0; j < sky_better.size(); ++j) {
+      if (ext ? ExtDominates(sky_better[j], p, u)
+              : Dominates(sky_better[j], p, u)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      result.AppendFrom(sky_worse, i);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+PointSet DivideConquerSkyline(const PointSet& input, Subspace u, bool ext) {
+  SKYPEER_CHECK(!u.empty());
+  return Recurse(input, u, ext, /*depth=*/0);
+}
+
+}  // namespace skypeer

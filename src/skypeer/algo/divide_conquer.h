@@ -1,0 +1,22 @@
+#ifndef SKYPEER_ALGO_DIVIDE_CONQUER_H_
+#define SKYPEER_ALGO_DIVIDE_CONQUER_H_
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief Divide & Conquer skyline (Börzsönyi et al., ICDE'01): partitions
+/// the input by the median of one queried dimension, recurses, and filters
+/// the worse half against the skyline of the better half.
+///
+/// The partition is strict (`< median` vs `>= median`), so no point of the
+/// worse half can dominate a point of the better half and a one-sided
+/// filter suffices. Degenerate splits fall back to BNL. With `ext` the
+/// extended skyline is computed instead.
+PointSet DivideConquerSkyline(const PointSet& input, Subspace u,
+                              bool ext = false);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_DIVIDE_CONQUER_H_

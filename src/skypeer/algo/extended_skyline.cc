@@ -1,0 +1,17 @@
+#include "skypeer/algo/extended_skyline.h"
+
+namespace skypeer {
+
+ResultList ExtendedSkyline(const PointSet& points, Subspace u,
+                           ThresholdScanStats* stats) {
+  ResultList sorted = BuildSortedByF(points);
+  ThresholdScanOptions options;
+  options.ext = true;
+  return SortedSkyline(sorted, u, options, stats);
+}
+
+ResultList ExtendedSkyline(const PointSet& points, ThresholdScanStats* stats) {
+  return ExtendedSkyline(points, Subspace::FullSpace(points.dims()), stats);
+}
+
+}  // namespace skypeer

@@ -1,0 +1,33 @@
+#ifndef SKYPEER_ALGO_EXTENDED_SKYLINE_H_
+#define SKYPEER_ALGO_EXTENDED_SKYLINE_H_
+
+#include "skypeer/algo/result_list.h"
+#include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief Computes the extended skyline (paper §4) of `points` on subspace
+/// `u`: all points not *strictly* dominated on every dimension of `u`.
+///
+/// By Observation 4, `ext-SKY_D` contains `SKY_V` for every `V ⊆ D`, which
+/// is why it is the set peers ship to their super-peer in the
+/// pre-processing phase (§5.3). Internally this sorts by `f` and runs the
+/// threshold scan of Algorithm 1 under ext-dominance, as the paper
+/// prescribes ("any of the existing skyline algorithms may be applied ...
+/// if the domination test is replaced by the ext-domination definition").
+///
+/// Returns the result sorted ascending by `f`, ready for super-peer
+/// merging. `stats`, if given, receives the scan counters.
+ResultList ExtendedSkyline(const PointSet& points, Subspace u,
+                           ThresholdScanStats* stats = nullptr);
+
+/// Extended skyline on the full space of the input's dimensionality —
+/// the exact set a peer transmits during pre-processing.
+ResultList ExtendedSkyline(const PointSet& points,
+                           ThresholdScanStats* stats = nullptr);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_EXTENDED_SKYLINE_H_

@@ -1,0 +1,84 @@
+#include "skypeer/algo/merge.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+ResultList MergeSortedSkylines(const std::vector<const ResultList*>& lists,
+                               Subspace u, const ThresholdScanOptions& options,
+                               ThresholdScanStats* stats) {
+  int dims = 0;
+  for (const ResultList* list : lists) {
+    SKYPEER_CHECK(list != nullptr);
+    SKYPEER_DCHECK(list->IsSorted());
+    if (dims == 0) {
+      dims = list->points.dims();
+    } else {
+      SKYPEER_CHECK(list->points.dims() == dims);
+    }
+  }
+  SKYPEER_CHECK(dims > 0);
+
+  SkylineAccumulator accumulator(dims, u, options);
+
+  // Min-heap over list heads keyed by f; ties broken by list index for
+  // determinism.
+  struct Head {
+    double f;
+    size_t list;
+    size_t pos;
+  };
+  auto greater = [](const Head& a, const Head& b) {
+    if (a.f != b.f) {
+      return a.f > b.f;
+    }
+    return a.list > b.list;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
+  for (size_t l = 0; l < lists.size(); ++l) {
+    if (!lists[l]->empty()) {
+      heap.push(Head{lists[l]->f[0], l, 0});
+    }
+  }
+
+  size_t scanned = 0;
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    // "SKY_Us <- the list with the minimum first element" (Algorithm 2,
+    // lines 5/13); stop once even the smallest head exceeds the threshold.
+    if (head.f > accumulator.threshold()) {
+      break;
+    }
+    heap.pop();
+    const ResultList& list = *lists[head.list];
+    accumulator.Offer(list.points[head.pos], list.points.id(head.pos), head.f);
+    ++scanned;
+    if (head.pos + 1 < list.size()) {
+      heap.push(Head{list.f[head.pos + 1], head.list, head.pos + 1});
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->scanned = scanned;
+    stats->final_threshold = accumulator.threshold();
+  }
+  return accumulator.TakeResult();
+}
+
+ResultList MergeSortedSkylines(const std::vector<ResultList>& lists,
+                               Subspace u, const ThresholdScanOptions& options,
+                               ThresholdScanStats* stats) {
+  std::vector<const ResultList*> pointers;
+  pointers.reserve(lists.size());
+  for (const ResultList& list : lists) {
+    pointers.push_back(&list);
+  }
+  return MergeSortedSkylines(pointers, u, options, stats);
+}
+
+}  // namespace skypeer

@@ -1,0 +1,36 @@
+#ifndef SKYPEER_ALGO_MERGE_H_
+#define SKYPEER_ALGO_MERGE_H_
+
+#include <vector>
+
+#include "skypeer/algo/result_list.h"
+#include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief Paper Algorithm 2: merges several `f`-sorted local skyline lists
+/// into one skyline, pulling from the list with the smallest head.
+///
+/// Used both at query time (initiator / progressive merging of super-peer
+/// results) and in the pre-processing phase (super-peer merging of peer
+/// extended skylines, with `options.ext = true`). Each list is consumed
+/// only until its head exceeds the running threshold, which is the point
+/// of the algorithm: dominated tails are never even touched.
+///
+/// Returns the (extended) skyline of the union of all input lists on
+/// subspace `u`, sorted by `f`.
+ResultList MergeSortedSkylines(const std::vector<const ResultList*>& lists,
+                               Subspace u,
+                               const ThresholdScanOptions& options = {},
+                               ThresholdScanStats* stats = nullptr);
+
+/// Convenience overload for value vectors.
+ResultList MergeSortedSkylines(const std::vector<ResultList>& lists,
+                               Subspace u,
+                               const ThresholdScanOptions& options = {},
+                               ThresholdScanStats* stats = nullptr);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_MERGE_H_

@@ -1,0 +1,105 @@
+#include "skypeer/algo/nn_skyline.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+#include "skypeer/rtree/rtree.h"
+
+namespace skypeer {
+
+PointSet NnSkyline(const PointSet& input, Subspace u, NnSkylineStats* stats) {
+  SKYPEER_CHECK(!u.empty());
+  const int k = u.Count();
+  PointSet result(input.dims());
+  if (input.empty()) {
+    if (stats != nullptr) {
+      *stats = NnSkylineStats{};
+    }
+    return result;
+  }
+
+  // R-tree over the u-projection, payload = row index.
+  std::vector<double> proj(input.size() * static_cast<size_t>(k));
+  std::vector<uint64_t> rows(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    int c = 0;
+    for (int dim : u) {
+      proj[i * k + c] = input[i][dim];
+      ++c;
+    }
+    rows[i] = i;
+  }
+  RTree tree = RTree::BulkLoad(k, proj.data(), rows.data(), input.size());
+
+  /// A to-do region: only upper bounds ever tighten, so a dominator of
+  /// any region point is itself in the region — region NNs are global
+  /// skyline points.
+  struct Region {
+    std::vector<double> hi;
+    uint32_t strict_mask;
+  };
+  const std::vector<double> lo(k, -std::numeric_limits<double>::infinity());
+  std::vector<Region> todo;
+  todo.push_back(
+      Region{std::vector<double>(k, std::numeric_limits<double>::infinity()),
+             0});
+
+  NnSkylineStats counters;
+  std::set<uint64_t> emitted;
+  std::vector<double> nn(k);
+  while (!todo.empty()) {
+    counters.max_todo = std::max(counters.max_todo, todo.size());
+    const Region region = std::move(todo.back());
+    todo.pop_back();
+    uint64_t row = 0;
+    ++counters.nn_queries;
+    if (!tree.NearestBySum(lo.data(), region.hi.data(), region.strict_mask,
+                           nn.data(), &row)) {
+      continue;  // Empty region.
+    }
+    // Overlapping subregions rediscover points; emit each once.
+    if (emitted.insert(row).second) {
+      result.AppendFrom(input, row);
+    }
+    // Split: one subregion per dimension, strictly below the new point.
+    for (int d = 0; d < k; ++d) {
+      if (nn[d] <= lo[d]) {
+        continue;  // Cannot shrink below the data range.
+      }
+      Region sub;
+      sub.hi = region.hi;
+      sub.hi[d] = nn[d];
+      sub.strict_mask = region.strict_mask | (uint32_t{1} << d);
+      todo.push_back(std::move(sub));
+    }
+  }
+
+  // Equality pass: points tying an emitted point on every queried
+  // coordinate share its (non-)domination status, hence are skyline
+  // members the strict splits skipped.
+  const size_t representatives = result.size();
+  std::vector<uint64_t> ties;
+  for (size_t i = 0; i < representatives; ++i) {
+    int c = 0;
+    for (int dim : u) {
+      nn[c++] = result[i][dim];
+    }
+    ties.clear();
+    tree.WindowQuery(nn.data(), nn.data(), &ties);
+    for (uint64_t row : ties) {
+      if (emitted.insert(row).second) {
+        result.AppendFrom(input, row);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = counters;
+  }
+  return result;
+}
+
+}  // namespace skypeer

@@ -1,0 +1,49 @@
+#include "skypeer/algo/sfs.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+PointSet SfsSkyline(const PointSet& input, Subspace u, bool ext) {
+  SKYPEER_CHECK(!u.empty());
+  const size_t n = input.size();
+
+  // Monotone sort key: sum of the queried coordinates. If p dominates q
+  // (even non-strictly), sum(p) < sum(q), so dominators always precede.
+  std::vector<double> key(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = input[i];
+    double sum = 0.0;
+    for (int dim : u) {
+      sum += p[dim];
+    }
+    key[i] = sum;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&key](size_t a, size_t b) { return key[a] < key[b]; });
+
+  PointSet result(input.dims());
+  for (size_t i : order) {
+    const double* p = input[i];
+    bool dominated = false;
+    for (size_t w = 0; w < result.size(); ++w) {
+      if (ext ? ExtDominates(result[w], p, u) : Dominates(result[w], p, u)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      result.AppendFrom(input, i);
+    }
+  }
+  return result;
+}
+
+}  // namespace skypeer

@@ -1,0 +1,20 @@
+#ifndef SKYPEER_ALGO_SFS_H_
+#define SKYPEER_ALGO_SFS_H_
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief Sort-Filter-Skyline (Chomicki et al., ICDE'03): pre-sorts the
+/// input by a monotone function (the coordinate sum over `u`), after which
+/// a point can only be dominated by points that precede it, so no window
+/// eviction is ever needed.
+///
+/// Returns the skyline of `input` on subspace `u`, sorted by ascending
+/// coordinate sum; with `ext` the extended skyline instead.
+PointSet SfsSkyline(const PointSet& input, Subspace u, bool ext = false);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_SFS_H_

@@ -1,0 +1,62 @@
+#include "skypeer/algo/skyband.h"
+
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+size_t DominanceCount(const PointSet& input, const double* p, Subspace u) {
+  size_t count = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (Dominates(input[i], p, u)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+PointSet ExtKSkyband(const PointSet& input, Subspace u, int band) {
+  SKYPEER_CHECK(!u.empty());
+  SKYPEER_CHECK(band >= 1);
+  PointSet result(input.dims());
+  for (size_t i = 0; i < input.size(); ++i) {
+    size_t dominators = 0;
+    bool qualifies = true;
+    for (size_t j = 0; j < input.size(); ++j) {
+      if (i != j && ExtDominates(input[j], input[i], u)) {
+        if (++dominators >= static_cast<size_t>(band)) {
+          qualifies = false;
+          break;
+        }
+      }
+    }
+    if (qualifies) {
+      result.AppendFrom(input, i);
+    }
+  }
+  return result;
+}
+
+PointSet KSkyband(const PointSet& input, Subspace u, int band) {
+  SKYPEER_CHECK(!u.empty());
+  SKYPEER_CHECK(band >= 1);
+  PointSet result(input.dims());
+  for (size_t i = 0; i < input.size(); ++i) {
+    size_t dominators = 0;
+    bool qualifies = true;
+    for (size_t j = 0; j < input.size(); ++j) {
+      if (i != j && Dominates(input[j], input[i], u)) {
+        if (++dominators >= static_cast<size_t>(band)) {
+          qualifies = false;
+          break;
+        }
+      }
+    }
+    if (qualifies) {
+      result.AppendFrom(input, i);
+    }
+  }
+  return result;
+}
+
+}  // namespace skypeer

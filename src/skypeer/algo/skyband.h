@@ -1,0 +1,37 @@
+#ifndef SKYPEER_ALGO_SKYBAND_H_
+#define SKYPEER_ALGO_SKYBAND_H_
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief k-skyband on subspace `u`: all points dominated by fewer than
+/// `band` other points. `band == 1` is exactly the skyline; larger bands
+/// give the "thick skyline" used for top-k style retrieval, a standard
+/// extension of the skyline operator.
+///
+/// Returns the qualifying points in input order. `band` must be >= 1.
+PointSet KSkyband(const PointSet& input, Subspace u, int band);
+
+/// Number of points of `input` that dominate `p` on `u` (the "dominance
+/// count"; a point is in the k-skyband iff its count is < band).
+size_t DominanceCount(const PointSet& input, const double* p, Subspace u);
+
+/// \brief *Extended* k-skyband on subspace `u`: all points *strictly*
+/// dominated (ext-dominance, Definition 1) by fewer than `band` others.
+///
+/// This is the skyband analogue of the paper's extended skyline
+/// (`band == 1` gives exactly `ext-SKY_U`), and it satisfies the skyband
+/// version of Observation 4: the k-skyband of ANY subspace `V ⊆ U` is
+/// contained in the extended k-skyband of `U` — an ext-dominator on `U`
+/// dominates on every subspace, so a point with `>= band` ext-dominators
+/// on `U` has `>= band` dominators on `V`. A peer uploading its extended
+/// k-skyband therefore enables lossless distributed subspace k-skyband
+/// queries, exactly as ext-SKY enables skylines (property-tested in
+/// skyband_test.cc).
+PointSet ExtKSkyband(const PointSet& input, Subspace u, int band);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_SKYBAND_H_

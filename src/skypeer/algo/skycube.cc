@@ -1,0 +1,37 @@
+#include "skypeer/algo/skycube.h"
+
+#include <algorithm>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+SkyCube::SkyCube(const PointSet& points) : dims_(points.dims()) {
+  SKYPEER_CHECK(dims_ <= 12);
+  const uint32_t limit = uint32_t{1} << dims_;
+  skylines_.resize(limit);
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    PointSet skyline = BnlSkyline(points, Subspace(mask));
+    skylines_[mask] = skyline.Ids();
+  }
+}
+
+const std::vector<PointId>& SkyCube::Skyline(Subspace u) const {
+  SKYPEER_CHECK(!u.empty());
+  SKYPEER_CHECK(u.mask() < skylines_.size());
+  return skylines_[u.mask()];
+}
+
+std::vector<PointId> SkyCube::UnionOfAllSkylines() const {
+  std::vector<PointId> result;
+  for (size_t mask = 1; mask < skylines_.size(); ++mask) {
+    result.insert(result.end(), skylines_[mask].begin(),
+                  skylines_[mask].end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace skypeer

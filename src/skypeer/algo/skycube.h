@@ -1,0 +1,43 @@
+#ifndef SKYPEER_ALGO_SKYCUBE_H_
+#define SKYPEER_ALGO_SKYCUBE_H_
+
+#include <vector>
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \brief The SkyCube (Pei et al. / Yuan et al., VLDB'05): the skylines of
+/// *all* 2^d - 1 non-empty subspaces of a dataset.
+///
+/// This library uses it as a brute-force oracle: the paper's central claim
+/// (Observation 4: every subspace skyline is contained in the extended
+/// skyline of the full space) is property-tested against it, and the
+/// distributed engine's answers are cross-checked for every subspace.
+/// Intended for small dimensionality (`d <= 12`); computation is one BNL
+/// run per subspace.
+class SkyCube {
+ public:
+  /// Computes the full cube of `points` (dimensionality d = points.dims()).
+  explicit SkyCube(const PointSet& points);
+
+  int dims() const { return dims_; }
+
+  /// Skyline point ids of subspace `u`, in input order.
+  const std::vector<PointId>& Skyline(Subspace u) const;
+
+  /// Union of all subspace skyline ids (each id once, ascending). This is
+  /// the minimal set a lossless subspace-skyline summary must contain;
+  /// tests verify it is a subset of the extended skyline.
+  std::vector<PointId> UnionOfAllSkylines() const;
+
+ private:
+  int dims_;
+  /// Indexed by subspace mask; entry 0 unused.
+  std::vector<std::vector<PointId>> skylines_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_SKYCUBE_H_

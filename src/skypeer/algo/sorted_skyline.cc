@@ -1,0 +1,188 @@
+#include "skypeer/algo/sorted_skyline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/mapping.h"
+
+namespace skypeer {
+
+ResultList BuildSortedByF(const PointSet& input) {
+  const int dims = input.dims();
+  std::vector<double> f(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    f[i] = MinCoord(input[i], dims);
+  }
+  std::vector<size_t> order(input.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&f](size_t a, size_t b) { return f[a] < f[b]; });
+  ResultList result(dims);
+  result.points.Reserve(input.size());
+  result.f.reserve(input.size());
+  for (size_t i : order) {
+    result.points.AppendFrom(input, i);
+    result.f.push_back(f[i]);
+  }
+  return result;
+}
+
+SkylineAccumulator::SkylineAccumulator(int dims, Subspace u,
+                                       const ThresholdScanOptions& options)
+    : dims_(dims),
+      u_(u),
+      strict_(options.ext),
+      use_rtree_(options.use_rtree),
+      threshold_(options.initial_threshold),
+      window_points_(dims) {
+  SKYPEER_CHECK(!u.empty());
+  if (use_rtree_) {
+    rtree_ = std::make_unique<RTree>(u.Count());
+  }
+}
+
+SkylineAccumulator::~SkylineAccumulator() = default;
+
+bool SkylineAccumulator::IsDominatedLinear(const double* proj) const {
+  const int k = u_.Count();
+  for (size_t i = 0; i < window_points_.size(); ++i) {
+    if (!alive_flags_[i]) {
+      continue;
+    }
+    const double* q = window_proj_.data() + i * static_cast<size_t>(k);
+    bool strictly = false;
+    bool dominated = true;
+    for (int d = 0; d < k; ++d) {
+      if (strict_ ? q[d] >= proj[d] : q[d] > proj[d]) {
+        dominated = false;
+        break;
+      }
+      if (q[d] < proj[d]) {
+        strictly = true;
+      }
+    }
+    if (dominated && (strict_ || strictly)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SkylineAccumulator::EvictDominatedLinear(const double* proj) {
+  const int k = u_.Count();
+  for (size_t i = 0; i < window_points_.size(); ++i) {
+    if (!alive_flags_[i]) {
+      continue;
+    }
+    const double* q = window_proj_.data() + i * static_cast<size_t>(k);
+    bool strictly = false;
+    bool dominates = true;
+    for (int d = 0; d < k; ++d) {
+      if (strict_ ? proj[d] >= q[d] : proj[d] > q[d]) {
+        dominates = false;
+        break;
+      }
+      if (proj[d] < q[d]) {
+        strictly = true;
+      }
+    }
+    if (dominates && (strict_ || strictly)) {
+      alive_flags_[i] = 0;
+      --alive_;
+    }
+  }
+}
+
+bool SkylineAccumulator::Offer(const double* p, PointId id, double f) {
+  // Project onto the query subspace once.
+  const int k = u_.Count();
+  double proj[kMaxDims];
+  {
+    int j = 0;
+    for (int dim : u_) {
+      proj[j++] = p[dim];
+    }
+  }
+
+  // Observation 5: beyond the threshold the point is dominated by the
+  // skyline point that set the threshold. (Ties may survive; see header.)
+  if (f > threshold_) {
+    return false;
+  }
+
+  if (use_rtree_) {
+    if (rtree_->AnyDominates(proj, strict_)) {
+      return false;
+    }
+    scratch_payloads_ = rtree_->EraseDominated(proj, strict_);
+    for (uint64_t idx : scratch_payloads_) {
+      alive_flags_[idx] = 0;
+      --alive_;
+    }
+  } else {
+    if (IsDominatedLinear(proj)) {
+      return false;
+    }
+    EvictDominatedLinear(proj);
+  }
+
+  const uint64_t index = window_points_.size();
+  window_points_.Append(p, id);
+  window_f_.push_back(f);
+  alive_flags_.push_back(1);
+  window_proj_.insert(window_proj_.end(), proj, proj + k);
+  ++alive_;
+  if (use_rtree_) {
+    rtree_->Insert(proj, index);
+  }
+
+  // A dominator has dist_U no larger than any point it dominates, so the
+  // minimum only ever decreases; track it incrementally.
+  threshold_ = std::min(threshold_, DistU(p, u_));
+  return true;
+}
+
+ResultList SkylineAccumulator::TakeResult() {
+  ResultList result(dims_);
+  result.points.Reserve(alive_);
+  result.f.reserve(alive_);
+  for (size_t i = 0; i < window_points_.size(); ++i) {
+    if (alive_flags_[i]) {
+      result.points.AppendFrom(window_points_, i);
+      result.f.push_back(window_f_[i]);
+    }
+  }
+  window_points_.Clear();
+  window_f_.clear();
+  alive_flags_.clear();
+  window_proj_.clear();
+  alive_ = 0;
+  if (use_rtree_) {
+    rtree_->Clear();
+  }
+  return result;
+}
+
+ResultList SortedSkyline(const ResultList& input, Subspace u,
+                         const ThresholdScanOptions& options,
+                         ThresholdScanStats* stats) {
+  SKYPEER_DCHECK(input.IsSorted());
+  SkylineAccumulator accumulator(input.points.dims(), u, options);
+  size_t scanned = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input.f[i] > accumulator.threshold()) {
+      break;
+    }
+    accumulator.Offer(input.points[i], input.points.id(i), input.f[i]);
+    ++scanned;
+  }
+  if (stats != nullptr) {
+    stats->scanned = scanned;
+    stats->final_threshold = accumulator.threshold();
+  }
+  return accumulator.TakeResult();
+}
+
+}  // namespace skypeer

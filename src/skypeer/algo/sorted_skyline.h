@@ -1,0 +1,111 @@
+#ifndef SKYPEER_ALGO_SORTED_SKYLINE_H_
+#define SKYPEER_ALGO_SORTED_SKYLINE_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "skypeer/algo/result_list.h"
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+#include "skypeer/rtree/rtree.h"
+
+namespace skypeer {
+
+/// Options shared by the threshold-based scan algorithms (paper
+/// Algorithms 1 and 2).
+struct ThresholdScanOptions {
+  /// Use ext-dominance (strict on every dimension) instead of dominance;
+  /// the scan then computes the extended skyline of the input.
+  bool ext = false;
+
+  /// Threshold the scan starts from. SKYPEER propagates the initiator's
+  /// threshold here (paper §5.2.3); infinity means unconstrained.
+  double initial_threshold = std::numeric_limits<double>::infinity();
+
+  /// Index the running skyline in an R-tree of query dimensionality
+  /// (§5.2.1). When false a linear scan over the window is used, which is
+  /// faster for small inputs and serves as a differential-testing twin.
+  bool use_rtree = true;
+};
+
+/// Counters reported by the scan algorithms.
+struct ThresholdScanStats {
+  /// Points consumed before the threshold terminated the scan.
+  size_t scanned = 0;
+  /// Threshold value when the scan stopped (min dist_U over the result).
+  double final_threshold = std::numeric_limits<double>::infinity();
+};
+
+/// \brief Incrementally maintains a (extended) subspace skyline under
+/// ascending-`f` insertion order. The shared core of Algorithms 1 and 2.
+///
+/// Offer points in non-decreasing `f(p)` order; the accumulator discards
+/// dominated points, evicts points the newcomer dominates, and tracks the
+/// pruning threshold `min dist_U` (Observation 5). Once
+/// `f(p) > threshold()` no future point can survive and the caller may
+/// stop scanning.
+class SkylineAccumulator {
+ public:
+  /// `u` is the query subspace over points of dimensionality `dims`.
+  SkylineAccumulator(int dims, Subspace u, const ThresholdScanOptions& options);
+  ~SkylineAccumulator();
+
+  SkylineAccumulator(const SkylineAccumulator&) = delete;
+  SkylineAccumulator& operator=(const SkylineAccumulator&) = delete;
+
+  /// Considers point `p` (full-dimensional row) with the given id and
+  /// `f`-value. Returns true if `p` entered the running skyline.
+  /// Pre: `f` values are offered in non-decreasing order.
+  bool Offer(const double* p, PointId id, double f);
+
+  /// Current pruning threshold: points with `f > threshold()` can never
+  /// enter the skyline (Observation 5); with `f == threshold()` ties are
+  /// still possible, so callers scan while `f <= threshold()`.
+  double threshold() const { return threshold_; }
+
+  /// Number of points currently in the running skyline.
+  size_t alive() const { return alive_; }
+
+  /// Extracts the result, sorted ascending by `f` (insertion order with
+  /// evicted points dropped). The accumulator is left empty.
+  ResultList TakeResult();
+
+ private:
+  bool IsDominatedLinear(const double* proj) const;
+  void EvictDominatedLinear(const double* proj);
+
+  int dims_;
+  Subspace u_;
+  bool strict_;
+  bool use_rtree_;
+  double threshold_;
+
+  // Candidate window: points appended in offer order; `alive_flags_[i]`
+  // clears when candidate i is evicted by a later dominator.
+  PointSet window_points_;
+  std::vector<double> window_f_;
+  std::vector<char> alive_flags_;
+  std::vector<double> window_proj_;  // u-projected coords, row-major k-dim
+  size_t alive_ = 0;
+
+  std::unique_ptr<RTree> rtree_;  // over u-projections, when use_rtree_
+  std::vector<uint64_t> scratch_payloads_;
+};
+
+/// \brief Paper Algorithm 1: local subspace skyline computation over a
+/// list sorted by `f(p)`.
+///
+/// Scans `input` in ascending `f` order and stops as soon as
+/// `f(p) > threshold` (exactness note: the paper scans while
+/// `f(p) < threshold`; we include ties to stay exact on inputs with equal
+/// coordinates). Returns the (extended, if `options.ext`) skyline of the
+/// input restricted to subspace `u`, sorted by `f`.
+ResultList SortedSkyline(const ResultList& input, Subspace u,
+                         const ThresholdScanOptions& options = {},
+                         ThresholdScanStats* stats = nullptr);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_SORTED_SKYLINE_H_

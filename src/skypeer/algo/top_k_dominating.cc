@@ -1,0 +1,53 @@
+#include "skypeer/algo/top_k_dominating.h"
+
+#include <algorithm>
+
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+std::vector<size_t> DominationScores(const PointSet& input, Subspace u) {
+  SKYPEER_CHECK(!u.empty());
+  const size_t n = input.size();
+  std::vector<size_t> scores(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // One pass per pair: classify the relation once.
+      switch (CompareDominance(input[i], input[j], u)) {
+        case DomRelation::kPDominatesQ:
+          ++scores[i];
+          break;
+        case DomRelation::kQDominatesP:
+          ++scores[j];
+          break;
+        case DomRelation::kIncomparable:
+          break;
+      }
+    }
+  }
+  return scores;
+}
+
+std::vector<DominatingPoint> TopKDominating(const PointSet& input, Subspace u,
+                                            size_t k) {
+  const std::vector<size_t> scores = DominationScores(input, u);
+  std::vector<DominatingPoint> ranked;
+  ranked.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    ranked.push_back(DominatingPoint{input.id(i), scores[i]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DominatingPoint& a, const DominatingPoint& b) {
+              if (a.score != b.score) {
+                return a.score > b.score;
+              }
+              return a.id < b.id;
+            });
+  if (ranked.size() > k) {
+    ranked.resize(k);
+  }
+  return ranked;
+}
+
+}  // namespace skypeer

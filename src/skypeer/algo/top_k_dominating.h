@@ -1,0 +1,36 @@
+#ifndef SKYPEER_ALGO_TOP_K_DOMINATING_H_
+#define SKYPEER_ALGO_TOP_K_DOMINATING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// A point together with its domination score.
+struct DominatingPoint {
+  PointId id = 0;
+  /// Number of dataset points this point dominates on the query subspace.
+  size_t score = 0;
+};
+
+/// \brief Top-k dominating query (Papadias et al., TODS'05 §Related):
+/// returns the `k` points that dominate the most other points on subspace
+/// `u` — a ranked alternative to the skyline that always returns exactly
+/// `k` results (fewer only if the dataset is smaller).
+///
+/// Results are ordered by descending score; ties broken by ascending id
+/// for determinism. The top-1 dominating point is always a skyline point,
+/// but lower ranks need not be — this operator trades the skyline's
+/// "no-magic-weights" purity for a controllable result size.
+std::vector<DominatingPoint> TopKDominating(const PointSet& input, Subspace u,
+                                            size_t k);
+
+/// Domination scores of every point (parallel to input order).
+std::vector<size_t> DominationScores(const PointSet& input, Subspace u);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ALGO_TOP_K_DOMINATING_H_

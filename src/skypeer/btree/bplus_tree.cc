@@ -1,0 +1,432 @@
+#include "skypeer/btree/bplus_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skypeer {
+
+/// B+-tree node. Leaves hold parallel `keys`/`payloads` and chain through
+/// `next`; internal nodes hold `keys.size() + 1` children with `keys` as
+/// separators: subtree `i` holds keys <= keys[i] <= subtree `i+1` (equal
+/// keys may sit on either side of a separator).
+struct BPlusTreeNode {
+  explicit BPlusTreeNode(bool is_leaf) : leaf(is_leaf) {}
+
+  bool leaf;
+  std::vector<double> keys;
+  std::vector<uint64_t> payloads;                        // leaf only
+  std::vector<std::unique_ptr<BPlusTreeNode>> children;  // internal only
+  BPlusTreeNode* next = nullptr;                         // leaf chain
+};
+
+namespace {
+
+using Node = BPlusTreeNode;
+
+/// Result of a recursive insert: set when the node split.
+struct SplitResult {
+  double separator = 0.0;
+  std::unique_ptr<Node> right;
+};
+
+}  // namespace
+
+BPlusTree::BPlusTree(int max_keys)
+    : max_keys_(max_keys),
+      min_keys_(max_keys / 2),
+      root_(std::make_unique<Node>(/*is_leaf=*/true)) {
+  SKYPEER_CHECK(max_keys >= 4);
+}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+void BPlusTree::Clear() {
+  root_ = std::make_unique<Node>(/*is_leaf=*/true);
+  size_ = 0;
+}
+
+// --- insertion ---------------------------------------------------------------
+
+namespace {
+
+SplitResult SplitLeaf(Node* node) {
+  const size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(/*is_leaf=*/true);
+  right->keys.assign(node->keys.begin() + mid, node->keys.end());
+  right->payloads.assign(node->payloads.begin() + mid, node->payloads.end());
+  node->keys.resize(mid);
+  node->payloads.resize(mid);
+  right->next = node->next;
+  node->next = right.get();
+  SplitResult result;
+  result.separator = right->keys.front();
+  result.right = std::move(right);
+  return result;
+}
+
+SplitResult SplitInternal(Node* node) {
+  const size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(/*is_leaf=*/false);
+  SplitResult result;
+  result.separator = node->keys[mid];
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  result.right = std::move(right);
+  return result;
+}
+
+SplitResult InsertRec(Node* node, double key, uint64_t payload, int max_keys) {
+  if (node->leaf) {
+    // Equal keys append after existing ones (upper bound).
+    const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->payloads.insert(node->payloads.begin() + pos, payload);
+    if (static_cast<int>(node->keys.size()) > max_keys) {
+      return SplitLeaf(node);
+    }
+    return {};
+  }
+  const size_t child_index = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  SplitResult child_split =
+      InsertRec(node->children[child_index].get(), key, payload, max_keys);
+  if (child_split.right != nullptr) {
+    node->keys.insert(node->keys.begin() + child_index, child_split.separator);
+    node->children.insert(node->children.begin() + child_index + 1,
+                          std::move(child_split.right));
+    if (static_cast<int>(node->keys.size()) > max_keys) {
+      return SplitInternal(node);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void BPlusTree::Insert(double key, uint64_t payload) {
+  SplitResult split = InsertRec(root_.get(), key, payload, max_keys_);
+  if (split.right != nullptr) {
+    auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+// --- deletion ----------------------------------------------------------------
+
+namespace {
+
+/// Restores the fill invariant of `parent->children[c]` after a removal,
+/// by borrowing from or merging with an adjacent sibling.
+void RebalanceChild(Node* parent, size_t c, int min_keys) {
+  Node* child = parent->children[c].get();
+  if (static_cast<int>(child->keys.size()) >= min_keys) {
+    return;
+  }
+  Node* left = c > 0 ? parent->children[c - 1].get() : nullptr;
+  Node* right =
+      c + 1 < parent->children.size() ? parent->children[c + 1].get() : nullptr;
+
+  if (left != nullptr && static_cast<int>(left->keys.size()) > min_keys) {
+    // Borrow the left sibling's largest entry/child.
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->payloads.insert(child->payloads.begin(), left->payloads.back());
+      left->keys.pop_back();
+      left->payloads.pop_back();
+      parent->keys[c - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(), parent->keys[c - 1]);
+      parent->keys[c - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+    return;
+  }
+  if (right != nullptr && static_cast<int>(right->keys.size()) > min_keys) {
+    // Borrow the right sibling's smallest entry/child.
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->payloads.push_back(right->payloads.front());
+      right->keys.erase(right->keys.begin());
+      right->payloads.erase(right->payloads.begin());
+      parent->keys[c] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[c]);
+      parent->keys[c] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+
+  // Merge with a sibling (one of them must exist unless parent is a
+  // degenerate root, which the caller shrinks).
+  if (left != nullptr) {
+    // Merge child into left.
+    if (child->leaf) {
+      left->keys.insert(left->keys.end(), child->keys.begin(),
+                        child->keys.end());
+      left->payloads.insert(left->payloads.end(), child->payloads.begin(),
+                            child->payloads.end());
+      left->next = child->next;
+    } else {
+      left->keys.push_back(parent->keys[c - 1]);
+      left->keys.insert(left->keys.end(), child->keys.begin(),
+                        child->keys.end());
+      for (auto& grandchild : child->children) {
+        left->children.push_back(std::move(grandchild));
+      }
+    }
+    parent->keys.erase(parent->keys.begin() + (c - 1));
+    parent->children.erase(parent->children.begin() + c);
+  } else if (right != nullptr) {
+    // Merge right into child.
+    if (child->leaf) {
+      child->keys.insert(child->keys.end(), right->keys.begin(),
+                         right->keys.end());
+      child->payloads.insert(child->payloads.end(), right->payloads.begin(),
+                             right->payloads.end());
+      child->next = right->next;
+    } else {
+      child->keys.push_back(parent->keys[c]);
+      child->keys.insert(child->keys.end(), right->keys.begin(),
+                         right->keys.end());
+      for (auto& grandchild : right->children) {
+        child->children.push_back(std::move(grandchild));
+      }
+    }
+    parent->keys.erase(parent->keys.begin() + c);
+    parent->children.erase(parent->children.begin() + c + 1);
+  }
+}
+
+bool EraseRec(Node* node, double key, uint64_t payload, int min_keys) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    for (; it != node->keys.end() && *it == key; ++it) {
+      const size_t pos = static_cast<size_t>(it - node->keys.begin());
+      if (node->payloads[pos] == payload) {
+        node->keys.erase(it);
+        node->payloads.erase(node->payloads.begin() + pos);
+        return true;
+      }
+    }
+    return false;
+  }
+  // Equal keys may straddle separators: try every child whose range can
+  // contain `key`.
+  const size_t first = static_cast<size_t>(
+      std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  const size_t last = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  for (size_t c = first; c <= last && c < node->children.size(); ++c) {
+    if (EraseRec(node->children[c].get(), key, payload, min_keys)) {
+      RebalanceChild(node, c, min_keys);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BPlusTree::Erase(double key, uint64_t payload) {
+  if (!EraseRec(root_.get(), key, payload, min_keys_)) {
+    return false;
+  }
+  if (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  --size_;
+  return true;
+}
+
+// --- lookup ------------------------------------------------------------------
+
+BPlusTreeNode* BPlusTree::FindLeaf(double key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    const size_t child_index = static_cast<size_t>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[child_index].get();
+  }
+  return node;
+}
+
+double BPlusTree::Cursor::key() const {
+  SKYPEER_DCHECK(Valid());
+  return leaf_->keys[index_];
+}
+
+uint64_t BPlusTree::Cursor::payload() const {
+  SKYPEER_DCHECK(Valid());
+  return leaf_->payloads[index_];
+}
+
+void BPlusTree::Cursor::Next() {
+  SKYPEER_DCHECK(Valid());
+  ++index_;
+  while (leaf_ != nullptr &&
+         index_ >= static_cast<int>(leaf_->keys.size())) {
+    leaf_ = leaf_->next;
+    index_ = 0;
+  }
+}
+
+BPlusTree::Cursor BPlusTree::Begin() const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+  }
+  if (node->keys.empty()) {
+    return Cursor(nullptr, 0);
+  }
+  return Cursor(node, 0);
+}
+
+BPlusTree::Cursor BPlusTree::LowerBound(double key) const {
+  const Node* leaf = FindLeaf(key);
+  const int index = static_cast<int>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  Cursor cursor(leaf, index);
+  // The routed leaf can be exhausted (all keys < `key`); walk the chain.
+  while (cursor.leaf_ != nullptr &&
+         cursor.index_ >= static_cast<int>(cursor.leaf_->keys.size())) {
+    cursor.leaf_ = cursor.leaf_->next;
+    cursor.index_ = 0;
+  }
+  return cursor;
+}
+
+bool BPlusTree::Contains(double key, uint64_t payload) const {
+  for (Cursor cursor = LowerBound(key); cursor.Valid() && cursor.key() == key;
+       cursor.Next()) {
+    if (cursor.payload() == payload) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BPlusTree::RangeQuery(double lo, double hi,
+                           std::vector<uint64_t>* payloads) const {
+  for (Cursor cursor = LowerBound(lo); cursor.Valid() && cursor.key() <= hi;
+       cursor.Next()) {
+    payloads->push_back(cursor.payload());
+  }
+}
+
+// --- validation --------------------------------------------------------------
+
+namespace {
+
+struct ValidationResult {
+  size_t entries = 0;
+  int depth = 0;
+  double min_key = std::numeric_limits<double>::infinity();
+  double max_key = -std::numeric_limits<double>::infinity();
+  const Node* first_leaf = nullptr;
+  const Node* last_leaf = nullptr;
+};
+
+ValidationResult ValidateRec(const Node* node, int max_keys, int min_keys,
+                             bool is_root) {
+  SKYPEER_CHECK(static_cast<int>(node->keys.size()) <= max_keys);
+  SKYPEER_CHECK(std::is_sorted(node->keys.begin(), node->keys.end()));
+  ValidationResult result;
+  if (node->leaf) {
+    if (!is_root) {
+      SKYPEER_CHECK(static_cast<int>(node->keys.size()) >= min_keys);
+    }
+    SKYPEER_CHECK(node->payloads.size() == node->keys.size());
+    SKYPEER_CHECK(node->children.empty());
+    result.entries = node->keys.size();
+    result.depth = 1;
+    if (!node->keys.empty()) {
+      result.min_key = node->keys.front();
+      result.max_key = node->keys.back();
+    }
+    result.first_leaf = node;
+    result.last_leaf = node;
+    return result;
+  }
+  SKYPEER_CHECK(node->payloads.empty());
+  SKYPEER_CHECK(node->children.size() == node->keys.size() + 1);
+  if (!is_root) {
+    SKYPEER_CHECK(static_cast<int>(node->keys.size()) >= min_keys);
+  } else {
+    SKYPEER_CHECK(node->children.size() >= 2);
+  }
+  int child_depth = -1;
+  const Node* previous_last_leaf = nullptr;
+  for (size_t c = 0; c < node->children.size(); ++c) {
+    ValidationResult child = ValidateRec(node->children[c].get(), max_keys,
+                                         min_keys, /*is_root=*/false);
+    SKYPEER_CHECK(child.entries > 0);
+    // Separator bounds (equal keys may straddle, so bounds are weak
+    // inequalities).
+    if (c > 0) {
+      SKYPEER_CHECK(node->keys[c - 1] <= child.min_key);
+    }
+    if (c < node->keys.size()) {
+      SKYPEER_CHECK(child.max_key <= node->keys[c]);
+    }
+    if (child_depth == -1) {
+      child_depth = child.depth;
+      result.first_leaf = child.first_leaf;
+      result.min_key = child.min_key;
+    } else {
+      SKYPEER_CHECK(child_depth == child.depth);
+      // Leaf chain stitches consecutive subtrees together.
+      SKYPEER_CHECK(previous_last_leaf->next == child.first_leaf);
+    }
+    previous_last_leaf = child.last_leaf;
+    result.entries += child.entries;
+    result.max_key = child.max_key;
+  }
+  result.depth = child_depth + 1;
+  result.last_leaf = previous_last_leaf;
+  return result;
+}
+
+}  // namespace
+
+size_t BPlusTree::CheckInvariants() const {
+  ValidationResult result =
+      ValidateRec(root_.get(), max_keys_, min_keys_, /*is_root=*/true);
+  SKYPEER_CHECK(result.entries == size_);
+  // The chain ends at the rightmost leaf.
+  SKYPEER_CHECK(result.last_leaf->next == nullptr);
+  return result.entries;
+}
+
+int BPlusTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace skypeer

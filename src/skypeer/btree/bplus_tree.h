@@ -1,0 +1,99 @@
+#ifndef SKYPEER_BTREE_BPLUS_TREE_H_
+#define SKYPEER_BTREE_BPLUS_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+/// \brief In-memory B+-tree mapping a double key to 64-bit payloads,
+/// duplicate keys allowed.
+///
+/// This is the index structure SUBSKY (Tao et al., ICDE'06) builds over
+/// its one-dimensional transform — the approach the paper's §5.1 mapping
+/// is "inspired by". Leaves are chained for ordered scans; the anchored
+/// subspace-skyline comparator iterates them in ascending key order and
+/// stops at its pruning threshold.
+///
+/// Operations: `Insert`, `Erase` (one matching (key, payload) pair),
+/// ordered iteration from a lower bound via `Cursor`, and structural
+/// validation for tests.
+class BPlusTree {
+ public:
+  /// `max_keys` is the per-node capacity (>= 4); minimum fill is half.
+  explicit BPlusTree(int max_keys = 32);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts a (key, payload) entry; duplicates (even identical pairs)
+  /// are kept.
+  void Insert(double key, uint64_t payload);
+
+  /// Removes one entry equal to (key, payload). Returns false if absent.
+  bool Erase(double key, uint64_t payload);
+
+  /// True if some entry has exactly this (key, payload).
+  bool Contains(double key, uint64_t payload) const;
+
+  /// Appends the payloads of all entries with key in [lo, hi].
+  void RangeQuery(double lo, double hi, std::vector<uint64_t>* payloads) const;
+
+  /// Removes all entries.
+  void Clear();
+
+  /// Forward iterator over entries in non-decreasing key order.
+  class Cursor {
+   public:
+    /// True while the cursor points at an entry.
+    bool Valid() const { return leaf_ != nullptr; }
+    double key() const;
+    uint64_t payload() const;
+    /// Advances to the next entry in key order.
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    Cursor(const struct BPlusTreeNode* leaf, int index)
+        : leaf_(leaf), index_(index) {}
+    const struct BPlusTreeNode* leaf_;
+    int index_;
+  };
+
+  /// Cursor at the smallest entry (invalid if empty).
+  Cursor Begin() const;
+
+  /// Cursor at the first entry with key >= `key` (invalid if none).
+  Cursor LowerBound(double key) const;
+
+  /// Validates structural invariants (sorted keys, fill factors, uniform
+  /// depth, separator consistency, leaf chain completeness). Aborts on
+  /// violation; returns the entry count. Test helper.
+  size_t CheckInvariants() const;
+
+  /// Height of the tree (1 = the root is a leaf).
+  int height() const;
+
+ private:
+  struct BPlusTreeNode* FindLeaf(double key) const;
+
+  int max_keys_;
+  int min_keys_;
+  size_t size_ = 0;
+  std::unique_ptr<struct BPlusTreeNode> root_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_BTREE_BPLUS_TREE_H_

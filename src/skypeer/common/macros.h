@@ -1,0 +1,29 @@
+#ifndef SKYPEER_COMMON_MACROS_H_
+#define SKYPEER_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight check macros. The library does not use exceptions; invariant
+/// violations abort with a diagnostic. `SKYPEER_CHECK` is always active,
+/// `SKYPEER_DCHECK` compiles out in NDEBUG builds.
+
+#define SKYPEER_CHECK(condition)                                            \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "SKYPEER_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define SKYPEER_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define SKYPEER_DCHECK(condition) SKYPEER_CHECK(condition)
+#endif
+
+#endif  // SKYPEER_COMMON_MACROS_H_

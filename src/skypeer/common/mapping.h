@@ -1,0 +1,44 @@
+#ifndef SKYPEER_COMMON_MAPPING_H_
+#define SKYPEER_COMMON_MAPPING_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+
+/// \file
+/// The one-dimensional mapping of paper §5.1. Each d-dimensional point `p`
+/// maps to `f(p) = min_{i=1..d} p[i]`, computed once over the *full* space
+/// D. `dist_U(p) = max_{i in U} p[i]` is the L∞ distance from the origin
+/// restricted to the query subspace, recomputed per query.
+///
+/// Observation 5: if `p_sky` is a skyline point of U then any point with
+/// `f(p) > dist_U(p_sky)` is strictly larger than `p_sky` on every
+/// dimension of U (since `f(p) <= p[i]` for all i), hence dominated — and
+/// even ext-dominated. This justifies the threshold-based scan
+/// termination of Algorithms 1 and 2.
+
+/// `f(p)`: minimum coordinate over the full space of dimensionality `dims`.
+inline double MinCoord(const double* p, int dims) {
+  double result = p[0];
+  for (int i = 1; i < dims; ++i) {
+    result = std::min(result, p[i]);
+  }
+  return result;
+}
+
+/// `dist_U(p)`: maximum coordinate over the dimensions of `u` (L∞ distance
+/// from the origin within the subspace).
+inline double DistU(const double* p, Subspace u) {
+  double result = -std::numeric_limits<double>::infinity();
+  for (int dim : u) {
+    result = std::max(result, p[dim]);
+  }
+  return result;
+}
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_COMMON_MAPPING_H_

@@ -1,0 +1,113 @@
+#ifndef SKYPEER_COMMON_POINT_SET_H_
+#define SKYPEER_COMMON_POINT_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+/// Identifier of a data point, unique across the whole (distributed)
+/// dataset.
+using PointId = uint64_t;
+
+/// \brief A set of d-dimensional points in flat row-major storage.
+///
+/// `PointSet` is the unit of data exchanged between all algorithms in this
+/// library: peer datasets, extended skylines, query results. Coordinates
+/// are stored contiguously (`num_points * dims` doubles) so that a million
+/// points never pay per-point allocation; each point additionally carries a
+/// 64-bit id that survives projection, shipping and merging.
+///
+/// Rows are accessed as raw `const double*` pointers of length `dims()`.
+/// Appending may reallocate, invalidating previously obtained row pointers.
+class PointSet {
+ public:
+  /// Creates an empty set of points of dimensionality `dims` (>= 1).
+  explicit PointSet(int dims) : dims_(dims) { SKYPEER_CHECK(dims >= 1); }
+
+  /// Convenience constructor for tests/examples:
+  /// `PointSet(2, {{1, 2}, {3, 4}})` with ids 0, 1, ....
+  PointSet(int dims, std::initializer_list<std::initializer_list<double>> rows);
+
+  PointSet(const PointSet&) = default;
+  PointSet& operator=(const PointSet&) = default;
+  PointSet(PointSet&&) = default;
+  PointSet& operator=(PointSet&&) = default;
+
+  int dims() const { return dims_; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Row pointer of point `i`; valid until the next mutation.
+  const double* operator[](size_t i) const {
+    SKYPEER_DCHECK(i < size());
+    return values_.data() + i * static_cast<size_t>(dims_);
+  }
+
+  /// Mutable row pointer of point `i`.
+  double* mutable_row(size_t i) {
+    SKYPEER_DCHECK(i < size());
+    return values_.data() + i * static_cast<size_t>(dims_);
+  }
+
+  PointId id(size_t i) const {
+    SKYPEER_DCHECK(i < size());
+    return ids_[i];
+  }
+
+  void Reserve(size_t n) {
+    values_.reserve(n * static_cast<size_t>(dims_));
+    ids_.reserve(n);
+  }
+
+  /// Appends a point given by `dims()` coordinates at `row`.
+  void Append(const double* row, PointId id) {
+    values_.insert(values_.end(), row, row + dims_);
+    ids_.push_back(id);
+  }
+
+  /// Appends the point at index `i` of `other` (same dimensionality).
+  void AppendFrom(const PointSet& other, size_t i) {
+    SKYPEER_DCHECK(other.dims() == dims_);
+    Append(other[i], other.id(i));
+  }
+
+  /// Appends all points of `other` (same dimensionality).
+  void AppendAll(const PointSet& other);
+
+  /// Removes all points, keeping capacity.
+  void Clear() {
+    values_.clear();
+    ids_.clear();
+  }
+
+  /// Reorders points so they appear in the order given by `order`
+  /// (a permutation of [0, size())).
+  void Permute(const std::vector<size_t>& order);
+
+  /// True if some point of the set has id `id` (linear scan; test helper).
+  bool ContainsId(PointId id) const;
+
+  /// Ids of all points, in storage order.
+  std::vector<PointId> Ids() const { return ids_; }
+
+  /// Raw coordinate storage (size() * dims() doubles, row-major).
+  const std::vector<double>& values() const { return values_; }
+
+  /// Debug form listing every point; intended for small sets.
+  std::string ToString() const;
+
+ private:
+  int dims_;
+  std::vector<double> values_;
+  std::vector<PointId> ids_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_COMMON_POINT_SET_H_

@@ -1,0 +1,51 @@
+#ifndef SKYPEER_COMMON_RNG_H_
+#define SKYPEER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace skypeer {
+
+/// \brief Deterministic random source. Every stochastic component of the
+/// library (data generation, topology, workloads) takes an explicit seed;
+/// equal seeds reproduce identical runs bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Derives an independent child seed; lets components own private
+  /// streams without correlating with the parent's subsequent draws.
+  uint64_t Fork() {
+    // SplitMix64 step over a fresh 64-bit draw.
+    uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_COMMON_RNG_H_

@@ -1,0 +1,80 @@
+#ifndef SKYPEER_COMMON_STATUS_H_
+#define SKYPEER_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace skypeer {
+
+/// Error category for fallible library operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+};
+
+/// \brief Result of a fallible operation (configuration validation,
+/// network construction, ...). The library does not throw exceptions.
+///
+/// A `Status` is either OK (the default) or carries a code and a
+/// human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the symbolic name of `code` ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Early-return helper: propagates a non-OK status to the caller.
+#define SKYPEER_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::skypeer::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) {                 \
+      return status_macro_;                    \
+    }                                          \
+  } while (false)
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_COMMON_STATUS_H_

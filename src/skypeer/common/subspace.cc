@@ -1,0 +1,46 @@
+#include "skypeer/common/subspace.h"
+
+#include <string>
+#include <vector>
+
+namespace skypeer {
+
+std::string Subspace::ToString() const {
+  std::string result = "{";
+  bool first = true;
+  for (int dim : *this) {
+    if (!first) {
+      result += ",";
+    }
+    result += std::to_string(dim);
+    first = false;
+  }
+  result += "}";
+  return result;
+}
+
+std::vector<Subspace> AllSubspaces(int dims) {
+  SKYPEER_CHECK(dims >= 1 && dims <= 24);  // 2^24 is already 16M subspaces.
+  const uint32_t limit = uint32_t{1} << dims;
+  std::vector<Subspace> result;
+  result.reserve(limit - 1);
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    result.push_back(Subspace(mask));
+  }
+  return result;
+}
+
+std::vector<Subspace> SubspacesOfSize(int dims, int k) {
+  SKYPEER_CHECK(dims >= 1 && dims <= 24);
+  SKYPEER_CHECK(k >= 1 && k <= dims);
+  std::vector<Subspace> result;
+  const uint32_t limit = uint32_t{1} << dims;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    if (std::popcount(mask) == k) {
+      result.push_back(Subspace(mask));
+    }
+  }
+  return result;
+}
+
+}  // namespace skypeer

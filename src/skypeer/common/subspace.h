@@ -1,0 +1,125 @@
+#ifndef SKYPEER_COMMON_SUBSPACE_H_
+#define SKYPEER_COMMON_SUBSPACE_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+/// Maximum data dimensionality supported by the bitmask representation.
+inline constexpr int kMaxDims = 32;
+
+/// \brief A non-empty subset of the dimensions `{0, ..., d-1}` of a space,
+/// represented as a bitmask (the paper's `U ⊆ D`).
+///
+/// Bit `i` set means dimension `i` participates in the (sub)space. The
+/// default-constructed value is the empty set, which is not a valid query
+/// subspace but serves as an "unset" sentinel. Value type, freely copyable.
+class Subspace {
+ public:
+  /// Constructs the empty set.
+  constexpr Subspace() = default;
+
+  /// Constructs from a raw bitmask.
+  constexpr explicit Subspace(uint32_t mask) : mask_(mask) {}
+
+  /// The full space of dimensionality `dims` ({d_0, ..., d_{dims-1}}).
+  static constexpr Subspace FullSpace(int dims) {
+    return Subspace(dims >= kMaxDims ? ~uint32_t{0}
+                                     : ((uint32_t{1} << dims) - 1));
+  }
+
+  /// A subspace from an explicit dimension list, e.g. `FromDims({0, 3})`.
+  static Subspace FromDims(std::initializer_list<int> dims) {
+    uint32_t mask = 0;
+    for (int d : dims) {
+      SKYPEER_DCHECK(d >= 0 && d < kMaxDims);
+      mask |= uint32_t{1} << d;
+    }
+    return Subspace(mask);
+  }
+
+  /// A subspace from a dimension vector.
+  static Subspace FromDims(const std::vector<int>& dims) {
+    uint32_t mask = 0;
+    for (int d : dims) {
+      SKYPEER_DCHECK(d >= 0 && d < kMaxDims);
+      mask |= uint32_t{1} << d;
+    }
+    return Subspace(mask);
+  }
+
+  constexpr uint32_t mask() const { return mask_; }
+  constexpr bool empty() const { return mask_ == 0; }
+
+  /// Number of dimensions in the subspace (the paper's `k`).
+  constexpr int Count() const { return std::popcount(mask_); }
+
+  /// True if dimension `dim` participates.
+  constexpr bool Contains(int dim) const {
+    return (mask_ >> dim & uint32_t{1}) != 0;
+  }
+
+  /// True if every dimension of `other` is also in `*this`.
+  constexpr bool IsSupersetOf(Subspace other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+
+  /// Dimensions of the subspace in ascending order.
+  std::vector<int> Dims() const {
+    std::vector<int> dims;
+    dims.reserve(Count());
+    for (uint32_t m = mask_; m != 0; m &= m - 1) {
+      dims.push_back(std::countr_zero(m));
+    }
+    return dims;
+  }
+
+  /// Debug form, e.g. "{0,2,5}".
+  std::string ToString() const;
+
+  friend constexpr bool operator==(Subspace a, Subspace b) {
+    return a.mask_ == b.mask_;
+  }
+
+  /// Iterates over the set dimensions in ascending order, allocation-free:
+  /// `for (int dim : subspace) { ... }`.
+  class Iterator {
+   public:
+    constexpr explicit Iterator(uint32_t mask) : mask_(mask) {}
+    constexpr int operator*() const { return std::countr_zero(mask_); }
+    constexpr Iterator& operator++() {
+      mask_ &= mask_ - 1;
+      return *this;
+    }
+    friend constexpr bool operator==(Iterator a, Iterator b) {
+      return a.mask_ == b.mask_;
+    }
+
+   private:
+    uint32_t mask_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(mask_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+ private:
+  uint32_t mask_ = 0;
+};
+
+/// Enumerates all non-empty subspaces of the full space of dimensionality
+/// `dims` (2^dims - 1 of them, ascending mask order). Intended for small
+/// `dims` (tests, the SkyCube oracle).
+std::vector<Subspace> AllSubspaces(int dims);
+
+/// Enumerates all subspaces of exactly `k` dimensions out of `dims`.
+std::vector<Subspace> SubspacesOfSize(int dims, int k);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_COMMON_SUBSPACE_H_

@@ -1,0 +1,99 @@
+#include "skypeer/data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+const char* DistributionName(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kClustered:
+      return "clustered";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAnticorrelated:
+      return "anticorrelated";
+  }
+  return "unknown";
+}
+
+PointSet GenerateUniform(int dims, size_t n, Rng* rng, PointId first_id) {
+  PointSet points(dims);
+  points.Reserve(n);
+  std::vector<double> row(dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng->Uniform();
+    }
+    points.Append(row.data(), first_id + i);
+  }
+  return points;
+}
+
+std::vector<double> RandomCentroid(int dims, Rng* rng) {
+  std::vector<double> centroid(dims);
+  for (int d = 0; d < dims; ++d) {
+    centroid[d] = rng->Uniform();
+  }
+  return centroid;
+}
+
+PointSet GenerateClustered(const std::vector<double>& centroid, size_t n,
+                           double stddev, Rng* rng, PointId first_id) {
+  const int dims = static_cast<int>(centroid.size());
+  SKYPEER_CHECK(dims >= 1);
+  PointSet points(dims);
+  points.Reserve(n);
+  std::vector<double> row(dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      row[d] = std::clamp(rng->Gaussian(centroid[d], stddev), 0.0, 1.0);
+    }
+    points.Append(row.data(), first_id + i);
+  }
+  return points;
+}
+
+PointSet GenerateCorrelated(int dims, size_t n, Rng* rng, PointId first_id) {
+  PointSet points(dims);
+  points.Reserve(n);
+  std::vector<double> row(dims);
+  for (size_t i = 0; i < n; ++i) {
+    const double base = rng->Uniform();
+    for (int d = 0; d < dims; ++d) {
+      row[d] = std::clamp(base + rng->Gaussian(0.0, 0.05), 0.0, 1.0);
+    }
+    points.Append(row.data(), first_id + i);
+  }
+  return points;
+}
+
+PointSet GenerateAnticorrelated(int dims, size_t n, Rng* rng,
+                                PointId first_id) {
+  PointSet points(dims);
+  points.Reserve(n);
+  std::vector<double> row(dims);
+  for (size_t i = 0; i < n; ++i) {
+    // Draw uniform coordinates, then shift the point towards the
+    // anti-correlation hyperplane sum = dims / 2.
+    double sum = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng->Uniform();
+      sum += row[d];
+    }
+    const double target =
+        dims / 2.0 + rng->Gaussian(0.0, 0.05 * std::sqrt(dims));
+    const double shift = (target - sum) / dims;
+    for (int d = 0; d < dims; ++d) {
+      row[d] = std::clamp(row[d] + shift, 0.0, 1.0);
+    }
+    points.Append(row.data(), first_id + i);
+  }
+  return points;
+}
+
+}  // namespace skypeer

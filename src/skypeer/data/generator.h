@@ -1,0 +1,55 @@
+#ifndef SKYPEER_DATA_GENERATOR_H_
+#define SKYPEER_DATA_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/rng.h"
+
+namespace skypeer {
+
+/// Synthetic data distributions used by the paper's evaluation (§6) plus
+/// the two standard skyline benchmarks (correlated / anti-correlated) as
+/// extensions.
+enum class Distribution {
+  kUniform,         ///< Independent uniform coordinates in [0, 1).
+  kClustered,       ///< Gaussian around a centroid (variance 0.025).
+  kCorrelated,      ///< Coordinates positively correlated (small skyline).
+  kAnticorrelated,  ///< Coordinates trade off against each other
+                    ///< (large skyline).
+};
+
+const char* DistributionName(Distribution distribution);
+
+/// Gaussian standard deviation of the clustered dataset: the paper uses
+/// variance 0.025 on each axis.
+inline constexpr double kClusterStdDev = 0.15811388300841897;  // sqrt(0.025)
+
+/// `n` points with independent uniform coordinates in the unit space,
+/// ids `first_id, first_id + 1, ...`.
+PointSet GenerateUniform(int dims, size_t n, Rng* rng, PointId first_id = 0);
+
+/// A uniformly random cluster centroid in the unit space (the paper has
+/// each super-peer pick these for its associated peers).
+std::vector<double> RandomCentroid(int dims, Rng* rng);
+
+/// `n` points whose coordinates follow a Gaussian with mean
+/// `centroid[axis]` and standard deviation `stddev` on each axis, clamped
+/// to [0, 1] (the library assumes non-negative values).
+PointSet GenerateClustered(const std::vector<double>& centroid, size_t n,
+                           double stddev, Rng* rng, PointId first_id = 0);
+
+/// `n` correlated points: a common base value per point plus small
+/// per-axis jitter. Skylines shrink under correlation.
+PointSet GenerateCorrelated(int dims, size_t n, Rng* rng, PointId first_id = 0);
+
+/// `n` anti-correlated points: coordinates are jittered around the
+/// hyperplane `sum = dims/2`, so being good in one dimension costs
+/// another. Skylines grow large under anti-correlation.
+PointSet GenerateAnticorrelated(int dims, size_t n, Rng* rng,
+                                PointId first_id = 0);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_DATA_GENERATOR_H_

@@ -1,0 +1,51 @@
+#include "skypeer/data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+namespace {
+
+std::vector<PointSet> PartitionByOrder(const PointSet& all,
+                                       const std::vector<size_t>& order,
+                                       size_t parts) {
+  SKYPEER_CHECK(parts >= 1);
+  const size_t n = all.size();
+  std::vector<PointSet> result;
+  result.reserve(parts);
+  size_t next = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    // Sizes differ by at most one: the first (n % parts) slices get one
+    // extra point.
+    const size_t share = n / parts + (p < n % parts ? 1 : 0);
+    PointSet slice(all.dims());
+    slice.Reserve(share);
+    for (size_t i = 0; i < share; ++i) {
+      slice.AppendFrom(all, order[next++]);
+    }
+    result.push_back(std::move(slice));
+  }
+  SKYPEER_CHECK(next == n);
+  return result;
+}
+
+}  // namespace
+
+std::vector<PointSet> PartitionEvenly(const PointSet& all, size_t parts) {
+  std::vector<size_t> order(all.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  return PartitionByOrder(all, order, parts);
+}
+
+std::vector<PointSet> PartitionShuffled(const PointSet& all, size_t parts,
+                                        Rng* rng) {
+  std::vector<size_t> order(all.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::shuffle(order.begin(), order.end(), rng->engine());
+  return PartitionByOrder(all, order, parts);
+}
+
+}  // namespace skypeer

@@ -1,0 +1,24 @@
+#ifndef SKYPEER_DATA_PARTITION_H_
+#define SKYPEER_DATA_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/rng.h"
+
+namespace skypeer {
+
+/// Horizontally partitions `all` into `parts` contiguous slices of sizes
+/// differing by at most one (the paper's "dataset was horizontally
+/// partitioned evenly among the peers").
+std::vector<PointSet> PartitionEvenly(const PointSet& all, size_t parts);
+
+/// Horizontally partitions `all` into `parts` even slices after a random
+/// shuffle, destroying any ordering correlation between id and location.
+std::vector<PointSet> PartitionShuffled(const PointSet& all, size_t parts,
+                                        Rng* rng);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_DATA_PARTITION_H_

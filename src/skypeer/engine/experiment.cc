@@ -1,0 +1,45 @@
+#include "skypeer/engine/experiment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skypeer/common/macros.h"
+#include "skypeer/common/rng.h"
+
+namespace skypeer {
+
+std::vector<QueryTask> GenerateWorkload(int dims, int query_dims,
+                                        int num_queries, int num_super_peers,
+                                        uint64_t seed) {
+  SKYPEER_CHECK(query_dims >= 1 && query_dims <= dims);
+  SKYPEER_CHECK(num_super_peers >= 1);
+  Rng rng(seed);
+  std::vector<int> all_dims(dims);
+  std::iota(all_dims.begin(), all_dims.end(), 0);
+
+  std::vector<QueryTask> tasks;
+  tasks.reserve(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    std::shuffle(all_dims.begin(), all_dims.end(), rng.engine());
+    QueryTask task;
+    task.subspace = Subspace::FromDims(
+        std::vector<int>(all_dims.begin(), all_dims.begin() + query_dims));
+    task.initiator_sp = static_cast<int>(rng.UniformInt(0, num_super_peers - 1));
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+AggregateMetrics RunWorkload(SkypeerNetwork* network,
+                             const std::vector<QueryTask>& tasks,
+                             Variant variant) {
+  AggregateMetrics aggregate;
+  for (const QueryTask& task : tasks) {
+    const QueryResult result =
+        network->ExecuteQuery(task.subspace, task.initiator_sp, variant);
+    aggregate.Add(result.metrics);
+  }
+  return aggregate;
+}
+
+}  // namespace skypeer

@@ -1,0 +1,336 @@
+#include "skypeer/engine/network_builder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "skypeer/algo/sfs.h"
+#include "skypeer/common/macros.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/engine/peer.h"
+
+namespace skypeer {
+
+Status SkypeerNetwork::Validate(const NetworkConfig& config) {
+  if (config.dims < 1 || config.dims > kMaxDims) {
+    return Status::InvalidArgument("dims must be in [1, 32]");
+  }
+  if (config.points_per_peer < 0) {
+    return Status::InvalidArgument("points_per_peer must be >= 0");
+  }
+  if (config.bandwidth <= 0.0) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  if (config.latency < 0.0) {
+    return Status::InvalidArgument("latency must be >= 0");
+  }
+  OverlayConfig overlay_config;
+  overlay_config.num_peers = config.num_peers;
+  overlay_config.num_super_peers = config.num_super_peers;
+  overlay_config.degree_sp = config.degree_sp;
+  overlay_config.topology = config.topology;
+  return ValidateOverlayConfig(overlay_config);
+}
+
+SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
+    : config_(config), all_data_(config.dims) {
+  SKYPEER_CHECK(Validate(config).ok());
+
+  Rng rng(config_.seed);
+  OverlayConfig overlay_config;
+  overlay_config.num_peers = config_.num_peers;
+  overlay_config.num_super_peers = config_.num_super_peers;
+  overlay_config.degree_sp = config_.degree_sp;
+  overlay_config.topology = config_.topology;
+  overlay_config.seed = rng.Fork();
+  overlay_ = BuildOverlay(overlay_config);
+
+  const int num_sp = overlay_.num_super_peers();
+  super_peers_.reserve(num_sp);
+  for (int i = 0; i < num_sp; ++i) {
+    super_peers_.push_back(
+        std::make_unique<SuperPeer>(i, config_.dims, config_.wire));
+    const int sim_id = simulator_.AddNode(super_peers_.back().get());
+    SKYPEER_CHECK(sim_id == i);
+  }
+  const sim::LinkParams params{config_.bandwidth, config_.latency};
+  for (int a = 0; a < num_sp; ++a) {
+    std::vector<int> neighbors = overlay_.backbone.Neighbors(a);
+    super_peers_[a]->SetNeighbors(neighbors);
+    for (int b : neighbors) {
+      if (a < b) {
+        simulator_.Connect(a, b, params);
+      }
+    }
+  }
+}
+
+PreprocessStats SkypeerNetwork::Preprocess() {
+  SKYPEER_CHECK(!preprocessed_);
+  PreprocessStats stats;
+  Rng rng(config_.seed ^ 0x5eed5eed5eed5eedULL);
+
+  for (int sp = 0; sp < overlay_.num_super_peers(); ++sp) {
+    super_peers_[sp]->set_retain_peer_lists(config_.dynamic_membership);
+    super_peers_[sp]->set_enable_cache(config_.enable_cache);
+    // The clustered workload has each super-peer pick a centroid; its
+    // associated peers draw Gaussian points around it (§6).
+    std::vector<double> centroid;
+    if (config_.distribution == Distribution::kClustered) {
+      centroid = RandomCentroid(config_.dims, &rng);
+    }
+    for (int peer_id : overlay_.super_peer_peers[sp]) {
+      Rng peer_rng(rng.Fork());
+      const PointId first_id =
+          static_cast<PointId>(peer_id) * config_.points_per_peer;
+      PointSet data(config_.dims);
+      switch (config_.distribution) {
+        case Distribution::kUniform:
+          data = GenerateUniform(config_.dims, config_.points_per_peer,
+                                 &peer_rng, first_id);
+          break;
+        case Distribution::kClustered:
+          data = GenerateClustered(centroid, config_.points_per_peer,
+                                   kClusterStdDev, &peer_rng, first_id);
+          break;
+        case Distribution::kCorrelated:
+          data = GenerateCorrelated(config_.dims, config_.points_per_peer,
+                                    &peer_rng, first_id);
+          break;
+        case Distribution::kAnticorrelated:
+          data = GenerateAnticorrelated(config_.dims, config_.points_per_peer,
+                                        &peer_rng, first_id);
+          break;
+      }
+      if (config_.retain_peer_data) {
+        all_data_.AppendAll(data);
+      }
+      stats.total_points += data.size();
+
+      if (config_.dynamic_membership) {
+        peer_point_ranges_[peer_id] = {
+            first_id, first_id + static_cast<PointId>(data.size())};
+      }
+
+      Peer peer(peer_id, std::move(data));
+      const auto start = std::chrono::steady_clock::now();
+      const ResultList& ext = peer.ComputeExtendedSkyline();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      stats.peer_cpu_s += elapsed.count();
+      stats.peer_ext_points += ext.size();
+      super_peers_[sp]->AddPeerList(peer_id, ext);
+    }
+    stats.super_peer_cpu_s += super_peers_[sp]->FinalizePreprocessing();
+    stats.super_peer_ext_points += super_peers_[sp]->store().size();
+  }
+  total_points_ = stats.total_points;
+  next_peer_id_ = config_.num_peers;
+  next_point_id_ =
+      static_cast<PointId>(config_.num_peers) * config_.points_per_peer;
+  preprocessed_ = true;
+  return stats;
+}
+
+Status SkypeerNetwork::AdoptStores(std::vector<ResultList> stores) {
+  if (preprocessed_) {
+    return Status::FailedPrecondition("network is already preprocessed");
+  }
+  if (static_cast<int>(stores.size()) != num_super_peers()) {
+    return Status::InvalidArgument("store count does not match super-peers");
+  }
+  size_t total = 0;
+  for (const ResultList& store : stores) {
+    if (store.points.dims() != config_.dims) {
+      return Status::InvalidArgument("store dimensionality mismatch");
+    }
+    if (!store.IsSorted()) {
+      return Status::InvalidArgument("store is not f-sorted");
+    }
+    total += store.size();
+  }
+  for (int sp = 0; sp < num_super_peers(); ++sp) {
+    super_peers_[sp]->set_enable_cache(config_.enable_cache);
+    super_peers_[sp]->SetStore(std::move(stores[sp]));
+  }
+  // Only the retained fraction is known after a restore.
+  total_points_ = total;
+  preprocessed_ = true;
+  return Status::OK();
+}
+
+Status SkypeerNetwork::JoinPeer(int super_peer, PointSet data,
+                                int* out_peer_id) {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition("network is not preprocessed yet");
+  }
+  if (!config_.dynamic_membership) {
+    return Status::FailedPrecondition(
+        "dynamic_membership is disabled in the configuration");
+  }
+  if (super_peer < 0 || super_peer >= num_super_peers()) {
+    return Status::OutOfRange("no such super-peer");
+  }
+  if (data.dims() != config_.dims) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+
+  // Re-identify the points so ids stay globally unique.
+  PointSet fresh(config_.dims);
+  fresh.Reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    fresh.Append(data[i], next_point_id_ + i);
+  }
+  const int peer_id = next_peer_id_++;
+  peer_point_ranges_[peer_id] = {
+      next_point_id_, next_point_id_ + static_cast<PointId>(fresh.size())};
+  next_point_id_ += fresh.size();
+  total_points_ += fresh.size();
+  if (config_.retain_peer_data) {
+    all_data_.AppendAll(fresh);
+  }
+
+  Peer peer(peer_id, std::move(fresh));
+  SKYPEER_RETURN_IF_ERROR(
+      super_peers_[super_peer]->JoinPeer(peer_id, peer.ComputeExtendedSkyline()));
+
+  // Overlay bookkeeping.
+  overlay_.peer_super_peer.resize(
+      std::max<size_t>(overlay_.peer_super_peer.size(), peer_id + 1), -1);
+  overlay_.peer_super_peer[peer_id] = super_peer;
+  overlay_.super_peer_peers[super_peer].push_back(peer_id);
+
+  if (out_peer_id != nullptr) {
+    *out_peer_id = peer_id;
+  }
+  return Status::OK();
+}
+
+Status SkypeerNetwork::RemovePeer(int peer_id) {
+  if (!config_.dynamic_membership) {
+    return Status::FailedPrecondition(
+        "dynamic_membership is disabled in the configuration");
+  }
+  const auto range_it = peer_point_ranges_.find(peer_id);
+  if (range_it == peer_point_ranges_.end()) {
+    return Status::NotFound("unknown peer id");
+  }
+  const int super_peer = overlay_.peer_super_peer[peer_id];
+  SKYPEER_RETURN_IF_ERROR(super_peers_[super_peer]->RemovePeer(peer_id));
+
+  const auto [lo, hi] = range_it->second;
+  total_points_ -= static_cast<size_t>(hi - lo);
+  peer_point_ranges_.erase(range_it);
+  if (config_.retain_peer_data) {
+    PointSet remaining(config_.dims);
+    remaining.Reserve(all_data_.size());
+    for (size_t i = 0; i < all_data_.size(); ++i) {
+      if (all_data_.id(i) < lo || all_data_.id(i) >= hi) {
+        remaining.AppendFrom(all_data_, i);
+      }
+    }
+    all_data_ = std::move(remaining);
+  }
+
+  // Overlay bookkeeping.
+  overlay_.peer_super_peer[peer_id] = -1;
+  auto& peers = overlay_.super_peer_peers[super_peer];
+  peers.erase(std::find(peers.begin(), peers.end(), peer_id));
+  return Status::OK();
+}
+
+SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
+    Subspace subspace, int initiator_sp, Variant variant,
+    const sim::LinkParams& params, ResultList* result) {
+  simulator_.Reset();
+  simulator_.SetAllLinkParams(params);
+  for (auto& sp : super_peers_) {
+    sp->ResetQueryState();
+    sp->set_measure_cpu(config_.measure_cpu);
+  }
+
+  auto start = std::make_shared<StartQueryMessage>();
+  start->query_id = next_query_id_++;
+  start->subspace = subspace;
+  start->variant = variant;
+  if (variant == Variant::kPipeline) {
+    start->route = overlay_.backbone.EulerTourWalk(initiator_sp);
+  }
+  simulator_.Post(initiator_sp, std::move(start));
+  simulator_.Run();
+
+  SuperPeer* initiator = super_peers_[initiator_sp].get();
+  SKYPEER_CHECK(initiator->finished());
+  *result = initiator->final_result();
+
+  RunOutcome outcome;
+  outcome.completion_s = initiator->finish_time();
+  outcome.bytes = simulator_.total_bytes();
+  outcome.messages = simulator_.num_messages();
+  return outcome;
+}
+
+QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
+                                         Variant variant) {
+  SKYPEER_CHECK(preprocessed_);
+  SKYPEER_CHECK(!subspace.empty());
+  SKYPEER_CHECK(Subspace::FullSpace(config_.dims).IsSupersetOf(subspace));
+  SKYPEER_CHECK(initiator_sp >= 0 && initiator_sp < num_super_peers());
+
+  QueryResult query_result;
+
+  // Run 1: configured links — total response time and traffic volume.
+  const sim::LinkParams network_params{config_.bandwidth, config_.latency};
+  const RunOutcome total = RunOnce(subspace, initiator_sp, variant,
+                                   network_params, &query_result.skyline);
+
+  // Run 2: infinite bandwidth — pure computational critical path.
+  const sim::LinkParams compute_params{sim::kInfiniteBandwidth, 0.0};
+  ResultList compute_result(config_.dims);
+  const RunOutcome compute = RunOnce(subspace, initiator_sp, variant,
+                                     compute_params, &compute_result);
+  SKYPEER_DCHECK(compute_result.size() == query_result.skyline.size());
+
+  query_result.metrics.total_time_s = total.completion_s;
+  query_result.metrics.computational_time_s = compute.completion_s;
+  query_result.metrics.bytes_transferred = total.bytes;
+  query_result.metrics.messages = total.messages;
+  query_result.metrics.result_size = query_result.skyline.size();
+  // Per-node counters of the compute run (identical protocol trace; the
+  // states are still live after RunOnce).
+  for (const auto& sp : super_peers_) {
+    const SuperPeer::LastQueryStats stats = sp->last_query_stats();
+    if (stats.participated) {
+      ++query_result.metrics.super_peers_participated;
+      query_result.metrics.store_points_scanned += stats.scanned;
+      query_result.metrics.local_result_points += stats.local_result;
+    }
+  }
+  return query_result;
+}
+
+Status SkypeerNetwork::ReplacePeerData(int peer_id, PointSet data) {
+  if (!config_.dynamic_membership) {
+    return Status::FailedPrecondition(
+        "dynamic_membership is disabled in the configuration");
+  }
+  const auto range_it = peer_point_ranges_.find(peer_id);
+  if (range_it == peer_point_ranges_.end()) {
+    return Status::NotFound("unknown peer id");
+  }
+  if (data.dims() != config_.dims) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const int super_peer = overlay_.peer_super_peer[peer_id];
+  SKYPEER_RETURN_IF_ERROR(RemovePeer(peer_id));
+  // Rejoin under the same super-peer; the peer receives a fresh id (point
+  // ids must stay globally unique across the update).
+  return JoinPeer(super_peer, std::move(data), nullptr);
+}
+
+PointSet SkypeerNetwork::GroundTruthSkyline(Subspace subspace) const {
+  SKYPEER_CHECK(config_.retain_peer_data);
+  return SfsSkyline(all_data_, subspace);
+}
+
+}  // namespace skypeer

@@ -1,0 +1,154 @@
+#ifndef SKYPEER_ENGINE_NETWORK_BUILDER_H_
+#define SKYPEER_ENGINE_NETWORK_BUILDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "skypeer/algo/result_list.h"
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/status.h"
+#include "skypeer/common/subspace.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/engine/metrics.h"
+#include "skypeer/engine/query.h"
+#include "skypeer/engine/super_peer.h"
+#include "skypeer/sim/simulator.h"
+#include "skypeer/topology/overlay.h"
+
+namespace skypeer {
+
+/// Configuration of a simulated SKYPEER deployment. Defaults are the
+/// paper's (§6): 4000 peers, N_sp = 5% (1% from 20000 peers on), 250
+/// 8-dimensional uniform points per peer, DEG_sp = 4, 4 KB/s links.
+struct NetworkConfig {
+  int num_peers = 4000;
+  /// 0 selects the paper's N_sp rule; see DefaultNumSuperPeers.
+  int num_super_peers = 0;
+  int points_per_peer = 250;
+  int dims = 8;
+  double degree_sp = 4.0;
+  /// Backbone shape: the paper's random graph or a HyperCuP cube.
+  BackboneTopology topology = BackboneTopology::kWaxman;
+  Distribution distribution = Distribution::kUniform;
+  /// Link bandwidth in bytes/second and propagation latency in seconds.
+  double bandwidth = 4096.0;
+  double latency = 0.0;
+  uint64_t seed = 1;
+  /// Keep every raw peer partition concatenated for ground-truth
+  /// verification (memory-heavy; tests only).
+  bool retain_peer_data = false;
+  /// Charge measured host CPU to virtual clocks. Disable for
+  /// deterministic transfer-only analyses.
+  bool measure_cpu = true;
+  /// Support peer churn (JoinPeer / RemovePeer) after pre-processing:
+  /// super-peers retain the uploaded per-peer lists (memory ~ SEL_p of
+  /// the dataset).
+  bool dynamic_membership = false;
+  /// Cache each super-peer's unconstrained local skyline per query
+  /// subspace; repeated queries on a subspace only filter by threshold.
+  bool enable_cache = false;
+  WireModel wire;
+};
+
+/// Outcome of one distributed query: the exact global subspace skyline
+/// plus the measured costs.
+struct QueryResult {
+  ResultList skyline{1};
+  QueryMetrics metrics;
+};
+
+/// \brief A fully materialized SKYPEER network: topology, super-peer
+/// nodes, generated data, and the event simulator — the library's main
+/// entry point.
+///
+/// Lifecycle: construct, `Preprocess()` once (peers compute and upload
+/// extended skylines; super-peers merge), then `ExecuteQuery` any number
+/// of times. Each query runs twice under the hood — once with configured
+/// links for total time/volume, once with infinite bandwidth for the
+/// computational-time critical path (the two measurements of §6).
+class SkypeerNetwork {
+ public:
+  /// Checks a configuration without building anything.
+  static Status Validate(const NetworkConfig& config);
+
+  /// Builds topology and nodes. `config` must validate.
+  explicit SkypeerNetwork(const NetworkConfig& config);
+
+  /// Runs the pre-processing phase (§5.3). Call exactly once.
+  PreprocessStats Preprocess();
+
+  /// Installs externally produced stores (snapshot restore; see
+  /// engine/persistence.h), one f-sorted list per super-peer, and marks
+  /// the network query-ready. Ground truth and churn remain unavailable.
+  Status AdoptStores(std::vector<ResultList> stores);
+
+  bool preprocessed() const { return preprocessed_; }
+
+  /// Executes a subspace skyline query from the given initiator
+  /// super-peer under the chosen strategy. Requires `Preprocess()`.
+  QueryResult ExecuteQuery(Subspace subspace, int initiator_sp,
+                           Variant variant);
+
+  /// Centralized skyline over the union of all peer data; requires
+  /// `retain_peer_data`. The oracle for exactness tests.
+  PointSet GroundTruthSkyline(Subspace subspace) const;
+
+  // --- churn (requires `dynamic_membership`) ----------------------------
+
+  /// A new peer joins under `super_peer` with the given raw dataset
+  /// (points are re-identified to stay globally unique). The peer's
+  /// extended skyline is computed and merged incrementally into the
+  /// super-peer's store. Returns the new peer's id via `out_peer_id`
+  /// (optional).
+  Status JoinPeer(int super_peer, PointSet data, int* out_peer_id = nullptr);
+
+  /// Peer departure or failure: the owning super-peer rebuilds its store
+  /// without the peer's contribution; retained ground-truth data is
+  /// updated accordingly.
+  Status RemovePeer(int peer_id);
+
+  /// Replaces a peer's dataset in place (departure + rejoin under the
+  /// same super-peer): the update path for peers whose local data
+  /// changed. The peer is re-identified.
+  Status ReplacePeerData(int peer_id, PointSet data);
+
+  const Overlay& overlay() const { return overlay_; }
+  const NetworkConfig& config() const { return config_; }
+  int num_super_peers() const { return overlay_.num_super_peers(); }
+  int num_peers() const { return overlay_.num_peers(); }
+  int dims() const { return config_.dims; }
+  size_t total_points() const { return total_points_; }
+  const SuperPeer& super_peer(int i) const { return *super_peers_[i]; }
+  const PointSet& all_data() const { return all_data_; }
+
+ private:
+  struct RunOutcome {
+    double completion_s = 0.0;
+    uint64_t bytes = 0;
+    uint64_t messages = 0;
+  };
+
+  RunOutcome RunOnce(Subspace subspace, int initiator_sp, Variant variant,
+                     const sim::LinkParams& params, ResultList* result);
+
+  NetworkConfig config_;
+  Overlay overlay_;
+  sim::Simulator simulator_;
+  std::vector<std::unique_ptr<SuperPeer>> super_peers_;
+  PointSet all_data_;
+  size_t total_points_ = 0;
+  bool preprocessed_ = false;
+  uint64_t next_query_id_ = 1;
+  // Churn bookkeeping (dynamic_membership only).
+  int next_peer_id_ = 0;
+  PointId next_point_id_ = 0;
+  /// peer id -> [first, last) range of its point ids.
+  std::map<int, std::pair<PointId, PointId>> peer_point_ranges_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ENGINE_NETWORK_BUILDER_H_

@@ -1,0 +1,65 @@
+#ifndef SKYPEER_ENGINE_PEER_H_
+#define SKYPEER_ENGINE_PEER_H_
+
+#include <utility>
+
+#include "skypeer/algo/extended_skyline.h"
+#include "skypeer/algo/result_list.h"
+#include "skypeer/common/point_set.h"
+
+namespace skypeer {
+
+/// \brief A simple peer: owns a horizontal partition of the dataset and,
+/// during the pre-processing phase (§5.3), computes its local extended
+/// skyline for upload to its super-peer.
+///
+/// After pre-processing the raw partition may be discarded (the protocol
+/// never touches it again); `data_size()` keeps the original cardinality
+/// for statistics either way.
+class Peer {
+ public:
+  Peer(int id, PointSet data)
+      : id_(id), data_size_(data.size()), data_(std::move(data)) {}
+
+  int id() const { return id_; }
+
+  /// Number of points originally held (survives `DiscardData`).
+  size_t data_size() const { return data_size_; }
+
+  /// The raw partition; empty after `DiscardData`.
+  const PointSet& data() const { return data_; }
+
+  /// Computes the extended skyline of the partition in the full space —
+  /// the set this peer sends to its super-peer. Idempotent.
+  const ResultList& ComputeExtendedSkyline() {
+    if (!ext_computed_) {
+      ext_ = ExtendedSkyline(data_);
+      ext_computed_ = true;
+    }
+    return ext_;
+  }
+
+  bool ext_computed() const { return ext_computed_; }
+  const ResultList& extended_skyline() const { return ext_; }
+
+  /// Releases the raw partition (keeps the extended skyline, if computed).
+  void DiscardData() {
+    data_ = PointSet(data_.dims());
+  }
+
+  /// Releases the extended skyline (after the super-peer merged it).
+  void DiscardExtendedSkyline() {
+    ext_ = ResultList(ext_.points.dims());
+  }
+
+ private:
+  int id_;
+  size_t data_size_;
+  PointSet data_;
+  ResultList ext_{1};
+  bool ext_computed_ = false;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ENGINE_PEER_H_

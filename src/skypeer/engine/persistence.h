@@ -1,0 +1,34 @@
+#ifndef SKYPEER_ENGINE_PERSISTENCE_H_
+#define SKYPEER_ENGINE_PERSISTENCE_H_
+
+#include <string>
+
+#include "skypeer/common/status.h"
+#include "skypeer/engine/network_builder.h"
+
+namespace skypeer {
+
+/// \file
+/// Persistence of the pre-processing result. The pre-processing phase
+/// (§5.3) is the expensive part of a deployment — peers compute extended
+/// skylines over the whole dataset and super-peers merge them. These
+/// helpers snapshot every super-peer store to a single binary file (the
+/// wire codec of `engine/wire.h`, full-space projection) so experiment
+/// harnesses can build once and re-query many times.
+///
+/// A snapshot is tied to the network shape: dims and super-peer count are
+/// embedded and checked on load. Ground-truth data and churn bookkeeping
+/// are NOT part of the snapshot; a loaded network answers queries but
+/// cannot verify against `GroundTruthSkyline` or accept churn.
+
+/// Writes every super-peer store of a preprocessed network to `path`.
+Status SaveStores(const SkypeerNetwork& network, const std::string& path);
+
+/// Restores super-peer stores from `path` into a freshly constructed
+/// (not yet preprocessed) network of matching dims and super-peer count,
+/// and marks it ready for queries.
+Status LoadStores(SkypeerNetwork* network, const std::string& path);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ENGINE_PERSISTENCE_H_

@@ -1,0 +1,489 @@
+#include "skypeer/engine/super_peer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/merge.h"
+#include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/macros.h"
+#include "skypeer/common/mapping.h"
+
+namespace skypeer {
+
+namespace {
+
+/// Measures host wall time of a computation and charges it to the virtual
+/// clock of the node whose handler is running.
+class ScopedCpuCharge {
+ public:
+  ScopedCpuCharge(sim::Simulator* simulator, bool enabled)
+      : simulator_(simulator),
+        enabled_(enabled),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedCpuCharge() {
+    if (enabled_) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      simulator_->ChargeCpu(std::max(0.0, elapsed.count()));
+    }
+  }
+
+  ScopedCpuCharge(const ScopedCpuCharge&) = delete;
+  ScopedCpuCharge& operator=(const ScopedCpuCharge&) = delete;
+
+ private:
+  sim::Simulator* simulator_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void SuperPeer::AddPeerList(int peer_id, ResultList list) {
+  SKYPEER_CHECK(list.points.dims() == dims_);
+  SKYPEER_CHECK(!preprocessed_);
+  const bool inserted =
+      peer_lists_.emplace(peer_id, std::move(list)).second;
+  SKYPEER_CHECK(inserted);  // Duplicate upload.
+}
+
+void SuperPeer::RebuildStore() {
+  ThresholdScanOptions options;
+  options.ext = true;
+  if (peer_lists_.empty()) {
+    store_ = ResultList(dims_);
+  } else {
+    std::vector<const ResultList*> inputs;
+    inputs.reserve(peer_lists_.size());
+    for (const auto& [peer_id, list] : peer_lists_) {
+      inputs.push_back(&list);
+    }
+    store_ = MergeSortedSkylines(inputs, Subspace::FullSpace(dims_), options);
+  }
+  cache_.clear();
+}
+
+double SuperPeer::FinalizePreprocessing() {
+  const auto start = std::chrono::steady_clock::now();
+  RebuildStore();
+  preprocessed_ = true;
+  if (!retain_peer_lists_) {
+    peer_lists_.clear();
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+void SuperPeer::SetStore(ResultList store) {
+  SKYPEER_CHECK(store.points.dims() == dims_);
+  SKYPEER_CHECK(store.IsSorted());
+  store_ = std::move(store);
+  peer_lists_.clear();
+  cache_.clear();
+  preprocessed_ = true;
+}
+
+Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition("pre-processing has not run yet");
+  }
+  if (list.points.dims() != dims_) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  if (retain_peer_lists_) {
+    if (peer_lists_.count(peer_id) > 0) {
+      return Status::InvalidArgument("peer id already present");
+    }
+  }
+  // Incremental merge (§5.3): ext-skyline merging is associative, so the
+  // existing store and the newcomer's list suffice.
+  ThresholdScanOptions options;
+  options.ext = true;
+  std::vector<const ResultList*> inputs = {&store_, &list};
+  ResultList merged =
+      MergeSortedSkylines(inputs, Subspace::FullSpace(dims_), options);
+  store_ = std::move(merged);
+  if (retain_peer_lists_) {
+    peer_lists_.emplace(peer_id, std::move(list));
+  }
+  cache_.clear();
+  return Status::OK();
+}
+
+Status SuperPeer::RemovePeer(int peer_id) {
+  if (!retain_peer_lists_) {
+    return Status::FailedPrecondition(
+        "peer removal requires set_retain_peer_lists(true)");
+  }
+  if (peer_lists_.erase(peer_id) == 0) {
+    return Status::NotFound("unknown peer id");
+  }
+  // A departure can resurrect points the departed list ext-dominated, so
+  // the store is rebuilt from the remaining retained lists.
+  RebuildStore();
+  return Status::OK();
+}
+
+std::vector<int> SuperPeer::RetainedPeerIds() const {
+  std::vector<int> ids;
+  ids.reserve(peer_lists_.size());
+  for (const auto& [peer_id, list] : peer_lists_) {
+    ids.push_back(peer_id);
+  }
+  return ids;
+}
+
+const ResultList& SuperPeer::final_result() const {
+  SKYPEER_CHECK(finished());
+  return query_->final;
+}
+
+double SuperPeer::finish_time() const {
+  SKYPEER_CHECK(finished());
+  return query_->finish_time;
+}
+
+void SuperPeer::HandleMessage(sim::Simulator* simulator,
+                              const sim::Message& message) {
+  if (const auto* start =
+          dynamic_cast<const StartQueryMessage*>(message.body.get())) {
+    HandleStart(simulator, *start);
+  } else if (const auto* query =
+                 dynamic_cast<const QueryMessage*>(message.body.get())) {
+    HandleQuery(simulator, message, *query);
+  } else if (const auto* reply =
+                 dynamic_cast<const ReplyMessage*>(message.body.get())) {
+    HandleReply(simulator, *reply);
+  } else if (const auto* pipeline =
+                 dynamic_cast<const PipelineMessage*>(message.body.get())) {
+    HandlePipeline(simulator, *pipeline);
+  } else {
+    SKYPEER_CHECK(false);  // Unknown message type.
+  }
+}
+
+void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
+  ScopedCpuCharge charge(simulator, measure_cpu_);
+  if (state->variant == Variant::kNaive) {
+    // The baseline ignores the f-ordering and the threshold: a plain BNL
+    // over the store, then sorted for shipping.
+    PointSet skyline = BnlSkyline(store_.points, state->subspace);
+    state->local = std::make_shared<const ResultList>(BuildSortedByF(skyline));
+    state->scanned = store_.size();
+    return;
+  }
+
+  if (cache_enabled_) {
+    // Serve from the per-subspace cache: the unconstrained local skyline
+    // is computed once; the incoming threshold then only *filters* it in
+    // f-order. Every point the filter drops is dominated by a real data
+    // point (Observation 5 applied to the evolving threshold), so the
+    // reply stays exact after the final merge.
+    auto it = cache_.find(state->subspace.mask());
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(state->subspace.mask(),
+                        std::make_shared<const ResultList>(
+                            SortedSkyline(store_, state->subspace)))
+               .first;
+    }
+    const ResultList& full = *it->second;
+    auto filtered = std::make_shared<ResultList>(dims_);
+    double threshold = state->threshold;
+    size_t consumed = 0;
+    for (size_t i = 0; i < full.size(); ++i) {
+      if (full.f[i] > threshold) {
+        break;
+      }
+      ++consumed;
+      filtered->points.AppendFrom(full.points, i);
+      filtered->f.push_back(full.f[i]);
+      threshold = std::min(threshold, DistU(full.points[i], state->subspace));
+    }
+    state->local = std::move(filtered);
+    state->threshold = threshold;
+    state->scanned = consumed;
+    return;
+  }
+
+  ThresholdScanOptions options;
+  options.initial_threshold = state->threshold;
+  ThresholdScanStats stats;
+  state->local = std::make_shared<const ResultList>(
+      SortedSkyline(store_, state->subspace, options, &stats));
+  // The scan threshold only ever tightens; RT*M forwards this value.
+  state->threshold = stats.final_threshold;
+  state->scanned = stats.scanned;
+}
+
+SuperPeer::LastQueryStats SuperPeer::last_query_stats() const {
+  LastQueryStats stats;
+  if (!query_.has_value()) {
+    return stats;
+  }
+  stats.participated = true;
+  stats.scanned = query_->scanned;
+  stats.local_result = query_->local != nullptr ? query_->local->size() : 0;
+  return stats;
+}
+
+void SuperPeer::ForwardQuery(sim::Simulator* simulator, QueryState* state) {
+  auto query = std::make_shared<QueryMessage>();
+  query->query_id = state->query_id;
+  query->subspace = state->subspace;
+  query->variant = state->variant;
+  query->threshold = state->threshold;
+  state->pending = 0;
+  for (int neighbor : neighbors_) {
+    if (neighbor == state->parent) {
+      continue;
+    }
+    simulator->Send(id_, neighbor, wire_.query_bytes, query);
+    ++state->pending;
+  }
+}
+
+void SuperPeer::SendReply(sim::Simulator* simulator, int dst,
+                          uint64_t query_id, bool duplicate,
+                          std::vector<std::shared_ptr<const ResultList>> lists,
+                          int query_dims) {
+  auto reply = std::make_shared<ReplyMessage>();
+  reply->query_id = query_id;
+  reply->duplicate = duplicate;
+  reply->lists = std::move(lists);
+  const size_t bytes = wire_.ReplyBytes(query_dims, reply->lists.size(),
+                                        reply->TotalPoints());
+  simulator->Send(id_, dst, bytes, std::move(reply));
+}
+
+void SuperPeer::HandleStart(sim::Simulator* simulator,
+                            const StartQueryMessage& start) {
+  SKYPEER_CHECK(!query_.has_value());  // One query at a time.
+  query_.emplace();
+  QueryState* state = &*query_;
+  state->query_id = start.query_id;
+  state->subspace = start.subspace;
+  state->variant = start.variant;
+  state->parent = -1;
+  state->is_initiator = true;
+  state->threshold = std::numeric_limits<double>::infinity();
+
+  if (state->variant == Variant::kPipeline) {
+    // The initiator seeds the accumulated result with its local skyline
+    // and sends the query on its Euler-tour walk.
+    ComputeLocal(simulator, state);
+    if (start.route.size() <= 1) {
+      state->final = *state->local;
+      state->finished = true;
+      state->finish_time = simulator->CurrentNodeClock();
+      return;
+    }
+    PipelineMessage seed;
+    seed.query_id = state->query_id;
+    seed.subspace = state->subspace;
+    seed.route = std::make_shared<const std::vector<int>>(start.route);
+    seed.position = 0;
+    ForwardPipeline(simulator, seed, state->threshold, state->local);
+    return;
+  }
+
+  if (state->variant == Variant::kNaive) {
+    // No threshold to compute: flood first so other super-peers start
+    // working as early as possible, then evaluate locally.
+    ForwardQuery(simulator, state);
+    ComputeLocal(simulator, state);
+  } else {
+    // §5.2.3: the initiator first runs the local computation to obtain
+    // the initial threshold t, then forwards q(U, t).
+    ComputeLocal(simulator, state);
+    ForwardQuery(simulator, state);
+  }
+  if (state->pending == 0) {
+    Complete(simulator, state);
+  }
+}
+
+void SuperPeer::HandleQuery(sim::Simulator* simulator,
+                            const sim::Message& message,
+                            const QueryMessage& query) {
+  if (query_.has_value() && query_->query_id == query.query_id) {
+    // Flood duplicate: the sender still awaits one reply from us.
+    SendReply(simulator, message.src, query.query_id, /*duplicate=*/true, {},
+              query.subspace.Count());
+    return;
+  }
+  SKYPEER_CHECK(!query_.has_value());
+  query_.emplace();
+  QueryState* state = &*query_;
+  state->query_id = query.query_id;
+  state->subspace = query.subspace;
+  state->variant = query.variant;
+  state->threshold = query.threshold;
+  state->parent = message.src;
+  state->is_initiator = false;
+
+  if (UsesRefinedThreshold(state->variant)) {
+    // RT*M: compute first; the refined (lower) threshold is attached to
+    // the forwarded query (§5.2.3, Algorithm 3 lines 3-6).
+    ComputeLocal(simulator, state);
+    ForwardQuery(simulator, state);
+  } else {
+    // FT*M / naive: forward immediately, then compute.
+    ForwardQuery(simulator, state);
+    ComputeLocal(simulator, state);
+  }
+  if (state->pending == 0) {
+    Complete(simulator, state);
+  }
+}
+
+void SuperPeer::HandleReply(sim::Simulator* simulator,
+                            const ReplyMessage& reply) {
+  SKYPEER_CHECK(query_.has_value());
+  QueryState* state = &*query_;
+  SKYPEER_CHECK(state->query_id == reply.query_id);
+  SKYPEER_CHECK(state->pending > 0);
+  --state->pending;
+  if (!reply.duplicate) {
+    state->collected.insert(state->collected.end(), reply.lists.begin(),
+                            reply.lists.end());
+  }
+  if (state->pending == 0) {
+    Complete(simulator, state);
+  }
+}
+
+void SuperPeer::ForwardPipeline(sim::Simulator* simulator,
+                                const PipelineMessage& previous,
+                                double threshold,
+                                std::shared_ptr<const ResultList> accumulated) {
+  auto next = std::make_shared<PipelineMessage>();
+  next->query_id = previous.query_id;
+  next->subspace = previous.subspace;
+  next->threshold = threshold;
+  next->route = previous.route;
+  next->position = previous.position + 1;
+  next->accumulated = std::move(accumulated);
+  const int dst = (*next->route)[next->position];
+  const size_t bytes =
+      wire_.query_bytes +
+      wire_.ReplyBytes(next->subspace.Count(), 1, next->accumulated->size());
+  simulator->Send(id_, dst, bytes, std::move(next));
+}
+
+void SuperPeer::HandlePipeline(sim::Simulator* simulator,
+                               const PipelineMessage& message) {
+  SKYPEER_CHECK((*message.route)[message.position] == id_);
+
+  if (message.position + 1 == message.route->size()) {
+    // The walk has returned to the initiator: the accumulated list is the
+    // global subspace skyline.
+    SKYPEER_CHECK(query_.has_value());
+    QueryState* state = &*query_;
+    SKYPEER_CHECK(state->is_initiator);
+    SKYPEER_CHECK(state->query_id == message.query_id);
+    state->final = *message.accumulated;
+    state->finished = true;
+    state->finish_time = simulator->CurrentNodeClock();
+    return;
+  }
+
+  if (query_.has_value() && query_->query_id == message.query_id) {
+    // Revisit on the Euler tour: pass the query through unchanged.
+    ForwardPipeline(simulator, message, message.threshold,
+                    message.accumulated);
+    return;
+  }
+
+  // First visit: compute the local skyline under the travelling threshold
+  // and fold it into the accumulated result.
+  SKYPEER_CHECK(!query_.has_value());
+  query_.emplace();
+  QueryState* state = &*query_;
+  state->query_id = message.query_id;
+  state->subspace = message.subspace;
+  state->variant = Variant::kPipeline;
+  state->threshold = message.threshold;
+  state->parent = -1;
+  state->is_initiator = false;
+  ComputeLocal(simulator, state);
+
+  std::shared_ptr<const ResultList> merged;
+  double threshold = state->threshold;
+  {
+    ScopedCpuCharge charge(simulator, measure_cpu_);
+    std::vector<const ResultList*> inputs = {message.accumulated.get(),
+                                             state->local.get()};
+    ThresholdScanOptions options;
+    options.initial_threshold = message.threshold;
+    ThresholdScanStats stats;
+    merged = std::make_shared<const ResultList>(
+        MergeSortedSkylines(inputs, state->subspace, options, &stats));
+    threshold = std::min(threshold, stats.final_threshold);
+  }
+  ForwardPipeline(simulator, message, threshold, std::move(merged));
+}
+
+void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
+  SKYPEER_CHECK(state->local != nullptr);
+
+  if (!state->is_initiator) {
+    std::vector<std::shared_ptr<const ResultList>> lists;
+    if (UsesProgressiveMerging(state->variant)) {
+      // *TPM: merge everything received with the local result before
+      // relaying (Algorithm 3 lines 15-16).
+      ScopedCpuCharge charge(simulator, measure_cpu_);
+      std::vector<const ResultList*> inputs;
+      inputs.reserve(state->collected.size() + 1);
+      for (const auto& list : state->collected) {
+        inputs.push_back(list.get());
+      }
+      inputs.push_back(state->local.get());
+      ThresholdScanOptions options;
+      options.initial_threshold = state->threshold;
+      lists.push_back(std::make_shared<const ResultList>(
+          MergeSortedSkylines(inputs, state->subspace, options)));
+    } else {
+      // *TFM / naive: relay children bundles unmerged plus our own list.
+      lists = std::move(state->collected);
+      lists.push_back(state->local);
+    }
+    SendReply(simulator, state->parent, state->query_id, /*duplicate=*/false,
+              std::move(lists), state->subspace.Count());
+    return;
+  }
+
+  // Initiator: final merge.
+  {
+    ScopedCpuCharge charge(simulator, measure_cpu_);
+    if (state->variant == Variant::kNaive) {
+      // Central dominance-based merge of everything, the §3.2 baseline.
+      PointSet all(dims_);
+      for (const auto& list : state->collected) {
+        all.AppendAll(list->points);
+      }
+      all.AppendAll(state->local->points);
+      state->final = BuildSortedByF(BnlSkyline(all, state->subspace));
+    } else {
+      std::vector<const ResultList*> inputs;
+      inputs.reserve(state->collected.size() + 1);
+      for (const auto& list : state->collected) {
+        inputs.push_back(list.get());
+      }
+      inputs.push_back(state->local.get());
+      ThresholdScanOptions options;
+      options.initial_threshold = state->threshold;
+      state->final =
+          MergeSortedSkylines(inputs, state->subspace, options);
+    }
+  }
+  state->finished = true;
+  state->finish_time = simulator->CurrentNodeClock();
+}
+
+}  // namespace skypeer

@@ -1,0 +1,208 @@
+#ifndef SKYPEER_ENGINE_SUPER_PEER_H_
+#define SKYPEER_ENGINE_SUPER_PEER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "skypeer/algo/result_list.h"
+#include "skypeer/common/status.h"
+#include "skypeer/common/subspace.h"
+#include "skypeer/engine/query.h"
+#include "skypeer/sim/simulator.h"
+
+namespace skypeer {
+
+/// \brief A super-peer node: stores the merged extended skyline of its
+/// associated peers and executes the SKYPEER protocol (paper Algorithm 3)
+/// for all variants plus the naive baseline.
+///
+/// Pre-processing (§5.3): peers upload their extended skylines via
+/// `AddPeerList`; `FinalizePreprocessing` merges them (Algorithm 2 under
+/// ext-dominance) into the query-time store, sorted by `f`.
+///
+/// Query time: on the first copy of a flooded query the super-peer adopts
+/// the sender as its parent in the implicit spanning tree, forwards the
+/// query to all other neighbors, computes its local subspace skyline
+/// (Algorithm 1, threshold-constrained), waits for one reply per
+/// forwarded neighbor (flood duplicates answer immediately with an empty
+/// reply) and routes results towards the initiator — merged (progressive
+/// merging) or bundled unmerged (fixed merging).
+///
+/// CPU cost of every local computation is measured on the host and charged
+/// to the node's virtual clock, so simulated times reflect this
+/// implementation's real relative costs.
+class SuperPeer : public sim::Node {
+ public:
+  /// `id` must equal the node's simulator id; `dims` is the data
+  /// dimensionality.
+  SuperPeer(int id, int dims, const WireModel& wire)
+      : id_(id), dims_(dims), wire_(wire), store_(dims) {}
+
+  int id() const { return id_; }
+
+  /// Neighboring super-peer simulator ids (the backbone edges).
+  void SetNeighbors(std::vector<int> neighbors) {
+    neighbors_ = std::move(neighbors);
+  }
+  const std::vector<int>& neighbors() const { return neighbors_; }
+
+  // --- pre-processing -------------------------------------------------
+
+  /// Keep the per-peer uploaded lists after merging. Required for
+  /// `RemovePeer` (a departure can resurrect points another peer's list
+  /// ext-dominated, so the merge must be redone from the retained
+  /// inputs). Costs memory proportional to SEL_p; off by default.
+  void set_retain_peer_lists(bool retain) { retain_peer_lists_ = retain; }
+
+  /// Registers the extended skyline uploaded by peer `peer_id`.
+  void AddPeerList(int peer_id, ResultList list);
+
+  /// Merges all registered peer lists into the store (ext-dominance
+  /// Algorithm 2). Returns CPU seconds spent.
+  double FinalizePreprocessing();
+
+  /// The merged extended skyline this super-peer serves queries from.
+  const ResultList& store() const { return store_; }
+
+  /// Replaces the store wholesale (snapshot restore). The list must be
+  /// f-sorted. Clears the result cache and retained peer lists and marks
+  /// the node preprocessed.
+  void SetStore(ResultList store);
+
+  // --- churn (the paper's §5.3 join protocol + its future-work
+  // --- failure handling) -----------------------------------------------
+
+  /// A new peer joins after pre-processing: its extended skyline is
+  /// merged *incrementally* into the store (ext-skyline merging is
+  /// associative, so no other peer list needs reprocessing — the cheap
+  /// join the paper describes). Fails if the id is already present.
+  Status JoinPeer(int peer_id, ResultList list);
+
+  /// Peer departure / failure: rebuilds the store from the remaining
+  /// retained lists. Requires `set_retain_peer_lists(true)` before
+  /// pre-processing. NotFound if the peer is unknown.
+  Status RemovePeer(int peer_id);
+
+  /// Ids of the peers currently contributing to the store (retained mode
+  /// only).
+  std::vector<int> RetainedPeerIds() const;
+
+  // --- per-subspace result cache ----------------------------------------
+
+  /// Caches the unconstrained local subspace skyline per query mask;
+  /// repeated queries on the same subspace then only filter the cached
+  /// list by the incoming threshold instead of rescanning the store.
+  /// Invalidated by churn. The naive baseline never uses it.
+  void set_enable_cache(bool enable) { cache_enabled_ = enable; }
+
+  // --- query protocol ---------------------------------------------------
+
+  /// Clears any in-flight query state; call between query executions.
+  void ResetQueryState() { query_.reset(); }
+
+  void HandleMessage(sim::Simulator* simulator,
+                     const sim::Message& message) override;
+
+  /// True once this node (as initiator) produced the final answer.
+  bool finished() const { return query_.has_value() && query_->finished; }
+
+  /// The final global subspace skyline (initiator only, after finished).
+  const ResultList& final_result() const;
+
+  /// Virtual time at which the final answer was complete.
+  double finish_time() const;
+
+  /// Per-node counters of the last executed query.
+  struct LastQueryStats {
+    /// True if this node processed the query (received at least one
+    /// copy).
+    bool participated = false;
+    /// Store points the local scan consumed (all of them for naive).
+    size_t scanned = 0;
+    /// Size of the local subspace skyline shipped/merged.
+    size_t local_result = 0;
+  };
+  LastQueryStats last_query_stats() const;
+
+  /// When false, no CPU is charged to the virtual clock (useful for
+  /// deterministic transfer-only tests).
+  void set_measure_cpu(bool measure) { measure_cpu_ = measure; }
+
+ private:
+  /// In-flight state of the (single) active query at this node.
+  struct QueryState {
+    uint64_t query_id = 0;
+    Subspace subspace;
+    Variant variant = Variant::kFTPM;
+    /// Threshold this node computed its local skyline under (after
+    /// refinement, for RT*M).
+    double threshold = 0.0;
+    /// Neighbor the query arrived from (-1 at the initiator).
+    int parent = -1;
+    bool is_initiator = false;
+    /// Replies still outstanding from forwarded neighbors.
+    int pending = 0;
+    /// Result lists received from children (unmerged).
+    std::vector<std::shared_ptr<const ResultList>> collected;
+    /// This node's local subspace skyline.
+    std::shared_ptr<const ResultList> local;
+    bool finished = false;
+    ResultList final{1};
+    double finish_time = 0.0;
+    /// Store points consumed by the local scan.
+    size_t scanned = 0;
+  };
+
+  void HandleStart(sim::Simulator* simulator, const StartQueryMessage& start);
+  void HandleQuery(sim::Simulator* simulator, const sim::Message& message,
+                   const QueryMessage& query);
+  void HandleReply(sim::Simulator* simulator, const ReplyMessage& reply);
+  void HandlePipeline(sim::Simulator* simulator,
+                      const PipelineMessage& message);
+  void ForwardPipeline(sim::Simulator* simulator,
+                       const PipelineMessage& previous, double threshold,
+                       std::shared_ptr<const ResultList> accumulated);
+
+  /// Computes the local subspace skyline under `state->threshold` and
+  /// stores it in `state->local`, charging measured CPU. Updates
+  /// `state->threshold` to the (possibly lower) final scan threshold.
+  void ComputeLocal(sim::Simulator* simulator, QueryState* state);
+
+  /// Floods the query to every neighbor except `state->parent`; sets
+  /// `pending`.
+  void ForwardQuery(sim::Simulator* simulator, QueryState* state);
+
+  /// All children replied: route upstream (non-initiator) or produce the
+  /// final answer (initiator).
+  void Complete(sim::Simulator* simulator, QueryState* state);
+
+  void SendReply(sim::Simulator* simulator, int dst, uint64_t query_id,
+                 bool duplicate,
+                 std::vector<std::shared_ptr<const ResultList>> lists,
+                 int query_dims);
+
+  /// Rebuilds `store_` from `peer_lists_` (retained mode).
+  void RebuildStore();
+
+  int id_;
+  int dims_;
+  WireModel wire_;
+  ResultList store_;
+  /// Uploaded peer lists awaiting the merge; emptied by
+  /// FinalizePreprocessing unless retention is on.
+  std::map<int, ResultList> peer_lists_;
+  bool retain_peer_lists_ = false;
+  bool preprocessed_ = false;
+  std::vector<int> neighbors_;
+  std::optional<QueryState> query_;
+  bool measure_cpu_ = true;
+  bool cache_enabled_ = false;
+  std::map<uint32_t, std::shared_ptr<const ResultList>> cache_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ENGINE_SUPER_PEER_H_

@@ -1,0 +1,49 @@
+#ifndef SKYPEER_ENGINE_WIRE_H_
+#define SKYPEER_ENGINE_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "skypeer/algo/result_list.h"
+#include "skypeer/common/status.h"
+#include "skypeer/common/subspace.h"
+#include "skypeer/engine/query.h"
+
+namespace skypeer {
+
+/// \brief A result list as it would travel on the wire: for each point,
+/// only the `k` coordinates of the query subspace, the `f(p)` value
+/// (receivers merge in `f` order) and the point id.
+///
+/// The simulator never serializes for real — payloads are shared in
+/// memory and the `WireModel` only *accounts* bytes — but this codec
+/// proves the byte model is achievable: `Encode`'s output size equals
+/// `WireModel::PointBytes(k) * n` plus the fixed header, and decoding
+/// round-trips every value the protocol relies on.
+struct WireList {
+  Subspace subspace;
+  /// Row-major `k = subspace.Count()` projected coordinates per point.
+  std::vector<double> coords;
+  std::vector<double> f;
+  std::vector<PointId> ids;
+
+  size_t size() const { return ids.size(); }
+};
+
+/// Serializes the `u`-projection of `list` (which holds full-dimensional
+/// points) into a little-endian byte buffer.
+std::vector<uint8_t> EncodeResultList(const ResultList& list, Subspace u);
+
+/// Parses a buffer produced by `EncodeResultList`. Returns
+/// InvalidArgument on any malformed input (bad magic, truncation,
+/// inconsistent sizes).
+Status DecodeResultList(const uint8_t* data, size_t size, WireList* out);
+
+/// The exact encoded size of an `n`-point list for query dimensionality
+/// `k`; matches `Encode`'s output byte-for-byte and underpins the
+/// `WireModel` accounting used by the simulator.
+size_t EncodedListBytes(int k, size_t n);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ENGINE_WIRE_H_

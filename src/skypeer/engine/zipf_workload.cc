@@ -1,0 +1,47 @@
+#include "skypeer/engine/zipf_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skypeer/common/macros.h"
+#include "skypeer/common/rng.h"
+
+namespace skypeer {
+
+std::vector<QueryTask> GenerateZipfWorkload(int dims,
+                                            const ZipfWorkloadConfig& config,
+                                            int num_super_peers) {
+  SKYPEER_CHECK(config.query_dims >= 1 && config.query_dims <= dims);
+  SKYPEER_CHECK(config.exponent >= 0.0);
+  SKYPEER_CHECK(num_super_peers >= 1);
+
+  std::vector<Subspace> candidates = SubspacesOfSize(dims, config.query_dims);
+  Rng rng(config.seed);
+  // Random popularity ranking of the candidate subspaces.
+  std::shuffle(candidates.begin(), candidates.end(), rng.engine());
+
+  // Cumulative Zipf weights: weight(rank r) = 1 / (r+1)^exponent.
+  std::vector<double> cumulative(candidates.size());
+  double total = 0.0;
+  for (size_t r = 0; r < candidates.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), config.exponent);
+    cumulative[r] = total;
+  }
+
+  std::vector<QueryTask> tasks;
+  tasks.reserve(config.num_queries);
+  for (int q = 0; q < config.num_queries; ++q) {
+    const double draw = rng.Uniform() * total;
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), draw) -
+        cumulative.begin());
+    QueryTask task;
+    task.subspace = candidates[std::min(rank, candidates.size() - 1)];
+    task.initiator_sp =
+        static_cast<int>(rng.UniformInt(0, num_super_peers - 1));
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+}  // namespace skypeer

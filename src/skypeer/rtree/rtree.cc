@@ -1,0 +1,882 @@
+#include "skypeer/rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace skypeer {
+
+/// Tree node. Entry `i` occupies `bounds[i*2*dims, (i+1)*2*dims)` as
+/// `[lo_0..lo_{d-1}, hi_0..hi_{d-1}]`. Leaf entries are degenerate boxes
+/// (lo == hi) with a payload; internal entries carry a child whose MBR the
+/// bounds equal exactly (tightness is an invariant).
+struct RTree::Node {
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  bool leaf;
+  int count = 0;
+  std::vector<double> bounds;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes only
+  std::vector<uint64_t> payloads;               // leaf nodes only
+
+  double* Lo(int i, int dims) { return bounds.data() + i * 2 * dims; }
+  double* Hi(int i, int dims) { return bounds.data() + i * 2 * dims + dims; }
+  const double* Lo(int i, int dims) const {
+    return bounds.data() + i * 2 * dims;
+  }
+  const double* Hi(int i, int dims) const {
+    return bounds.data() + i * 2 * dims + dims;
+  }
+};
+
+namespace {
+
+double Area(const double* lo, const double* hi, int dims) {
+  double area = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    area *= hi[d] - lo[d];
+  }
+  return area;
+}
+
+/// Area of the union box of (lo1,hi1) and (lo2,hi2).
+double UnionArea(const double* lo1, const double* hi1, const double* lo2,
+                 const double* hi2, int dims) {
+  double area = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    area *= std::max(hi1[d], hi2[d]) - std::min(lo1[d], lo2[d]);
+  }
+  return area;
+}
+
+void ExtendBox(double* lo, double* hi, const double* add_lo,
+               const double* add_hi, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    lo[d] = std::min(lo[d], add_lo[d]);
+    hi[d] = std::max(hi[d], add_hi[d]);
+  }
+}
+
+bool BoxContainsPoint(const double* lo, const double* hi, const double* p,
+                      int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (p[d] < lo[d] || p[d] > hi[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BoxesIntersect(const double* lo1, const double* hi1, const double* lo2,
+                    const double* hi2, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (lo1[d] > hi2[d] || lo2[d] > hi1[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True if the box could contain a point dominating `q`: its lower corner
+/// must not exceed `q` on any dimension.
+bool BoxMayDominate(const double* lo, const double* q, bool strict, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (strict ? lo[d] >= q[d] : lo[d] > q[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True if the box could contain a point dominated by `p`: its upper
+/// corner must not fall below `p` on any dimension.
+bool BoxMayBeDominated(const double* hi, const double* p, bool strict,
+                       int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (strict ? hi[d] <= p[d] : hi[d] < p[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PointDominates(const double* p, const double* q, bool strict, int dims) {
+  bool strictly = false;
+  for (int d = 0; d < dims; ++d) {
+    if (strict ? p[d] >= q[d] : p[d] > q[d]) {
+      return false;
+    }
+    if (p[d] < q[d]) {
+      strictly = true;
+    }
+  }
+  return strict || strictly;
+}
+
+}  // namespace
+
+RTree::RTree(int dims, int max_entries)
+    : dims_(dims),
+      max_entries_(max_entries),
+      min_entries_(std::max(1, max_entries / 3)),
+      root_(std::make_unique<Node>(/*is_leaf=*/true)) {
+  SKYPEER_CHECK(dims >= 1);
+  SKYPEER_CHECK(max_entries >= 4);
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::Clear() {
+  root_ = std::make_unique<Node>(/*is_leaf=*/true);
+  size_ = 0;
+}
+
+// --- insertion -------------------------------------------------------------
+
+std::unique_ptr<RTree::Node> RTree::InsertRec(Node* node, const double* point,
+                                              uint64_t payload) {
+  if (node->leaf) {
+    node->bounds.insert(node->bounds.end(), point, point + dims_);
+    node->bounds.insert(node->bounds.end(), point, point + dims_);
+    node->payloads.push_back(payload);
+    ++node->count;
+  } else {
+    // ChooseLeaf step: least enlargement, ties by smaller area.
+    int best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < node->count; ++i) {
+      const double* lo = node->Lo(i, dims_);
+      const double* hi = node->Hi(i, dims_);
+      const double area = Area(lo, hi, dims_);
+      const double enlargement = UnionArea(lo, hi, point, point, dims_) - area;
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    std::unique_ptr<Node> split =
+        InsertRec(node->children[best].get(), point, payload);
+    ExtendBox(node->Lo(best, dims_), node->Hi(best, dims_), point, point,
+              dims_);
+    if (split != nullptr) {
+      // Recompute the entry for the (shrunk) original child and add the
+      // sibling as a new entry.
+      Node* child = node->children[best].get();
+      std::copy(child->Lo(0, dims_), child->Hi(0, dims_) + dims_,
+                node->Lo(best, dims_));
+      for (int i = 1; i < child->count; ++i) {
+        ExtendBox(node->Lo(best, dims_), node->Hi(best, dims_),
+                  child->Lo(i, dims_), child->Hi(i, dims_), dims_);
+      }
+      Node* sibling = split.get();
+      node->bounds.insert(node->bounds.end(), sibling->Lo(0, dims_),
+                          sibling->Hi(0, dims_) + dims_);
+      const int si = node->count;
+      ++node->count;
+      node->children.push_back(std::move(split));
+      for (int i = 1; i < sibling->count; ++i) {
+        ExtendBox(node->Lo(si, dims_), node->Hi(si, dims_),
+                  sibling->Lo(i, dims_), sibling->Hi(i, dims_), dims_);
+      }
+    }
+  }
+  if (node->count > max_entries_) {
+    return QuadraticSplit(node);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<RTree::Node> RTree::QuadraticSplit(Node* node) {
+  const int n = node->count;
+  // Pick the two seeds wasting the most area if grouped together.
+  int seed_a = 0;
+  int seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double waste =
+          UnionArea(node->Lo(i, dims_), node->Hi(i, dims_), node->Lo(j, dims_),
+                    node->Hi(j, dims_), dims_) -
+          Area(node->Lo(i, dims_), node->Hi(i, dims_), dims_) -
+          Area(node->Lo(j, dims_), node->Hi(j, dims_), dims_);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> group_a = {seed_a};
+  std::vector<int> group_b = {seed_b};
+  std::vector<double> mbr_a(node->Lo(seed_a, dims_),
+                            node->Hi(seed_a, dims_) + dims_);
+  std::vector<double> mbr_b(node->Lo(seed_b, dims_),
+                            node->Hi(seed_b, dims_) + dims_);
+
+  std::vector<int> remaining;
+  for (int i = 0; i < n; ++i) {
+    if (i != seed_a && i != seed_b) {
+      remaining.push_back(i);
+    }
+  }
+
+  while (!remaining.empty()) {
+    const int total = n;
+    // If one group must take all remaining entries to reach min fill, do so.
+    if (static_cast<int>(group_a.size()) + static_cast<int>(remaining.size()) <=
+        min_entries_) {
+      for (int i : remaining) {
+        group_a.push_back(i);
+      }
+      remaining.clear();
+      break;
+    }
+    if (static_cast<int>(group_b.size()) + static_cast<int>(remaining.size()) <=
+        min_entries_) {
+      for (int i : remaining) {
+        group_b.push_back(i);
+      }
+      remaining.clear();
+      break;
+    }
+    (void)total;
+    // Pick the entry with the strongest preference for one group.
+    int best_idx = 0;
+    double best_diff = -1.0;
+    double best_da = 0.0;
+    double best_db = 0.0;
+    for (size_t r = 0; r < remaining.size(); ++r) {
+      const int i = remaining[r];
+      const double da =
+          UnionArea(mbr_a.data(), mbr_a.data() + dims_, node->Lo(i, dims_),
+                    node->Hi(i, dims_), dims_) -
+          Area(mbr_a.data(), mbr_a.data() + dims_, dims_);
+      const double db =
+          UnionArea(mbr_b.data(), mbr_b.data() + dims_, node->Lo(i, dims_),
+                    node->Hi(i, dims_), dims_) -
+          Area(mbr_b.data(), mbr_b.data() + dims_, dims_);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best_idx = static_cast<int>(r);
+        best_da = da;
+        best_db = db;
+      }
+    }
+    const int i = remaining[best_idx];
+    remaining.erase(remaining.begin() + best_idx);
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else {
+      to_a = group_a.size() <= group_b.size();
+    }
+    if (to_a) {
+      group_a.push_back(i);
+      ExtendBox(mbr_a.data(), mbr_a.data() + dims_, node->Lo(i, dims_),
+                node->Hi(i, dims_), dims_);
+    } else {
+      group_b.push_back(i);
+      ExtendBox(mbr_b.data(), mbr_b.data() + dims_, node->Lo(i, dims_),
+                node->Hi(i, dims_), dims_);
+    }
+  }
+
+  // Materialize group A in `node` and group B in the sibling.
+  auto sibling = std::make_unique<Node>(node->leaf);
+  std::vector<double> new_bounds;
+  new_bounds.reserve(group_a.size() * 2 * dims_);
+  std::vector<std::unique_ptr<Node>> new_children;
+  std::vector<uint64_t> new_payloads;
+  for (int i : group_a) {
+    new_bounds.insert(new_bounds.end(), node->Lo(i, dims_),
+                      node->Hi(i, dims_) + dims_);
+    if (node->leaf) {
+      new_payloads.push_back(node->payloads[i]);
+    } else {
+      new_children.push_back(std::move(node->children[i]));
+    }
+  }
+  for (int i : group_b) {
+    sibling->bounds.insert(sibling->bounds.end(), node->Lo(i, dims_),
+                           node->Hi(i, dims_) + dims_);
+    if (node->leaf) {
+      sibling->payloads.push_back(node->payloads[i]);
+    } else {
+      sibling->children.push_back(std::move(node->children[i]));
+    }
+  }
+  sibling->count = static_cast<int>(group_b.size());
+  node->bounds = std::move(new_bounds);
+  node->children = std::move(new_children);
+  node->payloads = std::move(new_payloads);
+  node->count = static_cast<int>(group_a.size());
+  return sibling;
+}
+
+void RTree::GrowRoot(std::unique_ptr<Node> sibling) {
+  auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+  for (Node* child : {root_.get(), sibling.get()}) {
+    std::vector<double> mbr(child->Lo(0, dims_), child->Hi(0, dims_) + dims_);
+    for (int i = 1; i < child->count; ++i) {
+      ExtendBox(mbr.data(), mbr.data() + dims_, child->Lo(i, dims_),
+                child->Hi(i, dims_), dims_);
+    }
+    new_root->bounds.insert(new_root->bounds.end(), mbr.begin(), mbr.end());
+    ++new_root->count;
+  }
+  new_root->children.push_back(std::move(root_));
+  new_root->children.push_back(std::move(sibling));
+  root_ = std::move(new_root);
+}
+
+void RTree::Insert(const double* point, uint64_t payload) {
+  std::unique_ptr<Node> split = InsertRec(root_.get(), point, payload);
+  if (split != nullptr) {
+    GrowRoot(std::move(split));
+  }
+  ++size_;
+}
+
+// --- deletion --------------------------------------------------------------
+
+namespace {
+
+/// Removes entry `i` from `node` by swapping in the last entry.
+void SwapRemoveEntry(RTree::Node* node, int i, int dims) {
+  const int last = node->count - 1;
+  if (i != last) {
+    std::copy(node->bounds.begin() + last * 2 * dims,
+              node->bounds.begin() + (last + 1) * 2 * dims,
+              node->bounds.begin() + i * 2 * dims);
+    if (node->leaf) {
+      node->payloads[i] = node->payloads[last];
+    } else {
+      node->children[i] = std::move(node->children[last]);
+    }
+  }
+  node->bounds.resize(last * 2 * dims);
+  if (node->leaf) {
+    node->payloads.pop_back();
+  } else {
+    node->children.pop_back();
+  }
+  node->count = last;
+}
+
+/// Recomputes the MBR entry `i` of `node` from its child's entries.
+void TightenEntry(RTree::Node* node, int i, int dims) {
+  RTree::Node* child = node->children[i].get();
+  std::copy(child->Lo(0, dims), child->Hi(0, dims) + dims, node->Lo(i, dims));
+  for (int j = 1; j < child->count; ++j) {
+    ExtendBox(node->Lo(i, dims), node->Hi(i, dims), child->Lo(j, dims),
+              child->Hi(j, dims), dims);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void HarvestPoints(RTree::Node* node, int dims,
+                   std::vector<std::vector<double>>* coords,
+                   std::vector<uint64_t>* payloads) {
+  if (node->leaf) {
+    for (int i = 0; i < node->count; ++i) {
+      coords->emplace_back(node->Lo(i, dims), node->Lo(i, dims) + dims);
+      payloads->push_back(node->payloads[i]);
+    }
+    return;
+  }
+  for (int i = 0; i < node->count; ++i) {
+    HarvestPoints(node->children[i].get(), dims, coords, payloads);
+  }
+}
+
+}  // namespace
+
+void RTree::CleanupChildren(Node* node, std::vector<Orphan>* orphans) {
+  for (int i = node->count - 1; i >= 0; --i) {
+    Node* child = node->children[i].get();
+    if (child->count == 0) {
+      SwapRemoveEntry(node, i, dims_);
+    } else if (child->count < min_entries_) {
+      std::vector<std::vector<double>> coords;
+      std::vector<uint64_t> payloads;
+      HarvestPoints(child, dims_, &coords, &payloads);
+      for (size_t j = 0; j < coords.size(); ++j) {
+        orphans->push_back(Orphan{std::move(coords[j]), payloads[j]});
+      }
+      SwapRemoveEntry(node, i, dims_);
+    } else {
+      TightenEntry(node, i, dims_);
+    }
+  }
+}
+
+bool RTree::EraseRec(Node* node, const double* point, uint64_t payload,
+                     std::vector<Orphan>* orphans) {
+  if (node->leaf) {
+    for (int i = 0; i < node->count; ++i) {
+      if (node->payloads[i] == payload &&
+          std::equal(point, point + dims_, node->Lo(i, dims_))) {
+        SwapRemoveEntry(node, i, dims_);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (int i = 0; i < node->count; ++i) {
+    if (!BoxContainsPoint(node->Lo(i, dims_), node->Hi(i, dims_), point,
+                          dims_)) {
+      continue;
+    }
+    if (EraseRec(node->children[i].get(), point, payload, orphans)) {
+      CleanupChildren(node, orphans);
+      return true;
+    }
+  }
+  return false;
+}
+
+void RTree::ShrinkRoot() {
+  while (!root_->leaf && root_->count == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  if (!root_->leaf && root_->count == 0) {
+    root_ = std::make_unique<Node>(/*is_leaf=*/true);
+  }
+}
+
+void RTree::ReinsertOrphans(std::vector<Orphan> orphans) {
+  for (Orphan& orphan : orphans) {
+    std::unique_ptr<Node> split =
+        InsertRec(root_.get(), orphan.coords.data(), orphan.payload);
+    if (split != nullptr) {
+      GrowRoot(std::move(split));
+    }
+  }
+}
+
+bool RTree::Erase(const double* point, uint64_t payload) {
+  std::vector<Orphan> orphans;
+  if (!EraseRec(root_.get(), point, payload, &orphans)) {
+    return false;
+  }
+  ShrinkRoot();
+  ReinsertOrphans(std::move(orphans));
+  --size_;
+  return true;
+}
+
+void RTree::RemoveDominatedRec(Node* node, const double* p, bool strict,
+                               std::vector<uint64_t>* payloads,
+                               std::vector<Orphan>* orphans) {
+  if (node->leaf) {
+    for (int i = node->count - 1; i >= 0; --i) {
+      if (PointDominates(p, node->Lo(i, dims_), strict, dims_)) {
+        payloads->push_back(node->payloads[i]);
+        SwapRemoveEntry(node, i, dims_);
+      }
+    }
+    return;
+  }
+  bool any_descent = false;
+  for (int i = 0; i < node->count; ++i) {
+    if (BoxMayBeDominated(node->Hi(i, dims_), p, strict, dims_)) {
+      RemoveDominatedRec(node->children[i].get(), p, strict, payloads,
+                         orphans);
+      any_descent = true;
+    }
+  }
+  if (any_descent) {
+    CleanupChildren(node, orphans);
+  }
+}
+
+std::vector<uint64_t> RTree::EraseDominated(const double* p, bool strict) {
+  std::vector<uint64_t> payloads;
+  std::vector<Orphan> orphans;
+  RemoveDominatedRec(root_.get(), p, strict, &payloads, &orphans);
+  ShrinkRoot();
+  ReinsertOrphans(std::move(orphans));
+  size_ -= payloads.size();
+  return payloads;
+}
+
+// --- bulk loading ------------------------------------------------------------
+
+namespace {
+
+/// Splits `total` items into chunks of at most `max_size`, each at least
+/// `min_size` (except when total < min_size, which yields one chunk).
+std::vector<size_t> ChunkSizes(size_t total, size_t max_size,
+                               size_t min_size) {
+  std::vector<size_t> sizes;
+  if (total == 0) {
+    return sizes;
+  }
+  size_t remaining = total;
+  while (remaining > max_size) {
+    // Leave enough for the final chunk to reach min_size.
+    size_t take = max_size;
+    if (remaining - take > 0 && remaining - take < min_size) {
+      take = remaining - min_size;
+    }
+    sizes.push_back(take);
+    remaining -= take;
+  }
+  sizes.push_back(remaining);
+  return sizes;
+}
+
+/// Recursive Sort-Tile-Recursive ordering: arranges `order[first, last)`
+/// so that consecutive runs of `leaf_capacity` points form spatially
+/// clustered tiles.
+void StrTile(const double* points, int dims, size_t leaf_capacity,
+             std::vector<size_t>* order, size_t first, size_t last, int dim) {
+  const size_t len = last - first;
+  if (len <= leaf_capacity || dim >= dims) {
+    return;
+  }
+  auto begin = order->begin() + first;
+  auto end = order->begin() + last;
+  std::sort(begin, end, [points, dims, dim](size_t a, size_t b) {
+    return points[a * dims + dim] < points[b * dims + dim];
+  });
+  if (dim == dims - 1) {
+    return;  // Final dimension: consecutive chunks are the tiles.
+  }
+  const size_t num_leaves = (len + leaf_capacity - 1) / leaf_capacity;
+  const int remaining_dims = dims - dim;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             std::pow(static_cast<double>(num_leaves),
+                      1.0 / static_cast<double>(remaining_dims)))));
+  const size_t slab_size = (len + slabs - 1) / slabs;
+  for (size_t s = first; s < last; s += slab_size) {
+    StrTile(points, dims, leaf_capacity, order, s, std::min(last, s + slab_size),
+            dim + 1);
+  }
+}
+
+}  // namespace
+
+RTree RTree::BulkLoad(int dims, const double* points, const uint64_t* payloads,
+                      size_t n, int max_entries) {
+  RTree tree(dims, max_entries);
+  if (n == 0) {
+    return tree;
+  }
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  StrTile(points, dims, static_cast<size_t>(max_entries), &order, 0, n, 0);
+
+  // Pack leaves.
+  std::vector<std::unique_ptr<Node>> level;
+  const std::vector<size_t> leaf_sizes =
+      ChunkSizes(n, static_cast<size_t>(max_entries),
+                 static_cast<size_t>(tree.min_entries_));
+  size_t next = 0;
+  for (size_t size : leaf_sizes) {
+    auto leaf = std::make_unique<Node>(/*is_leaf=*/true);
+    leaf->bounds.reserve(size * 2 * dims);
+    leaf->payloads.reserve(size);
+    for (size_t e = 0; e < size; ++e) {
+      const double* p = points + order[next] * dims;
+      leaf->bounds.insert(leaf->bounds.end(), p, p + dims);
+      leaf->bounds.insert(leaf->bounds.end(), p, p + dims);
+      leaf->payloads.push_back(payloads[order[next]]);
+      ++next;
+    }
+    leaf->count = static_cast<int>(size);
+    level.push_back(std::move(leaf));
+  }
+
+  // Pack upper levels until a single root remains. Children are already
+  // in tile order, so sequential grouping preserves spatial clustering.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    const std::vector<size_t> sizes =
+        ChunkSizes(level.size(), static_cast<size_t>(max_entries),
+                   static_cast<size_t>(tree.min_entries_));
+    size_t child = 0;
+    for (size_t size : sizes) {
+      auto parent = std::make_unique<Node>(/*is_leaf=*/false);
+      parent->bounds.reserve(size * 2 * dims);
+      parent->children.reserve(size);
+      for (size_t e = 0; e < size; ++e) {
+        Node* node = level[child].get();
+        std::vector<double> mbr(node->Lo(0, dims), node->Hi(0, dims) + dims);
+        for (int i = 1; i < node->count; ++i) {
+          ExtendBox(mbr.data(), mbr.data() + dims, node->Lo(i, dims),
+                    node->Hi(i, dims), dims);
+        }
+        parent->bounds.insert(parent->bounds.end(), mbr.begin(), mbr.end());
+        parent->children.push_back(std::move(level[child]));
+        ++child;
+      }
+      parent->count = static_cast<int>(size);
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+
+  tree.root_ = std::move(level.front());
+  tree.size_ = n;
+  return tree;
+}
+
+// --- queries ---------------------------------------------------------------
+
+namespace {
+
+bool AnyDominatesRec(const RTree::Node* node, const double* q, bool strict,
+                     int dims) {
+  if (node->leaf) {
+    for (int i = 0; i < node->count; ++i) {
+      if (PointDominates(node->Lo(i, dims), q, strict, dims)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (int i = 0; i < node->count; ++i) {
+    if (BoxMayDominate(node->Lo(i, dims), q, strict, dims) &&
+        AnyDominatesRec(node->children[i].get(), q, strict, dims)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CollectDominatedRec(const RTree::Node* node, const double* p, bool strict,
+                         int dims, std::vector<uint64_t>* payloads) {
+  if (node->leaf) {
+    for (int i = 0; i < node->count; ++i) {
+      if (PointDominates(p, node->Lo(i, dims), strict, dims)) {
+        payloads->push_back(node->payloads[i]);
+      }
+    }
+    return;
+  }
+  for (int i = 0; i < node->count; ++i) {
+    if (BoxMayBeDominated(node->Hi(i, dims), p, strict, dims)) {
+      CollectDominatedRec(node->children[i].get(), p, strict, dims, payloads);
+    }
+  }
+}
+
+void WindowRec(const RTree::Node* node, const double* lo, const double* hi,
+               int dims, std::vector<uint64_t>* payloads) {
+  if (node->leaf) {
+    for (int i = 0; i < node->count; ++i) {
+      if (BoxContainsPoint(lo, hi, node->Lo(i, dims), dims)) {
+        payloads->push_back(node->payloads[i]);
+      }
+    }
+    return;
+  }
+  for (int i = 0; i < node->count; ++i) {
+    if (BoxesIntersect(node->Lo(i, dims), node->Hi(i, dims), lo, hi, dims)) {
+      WindowRec(node->children[i].get(), lo, hi, dims, payloads);
+    }
+  }
+}
+
+}  // namespace
+
+bool RTree::AnyDominates(const double* q, bool strict) const {
+  return AnyDominatesRec(root_.get(), q, strict, dims_);
+}
+
+void RTree::CollectDominated(const double* p, bool strict,
+                             std::vector<uint64_t>* payloads) const {
+  CollectDominatedRec(root_.get(), p, strict, dims_, payloads);
+}
+
+void RTree::WindowQuery(const double* lo, const double* hi,
+                        std::vector<uint64_t>* payloads) const {
+  WindowRec(root_.get(), lo, hi, dims_, payloads);
+}
+
+// --- nearest neighbor --------------------------------------------------------
+
+namespace {
+
+/// True if the box [entry_lo, entry_hi] can intersect the query region.
+bool EntryIntersectsRegion(const double* entry_lo, const double* entry_hi,
+                           const double* lo, const double* hi,
+                           uint32_t strict_mask, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    const bool strict = (strict_mask >> d & 1u) != 0;
+    if (entry_hi[d] < lo[d]) {
+      return false;
+    }
+    if (strict ? entry_lo[d] >= hi[d] : entry_lo[d] > hi[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Lower bound on the coordinate sum of any region point inside the box.
+double MinSumInRegion(const double* entry_lo, const double* lo, int dims) {
+  double sum = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    sum += std::max(entry_lo[d], lo[d]);
+  }
+  return sum;
+}
+
+bool PointInRegion(const double* p, const double* lo, const double* hi,
+                   uint32_t strict_mask, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    const bool strict = (strict_mask >> d & 1u) != 0;
+    if (p[d] < lo[d] || (strict ? p[d] >= hi[d] : p[d] > hi[d])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RTree::NearestBySum(const double* lo, const double* hi,
+                         uint32_t strict_upper_mask, double* out_point,
+                         uint64_t* out_payload) const {
+  // Best-first search over (bound, node/entry).
+  struct Candidate {
+    double bound;
+    const Node* node;  // nullptr for a leaf entry hit.
+    const double* point;
+    uint64_t payload;
+  };
+  auto later = [](const Candidate& a, const Candidate& b) {
+    return a.bound > b.bound;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(later)>
+      queue(later);
+  queue.push(Candidate{0.0, root_.get(), nullptr, 0});
+
+  while (!queue.empty()) {
+    const Candidate candidate = queue.top();
+    queue.pop();
+    if (candidate.node == nullptr) {
+      // The cheapest frontier element is an actual point: done.
+      std::copy(candidate.point, candidate.point + dims_, out_point);
+      *out_payload = candidate.payload;
+      return true;
+    }
+    const Node* node = candidate.node;
+    for (int i = 0; i < node->count; ++i) {
+      const double* entry_lo = node->Lo(i, dims_);
+      const double* entry_hi = node->Hi(i, dims_);
+      if (!EntryIntersectsRegion(entry_lo, entry_hi, lo, hi,
+                                 strict_upper_mask, dims_)) {
+        continue;
+      }
+      if (node->leaf) {
+        if (PointInRegion(entry_lo, lo, hi, strict_upper_mask, dims_)) {
+          queue.push(Candidate{MinSumInRegion(entry_lo, lo, dims_), nullptr,
+                               entry_lo, node->payloads[i]});
+        }
+      } else {
+        queue.push(Candidate{MinSumInRegion(entry_lo, lo, dims_),
+                             node->children[i].get(), nullptr, 0});
+      }
+    }
+  }
+  return false;
+}
+
+// --- validation ------------------------------------------------------------
+
+namespace {
+
+struct ValidationResult {
+  size_t num_points = 0;
+  int depth = 0;
+};
+
+ValidationResult ValidateRec(const RTree::Node* node, int dims,
+                             int max_entries, int min_entries, bool is_root) {
+  SKYPEER_CHECK(node->count <= max_entries);
+  if (!is_root) {
+    SKYPEER_CHECK(node->count >= min_entries);
+  }
+  SKYPEER_CHECK(static_cast<int>(node->bounds.size()) ==
+                node->count * 2 * dims);
+  ValidationResult result;
+  if (node->leaf) {
+    SKYPEER_CHECK(static_cast<int>(node->payloads.size()) == node->count);
+    SKYPEER_CHECK(node->children.empty());
+    for (int i = 0; i < node->count; ++i) {
+      // Leaf boxes are degenerate.
+      SKYPEER_CHECK(std::equal(node->Lo(i, dims), node->Lo(i, dims) + dims,
+                               node->Hi(i, dims)));
+    }
+    result.num_points = static_cast<size_t>(node->count);
+    result.depth = 1;
+    return result;
+  }
+  SKYPEER_CHECK(static_cast<int>(node->children.size()) == node->count);
+  SKYPEER_CHECK(node->payloads.empty());
+  int child_depth = -1;
+  for (int i = 0; i < node->count; ++i) {
+    const RTree::Node* child = node->children[i].get();
+    SKYPEER_CHECK(child != nullptr);
+    SKYPEER_CHECK(child->count > 0);
+    // The stored entry must equal the recomputed child MBR exactly.
+    std::vector<double> mbr(child->Lo(0, dims), child->Hi(0, dims) + dims);
+    for (int j = 1; j < child->count; ++j) {
+      ExtendBox(mbr.data(), mbr.data() + dims, child->Lo(j, dims),
+                child->Hi(j, dims), dims);
+    }
+    SKYPEER_CHECK(std::equal(mbr.begin(), mbr.end(), node->Lo(i, dims)));
+    ValidationResult child_result =
+        ValidateRec(child, dims, max_entries, min_entries, /*is_root=*/false);
+    result.num_points += child_result.num_points;
+    if (child_depth == -1) {
+      child_depth = child_result.depth;
+    } else {
+      SKYPEER_CHECK(child_depth == child_result.depth);  // Uniform depth.
+    }
+  }
+  result.depth = child_depth + 1;
+  return result;
+}
+
+}  // namespace
+
+size_t RTree::CheckInvariants() const {
+  ValidationResult result = ValidateRec(root_.get(), dims_, max_entries_,
+                                        min_entries_, /*is_root=*/true);
+  SKYPEER_CHECK(result.num_points == size_);
+  return result.num_points;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace skypeer

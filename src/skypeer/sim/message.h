@@ -1,0 +1,30 @@
+#ifndef SKYPEER_SIM_MESSAGE_H_
+#define SKYPEER_SIM_MESSAGE_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace skypeer::sim {
+
+/// Base class of message payloads. Protocol layers (the SKYPEER engine)
+/// derive concrete message types from it; the simulator only cares about
+/// the declared wire size in bytes.
+struct MessageBody {
+  virtual ~MessageBody() = default;
+};
+
+/// A message in flight or being delivered.
+struct Message {
+  /// Sending node id, or -1 for externally injected messages.
+  int src = -1;
+  /// Receiving node id.
+  int dst = -1;
+  /// Wire size used for bandwidth accounting. The payload is shared
+  /// in-memory; `bytes` models what serialization would cost.
+  size_t bytes = 0;
+  std::shared_ptr<const MessageBody> body;
+};
+
+}  // namespace skypeer::sim
+
+#endif  // SKYPEER_SIM_MESSAGE_H_

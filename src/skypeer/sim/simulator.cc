@@ -1,0 +1,109 @@
+#include "skypeer/sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace skypeer::sim {
+
+int Simulator::AddNode(Node* node) {
+  SKYPEER_CHECK(node != nullptr);
+  nodes_.push_back(node);
+  clock_.push_back(0.0);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Simulator::Connect(int a, int b, const LinkParams& params) {
+  SKYPEER_CHECK(a >= 0 && a < num_nodes());
+  SKYPEER_CHECK(b >= 0 && b < num_nodes());
+  SKYPEER_CHECK(a != b);
+  links_[{a, b}] = LinkState{params, 0.0};
+  links_[{b, a}] = LinkState{params, 0.0};
+}
+
+bool Simulator::AreConnected(int a, int b) const {
+  return links_.find({a, b}) != links_.end();
+}
+
+void Simulator::SetAllLinkParams(const LinkParams& params) {
+  for (auto& [key, link] : links_) {
+    link.params = params;
+  }
+}
+
+Simulator::LinkState* Simulator::FindLink(int src, int dst) {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Simulator::Send(int src, int dst, size_t bytes,
+                     std::shared_ptr<const MessageBody> body) {
+  SKYPEER_CHECK(src >= 0 && src < num_nodes());
+  SKYPEER_CHECK(dst >= 0 && dst < num_nodes());
+  LinkState* link = FindLink(src, dst);
+  SKYPEER_CHECK(link != nullptr);  // Only adjacent nodes may communicate.
+
+  const double departure = clock_[src];
+  const double start = std::max(departure, link->busy_until);
+  const double transfer =
+      link->params.bandwidth == kInfiniteBandwidth
+          ? 0.0
+          : static_cast<double>(bytes) / link->params.bandwidth;
+  link->busy_until = start + transfer;
+  const double arrival = start + transfer + link->params.latency;
+
+  total_bytes_ += bytes;
+  ++num_messages_;
+  events_.push(
+      Event{arrival, next_seq_++, Message{src, dst, bytes, std::move(body)}});
+}
+
+void Simulator::Post(int dst, std::shared_ptr<const MessageBody> body) {
+  SKYPEER_CHECK(dst >= 0 && dst < num_nodes());
+  events_.push(
+      Event{now_, next_seq_++, Message{-1, dst, 0, std::move(body)}});
+}
+
+void Simulator::ChargeCpu(double seconds) {
+  SKYPEER_CHECK(handling_node_ >= 0);
+  SKYPEER_CHECK(seconds >= 0.0);
+  clock_[handling_node_] += seconds;
+}
+
+void Simulator::Run() {
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+    const int dst = event.message.dst;
+    // Processing starts once the node has finished earlier work.
+    clock_[dst] = std::max(clock_[dst], event.time);
+    handling_node_ = dst;
+    nodes_[dst]->HandleMessage(this, event.message);
+    handling_node_ = -1;
+  }
+}
+
+double Simulator::MaxClock() const {
+  double max_clock = 0.0;
+  for (double c : clock_) {
+    max_clock = std::max(max_clock, c);
+  }
+  return max_clock;
+}
+
+void Simulator::Reset() {
+  while (!events_.empty()) {
+    events_.pop();
+  }
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  for (auto& [key, link] : links_) {
+    link.busy_until = 0.0;
+  }
+  now_ = 0.0;
+  handling_node_ = -1;
+  total_bytes_ = 0;
+  num_messages_ = 0;
+  next_seq_ = 0;
+}
+
+}  // namespace skypeer::sim

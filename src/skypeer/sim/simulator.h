@@ -1,0 +1,163 @@
+#ifndef SKYPEER_SIM_SIMULATOR_H_
+#define SKYPEER_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "skypeer/common/macros.h"
+#include "skypeer/sim/message.h"
+
+namespace skypeer::sim {
+
+/// A participant in the simulation. Nodes are registered with the
+/// simulator and receive messages through `HandleMessage`, inside which
+/// they may charge CPU time and send further messages.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Invoked when `message` is delivered to this node. `simulator` is the
+  /// owning simulator; use it to reply, forward, or charge CPU cost.
+  virtual void HandleMessage(class Simulator* simulator,
+                             const Message& message) = 0;
+};
+
+/// Network parameters of a point-to-point connection.
+struct LinkParams {
+  /// Bytes per second; infinity disables transfer delay. The paper's
+  /// evaluation assumes 4 KB/s per connection (§6).
+  double bandwidth = 4096.0;
+  /// Fixed propagation delay in seconds, added on top of transfer time.
+  double latency = 0.0;
+};
+
+inline constexpr double kInfiniteBandwidth =
+    std::numeric_limits<double>::infinity();
+
+/// \brief Deterministic discrete-event simulator of a message-passing
+/// network with per-node serial CPUs and per-direction FIFO links.
+///
+/// Model:
+///  * Each node has a virtual clock (`busy_until`). A delivered message
+///    begins processing at `max(arrival, busy_until)`; `ChargeCpu` inside
+///    the handler advances the clock, serializing all work on the node.
+///  * Each link direction is FIFO with finite bandwidth: a message sent at
+///    (virtual) time t starts transmitting at `max(t, link_busy)`,
+///    occupies the link for `bytes / bandwidth`, and arrives after an
+///    additional `latency`.
+///  * Events with equal timestamps are processed in send order (a
+///    monotonic sequence number), making runs bit-for-bit reproducible.
+///
+/// The same network can be re-run under different link parameters (e.g.
+/// infinite bandwidth to isolate the computational critical path) via
+/// `Reset` + `SetAllLinkParams`.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a node (not owned). Returns its id.
+  int AddNode(Node* node);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Creates the bidirectional connection (a, b). Each direction is an
+  /// independent FIFO channel with the given parameters.
+  void Connect(int a, int b, const LinkParams& params = {});
+
+  bool AreConnected(int a, int b) const;
+
+  /// Overrides the parameters of every existing link.
+  void SetAllLinkParams(const LinkParams& params);
+
+  /// Sends a message from node `src` (the currently handling node) to the
+  /// adjacent node `dst`. Departure time is `src`'s current virtual clock.
+  void Send(int src, int dst, size_t bytes,
+            std::shared_ptr<const MessageBody> body);
+
+  /// Injects an external message delivered to `dst` at time
+  /// `max(now, dst clock)`; used to start protocols. Carries no wire cost.
+  void Post(int dst, std::shared_ptr<const MessageBody> body);
+
+  /// Advances the virtual clock of the currently handling node by
+  /// `seconds` of CPU work. Must only be called from inside a handler.
+  void ChargeCpu(double seconds);
+
+  /// Processes events until the queue drains.
+  void Run();
+
+  /// Timestamp of the event currently being processed (or last processed).
+  double now() const { return now_; }
+
+  /// Virtual clock of a node (when it becomes idle).
+  double NodeClock(int node) const {
+    SKYPEER_CHECK(node >= 0 && node < num_nodes());
+    return clock_[node];
+  }
+
+  /// Virtual clock of the node whose handler is currently running,
+  /// including CPU charged so far in this handler. Must only be called
+  /// from inside a handler.
+  double CurrentNodeClock() const {
+    SKYPEER_CHECK(handling_node_ >= 0);
+    return clock_[handling_node_];
+  }
+
+  /// Sum of wire bytes over all `Send` calls since the last `Reset`.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Number of `Send` calls since the last `Reset`.
+  uint64_t num_messages() const { return num_messages_; }
+
+  /// Largest node clock — the makespan of the completed run.
+  double MaxClock() const;
+
+  /// Clears pending events, statistics, node clocks and link backlogs;
+  /// topology and link parameters survive. Nodes must reset their own
+  /// protocol state separately.
+  void Reset();
+
+ private:
+  struct LinkState {
+    LinkParams params;
+    double busy_until = 0.0;  // Outgoing channel occupancy.
+  };
+
+  struct Event {
+    double time;
+    uint64_t seq;
+    Message message;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  LinkState* FindLink(int src, int dst);
+
+  std::vector<Node*> nodes_;
+  std::vector<double> clock_;
+  // Directed link states keyed by (src, dst).
+  std::map<std::pair<int, int>, LinkState> links_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  int handling_node_ = -1;
+  uint64_t total_bytes_ = 0;
+  uint64_t num_messages_ = 0;
+};
+
+}  // namespace skypeer::sim
+
+#endif  // SKYPEER_SIM_SIMULATOR_H_

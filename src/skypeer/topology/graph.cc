@@ -1,0 +1,240 @@
+#include "skypeer/topology/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+bool Graph::HasEdge(int a, int b) const {
+  const std::vector<int>& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+bool Graph::AddEdge(int a, int b) {
+  SKYPEER_CHECK(a >= 0 && a < num_nodes());
+  SKYPEER_CHECK(b >= 0 && b < num_nodes());
+  if (a == b || HasEdge(a, b)) {
+    return false;
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+  return true;
+}
+
+std::vector<int> Graph::HopDistances(int source) const {
+  std::vector<int> dist(num_nodes(), -1);
+  if (num_nodes() == 0) {
+    return dist;
+  }
+  std::queue<int> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (int next : adjacency_[node]) {
+      if (dist[next] == -1) {
+        dist[next] = dist[node] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes() == 0) {
+    return true;
+  }
+  const std::vector<int> dist = HopDistances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d == -1; });
+}
+
+double Graph::AveragePathLength(int sample_sources, Rng* rng) const {
+  SKYPEER_CHECK(sample_sources >= 1);
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (int s = 0; s < sample_sources; ++s) {
+    const int source = static_cast<int>(rng->UniformInt(0, num_nodes() - 1));
+    for (int d : HopDistances(source)) {
+      if (d > 0) {
+        sum += d;
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+std::vector<int> Graph::EulerTourWalk(int root) const {
+  SKYPEER_CHECK(root >= 0 && root < num_nodes());
+  std::vector<int> walk = {root};
+  std::vector<char> visited(num_nodes(), 0);
+  visited[root] = 1;
+  // Iterative DFS carrying (node, next-neighbor-index) so deep graphs do
+  // not overflow the stack.
+  std::vector<std::pair<int, size_t>> stack = {{root, 0}};
+  while (!stack.empty()) {
+    const int node = stack.back().first;
+    const std::vector<int>& neighbors = adjacency_[node];
+    bool descended = false;
+    while (stack.back().second < neighbors.size()) {
+      const int child = neighbors[stack.back().second++];
+      if (!visited[child]) {
+        visited[child] = 1;
+        walk.push_back(child);
+        stack.push_back({child, 0});
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) {
+      stack.pop_back();
+      if (!stack.empty()) {
+        walk.push_back(stack.back().first);
+      }
+    }
+  }
+  return walk;
+}
+
+Graph GenerateHypercubeGraph(int num_nodes) {
+  SKYPEER_CHECK(num_nodes >= 1);
+  Graph graph(num_nodes);
+  if (num_nodes == 1) {
+    return graph;
+  }
+  int bits = 0;
+  while ((1 << bits) < num_nodes) {
+    ++bits;
+  }
+  for (int node = 0; node < num_nodes; ++node) {
+    for (int b = 0; b < bits; ++b) {
+      int neighbor = node ^ (1 << b);
+      // Missing corners of the partial cube collapse onto the node with
+      // the offending top bit cleared (always existing, since clearing a
+      // set bit decreases the id).
+      while (neighbor >= num_nodes) {
+        int top = bits - 1;
+        while ((neighbor & (1 << top)) == 0) {
+          --top;
+        }
+        neighbor &= ~(1 << top);
+      }
+      if (neighbor != node) {
+        graph.AddEdge(node, neighbor);
+      }
+    }
+  }
+  SKYPEER_DCHECK(graph.IsConnected());
+  return graph;
+}
+
+Graph GenerateWaxmanGraph(int num_nodes, double target_avg_degree, Rng* rng) {
+  SKYPEER_CHECK(num_nodes >= 1);
+  SKYPEER_CHECK(target_avg_degree >= 0.0);
+  Graph graph(num_nodes);
+  if (num_nodes == 1) {
+    return graph;
+  }
+
+  // Node positions in the unit square.
+  std::vector<double> x(num_nodes);
+  std::vector<double> y(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    x[i] = rng->Uniform();
+    y[i] = rng->Uniform();
+  }
+
+  // Waxman weight w(u,v) = exp(-dist / (beta * L)), L = max distance.
+  constexpr double kBeta = 0.3;
+  const double scale_length = kBeta * std::sqrt(2.0);
+  std::vector<double> weight;
+  weight.reserve(static_cast<size_t>(num_nodes) * (num_nodes - 1) / 2);
+  double weight_sum = 0.0;
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = i + 1; j < num_nodes; ++j) {
+      const double dist = std::hypot(x[i] - x[j], y[i] - y[j]);
+      const double w = std::exp(-dist / scale_length);
+      weight.push_back(w);
+      weight_sum += w;
+    }
+  }
+
+  // Calibrate a global factor so the expected edge count yields the
+  // requested average degree.
+  const double target_edges = target_avg_degree * num_nodes / 2.0;
+  const double factor = weight_sum > 0.0 ? target_edges / weight_sum : 0.0;
+  size_t pair = 0;
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = i + 1; j < num_nodes; ++j, ++pair) {
+      const double probability = std::min(1.0, factor * weight[pair]);
+      if (rng->Uniform() < probability) {
+        graph.AddEdge(i, j);
+      }
+    }
+  }
+
+  // Connectivity repair: attach every extra component through its
+  // geometrically closest pair to the already connected part.
+  std::vector<int> component(num_nodes, -1);
+  int num_components = 0;
+  for (int i = 0; i < num_nodes; ++i) {
+    if (component[i] != -1) {
+      continue;
+    }
+    std::queue<int> frontier;
+    component[i] = num_components;
+    frontier.push(i);
+    while (!frontier.empty()) {
+      const int node = frontier.front();
+      frontier.pop();
+      for (int next : graph.Neighbors(node)) {
+        if (component[next] == -1) {
+          component[next] = num_components;
+          frontier.push(next);
+        }
+      }
+    }
+    ++num_components;
+  }
+  for (int c = 1; c < num_components; ++c) {
+    int best_a = -1;
+    int best_b = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int a = 0; a < num_nodes; ++a) {
+      if (component[a] != c) {
+        continue;
+      }
+      for (int b = 0; b < num_nodes; ++b) {
+        if (component[b] == c) {
+          continue;
+        }
+        const double dist = std::hypot(x[a] - x[b], y[a] - y[b]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    graph.AddEdge(best_a, best_b);
+    // Merge component c into the component of best_b.
+    const int target = component[best_b];
+    for (int i = 0; i < num_nodes; ++i) {
+      if (component[i] == c) {
+        component[i] = target;
+      }
+    }
+  }
+  SKYPEER_DCHECK(graph.IsConnected());
+  return graph;
+}
+
+}  // namespace skypeer

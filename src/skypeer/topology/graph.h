@@ -1,0 +1,77 @@
+#ifndef SKYPEER_TOPOLOGY_GRAPH_H_
+#define SKYPEER_TOPOLOGY_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "skypeer/common/rng.h"
+
+namespace skypeer {
+
+/// \brief Simple undirected graph with adjacency lists; the super-peer
+/// backbone topology.
+class Graph {
+ public:
+  explicit Graph(int num_nodes) : adjacency_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  size_t num_edges() const { return num_edges_; }
+  double AverageDegree() const {
+    return adjacency_.empty()
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges_) / num_nodes();
+  }
+
+  const std::vector<int>& Neighbors(int node) const {
+    return adjacency_[node];
+  }
+
+  bool HasEdge(int a, int b) const;
+
+  /// Adds the undirected edge (a, b); ignores duplicates and self-loops.
+  /// Returns true if the edge was new.
+  bool AddEdge(int a, int b);
+
+  /// True if every node is reachable from node 0 (or the graph is empty).
+  bool IsConnected() const;
+
+  /// BFS hop distances from `source` (-1 for unreachable nodes).
+  std::vector<int> HopDistances(int source) const;
+
+  /// Average shortest-path hop count over sampled source nodes; the
+  /// routing-path statistic behind Fig 4(e)'s DEG_sp effect.
+  double AveragePathLength(int sample_sources, Rng* rng) const;
+
+  /// Euler-tour walk of a DFS spanning tree rooted at `root`: a sequence
+  /// of nodes starting and ending at `root`, with consecutive entries
+  /// adjacent, that visits every node reachable from `root` (each tree
+  /// edge traversed twice; length 2 * (#reachable - 1) + 1). Used by the
+  /// pipelined query variant.
+  std::vector<int> EulerTourWalk(int root) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// \brief Generates a (partial) hypercube topology in the spirit of
+/// HyperCuP, the super-peer backbone of Edutella (Nejdl et al., WWW'03,
+/// cited in the paper's §2): node `i` links to every node differing in
+/// exactly one bit of its id. For `num_nodes` short of a full power of
+/// two, missing corners collapse onto their lower neighbors, keeping the
+/// graph connected with logarithmic diameter.
+Graph GenerateHypercubeGraph(int num_nodes);
+
+/// \brief Generates a connected Waxman random graph (the model behind
+/// GT-ITM's flat random topologies, which the paper used).
+///
+/// Nodes get uniform positions in the unit square; edge probability decays
+/// exponentially with Euclidean distance, globally scaled so the expected
+/// average degree matches `target_avg_degree`. If the sampled graph is
+/// disconnected, each extra component is attached through its
+/// geometrically closest node pair, so connectivity never fails.
+Graph GenerateWaxmanGraph(int num_nodes, double target_avg_degree, Rng* rng);
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_TOPOLOGY_GRAPH_H_

@@ -1,0 +1,162 @@
+// Tests of the SUBSKY-style cluster-anchored subspace skyline index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/algo/anchored_skyline.h"
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+PointSet MakeData(Distribution distribution, int dims, size_t n,
+                  uint64_t seed) {
+  Rng rng(seed);
+  switch (distribution) {
+    case Distribution::kUniform:
+      return GenerateUniform(dims, n, &rng);
+    case Distribution::kClustered: {
+      // A genuinely multi-modal dataset: several clusters.
+      PointSet data(dims);
+      for (int c = 0; c < 4; ++c) {
+        PointSet part = GenerateClustered(RandomCentroid(dims, &rng), n / 4,
+                                          kClusterStdDev, &rng, c * n);
+        data.AppendAll(part);
+      }
+      return data;
+    }
+    case Distribution::kCorrelated:
+      return GenerateCorrelated(dims, n, &rng);
+    case Distribution::kAnticorrelated:
+      return GenerateAnticorrelated(dims, n, &rng);
+  }
+  return PointSet(dims);
+}
+
+TEST(AnchoredSkyline, EmptyInput) {
+  AnchoredSkylineIndex index(PointSet(3), {});
+  EXPECT_EQ(index.num_clusters(), 0);
+  EXPECT_TRUE(index.Query(Subspace::FullSpace(3)).empty());
+}
+
+TEST(AnchoredSkyline, FewerPointsThanAnchors) {
+  PointSet data(2, {{0.5, 0.5}, {0.2, 0.9}});
+  AnchoredSkylineIndex::Options options;
+  options.num_anchors = 16;
+  AnchoredSkylineIndex index(data, options);
+  EXPECT_LE(index.num_clusters(), 2);
+  EXPECT_EQ(SortedIds(index.Query(Subspace::FullSpace(2))),
+            (std::vector<PointId>{0, 1}));
+}
+
+TEST(AnchoredSkyline, ClusterSizesCoverData) {
+  PointSet data = MakeData(Distribution::kClustered, 4, 800, 3);
+  AnchoredSkylineIndex index(data, {});
+  size_t total = 0;
+  for (int c = 0; c < index.num_clusters(); ++c) {
+    total += index.cluster_size(c);
+    EXPECT_EQ(index.cluster_lower_corner(c).size(), 4u);
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+class AnchoredEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Distribution, int, int>> {};
+
+TEST_P(AnchoredEquivalenceTest, MatchesBnlOnAllQueriedSubspaces) {
+  const auto [distribution, dims, anchors] = GetParam();
+  PointSet data = MakeData(distribution, dims, 600,
+                           100 + dims + anchors);
+  AnchoredSkylineIndex::Options options;
+  options.num_anchors = anchors;
+  AnchoredSkylineIndex index(data, options);
+
+  std::vector<Subspace> subspaces = {Subspace::FullSpace(dims),
+                                     Subspace::FromDims({0})};
+  if (dims >= 3) {
+    subspaces.push_back(Subspace::FromDims({0, 2}));
+    subspaces.push_back(Subspace::FromDims({1, 2}));
+  }
+  for (Subspace u : subspaces) {
+    ThresholdScanStats stats;
+    PointSet result = index.Query(u, &stats);
+    EXPECT_EQ(SortedIds(result), SortedIds(BnlSkyline(data, u)))
+        << DistributionName(distribution) << " u=" << u.ToString();
+    EXPECT_LE(stats.scanned, data.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnchoredEquivalenceTest,
+    ::testing::Combine(::testing::Values(Distribution::kUniform,
+                                         Distribution::kClustered,
+                                         Distribution::kAnticorrelated),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(1, 4, 12)),
+    [](const auto& info) {
+      return std::string(DistributionName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_a" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(AnchoredSkyline, GriddedDataWithTies) {
+  Rng rng(7);
+  PointSet data(3);
+  for (int i = 0; i < 400; ++i) {
+    double row[3];
+    for (int d = 0; d < 3; ++d) {
+      row[d] = rng.UniformInt(0, 4) / 5.0;
+    }
+    data.Append(row, i);
+  }
+  AnchoredSkylineIndex index(data, {});
+  for (Subspace u : AllSubspaces(3)) {
+    EXPECT_EQ(SortedIds(index.Query(u)), SortedIds(BnlSkyline(data, u)))
+        << u.ToString();
+  }
+}
+
+TEST(AnchoredSkyline, PrunesScansOnClusteredData) {
+  // On multi-modal data per-cluster anchors tighten the pruning bound:
+  // the multi-anchor index must consume no more points than the
+  // single-anchor one, and both must prune something.
+  PointSet data = MakeData(Distribution::kClustered, 5, 4000, 9);
+  AnchoredSkylineIndex::Options multi;
+  multi.num_anchors = 8;
+  AnchoredSkylineIndex::Options single;
+  single.num_anchors = 1;
+  ThresholdScanStats multi_stats;
+  ThresholdScanStats single_stats;
+  AnchoredSkylineIndex(data, multi).Query(Subspace::FromDims({0, 1, 2}),
+                                          &multi_stats);
+  AnchoredSkylineIndex(data, single).Query(Subspace::FromDims({0, 1, 2}),
+                                           &single_stats);
+  EXPECT_LE(multi_stats.scanned, single_stats.scanned);
+  EXPECT_LT(multi_stats.scanned, data.size());
+}
+
+TEST(AnchoredSkyline, MoreAnchorsNeverHurtCorrectness) {
+  PointSet data = MakeData(Distribution::kUniform, 4, 500, 11);
+  const auto truth = SortedIds(BnlSkyline(data, Subspace::FullSpace(4)));
+  for (int anchors : {1, 2, 3, 5, 9, 17}) {
+    AnchoredSkylineIndex::Options options;
+    options.num_anchors = anchors;
+    AnchoredSkylineIndex index(data, options);
+    EXPECT_EQ(SortedIds(index.Query(Subspace::FullSpace(4))), truth)
+        << anchors << " anchors";
+  }
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,107 @@
+// Tests of the Bitmap skyline method (Tan et al., VLDB'01).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/algo/bitmap_skyline.h"
+#include "skypeer/algo/bnl.h"
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+PointSet Gridded(int dims, size_t n, int levels, uint64_t seed) {
+  Rng rng(seed);
+  PointSet data(dims);
+  for (size_t i = 0; i < n; ++i) {
+    double row[kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng.UniformInt(0, levels - 1) / static_cast<double>(levels);
+    }
+    data.Append(row, i);
+  }
+  return data;
+}
+
+TEST(BitmapSkyline, HandChecked) {
+  PointSet data(2, {{1, 3}, {2, 2}, {3, 1}, {3, 3}, {1, 3}});
+  BitmapSkyline bitmap(data);
+  const Subspace u = Subspace::FullSpace(2);
+  // (3,3) dominated by (2,2); duplicate (1,3) points both undominated.
+  EXPECT_EQ(SortedIds(bitmap.Skyline(u)), (std::vector<PointId>{0, 1, 2, 4}));
+  EXPECT_FALSE(bitmap.IsDominated(0, u));
+  EXPECT_TRUE(bitmap.IsDominated(3, u));
+  // Strict: nothing ext-dominates the duplicates either.
+  EXPECT_FALSE(bitmap.IsDominated(4, u, /*ext=*/true));
+}
+
+TEST(BitmapSkyline, EmptyAndSingle) {
+  PointSet empty(3);
+  BitmapSkyline bitmap_empty(empty);
+  EXPECT_TRUE(bitmap_empty.Skyline(Subspace::FullSpace(3)).empty());
+
+  PointSet one(3, {{0.5, 0.5, 0.5}});
+  BitmapSkyline bitmap_one(one);
+  EXPECT_EQ(bitmap_one.Skyline(Subspace::FullSpace(3)).size(), 1u);
+}
+
+TEST(BitmapSkyline, MatchesBnlAcrossSubspaces) {
+  PointSet data = Gridded(4, 300, 6, 1);
+  BitmapSkyline bitmap(data);
+  for (Subspace u : AllSubspaces(4)) {
+    for (bool ext : {false, true}) {
+      EXPECT_EQ(SortedIds(bitmap.Skyline(u, ext)),
+                SortedIds(BnlSkyline(data, u, ext)))
+          << u.ToString() << (ext ? " ext" : "");
+    }
+  }
+}
+
+TEST(BitmapSkyline, MatchesBnlOnContinuousData) {
+  Rng rng(2);
+  PointSet data = GenerateUniform(3, 400, &rng);
+  BitmapSkyline bitmap(data);
+  for (Subspace u : {Subspace::FullSpace(3), Subspace::FromDims({0, 2})}) {
+    EXPECT_EQ(SortedIds(bitmap.Skyline(u)), SortedIds(BnlSkyline(data, u)));
+  }
+}
+
+TEST(BitmapSkyline, IsDominatedMatchesDirectTest) {
+  PointSet data = Gridded(3, 200, 4, 3);
+  BitmapSkyline bitmap(data);
+  const Subspace u = Subspace::FromDims({0, 2});
+  for (size_t i = 0; i < data.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < data.size() && !dominated; ++j) {
+      dominated = i != j && Dominates(data[j], data[i], u);
+    }
+    EXPECT_EQ(bitmap.IsDominated(i, u), dominated) << i;
+  }
+}
+
+TEST(BitmapSkyline, MemoryReflectsCardinality) {
+  // 4 discrete levels vs continuous values: the bitmap for the discrete
+  // data is far smaller (fewer slices per dimension).
+  PointSet discrete = Gridded(3, 512, 4, 4);
+  Rng rng(5);
+  PointSet continuous = GenerateUniform(3, 512, &rng);
+  BitmapSkyline discrete_bitmap(discrete);
+  BitmapSkyline continuous_bitmap(continuous);
+  EXPECT_LT(discrete_bitmap.bitmap_bytes() * 20,
+            continuous_bitmap.bitmap_bytes());
+  // 3 dims * 4 slices * 8 words... exact: 3 * 4 * ceil(512/64)*8 bytes.
+  EXPECT_EQ(discrete_bitmap.bitmap_bytes(), 3u * 4u * 8u * 8u);
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,260 @@
+// Tests of dynamic membership (peer joins and departures — the paper's
+// §5.3 join protocol and its future-work failure handling) and of the
+// per-subspace result cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/engine/experiment.h"
+#include "skypeer/engine/network_builder.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+NetworkConfig DynamicConfig(uint64_t seed) {
+  NetworkConfig config;
+  config.num_peers = 40;
+  config.num_super_peers = 8;
+  config.points_per_peer = 30;
+  config.dims = 4;
+  config.seed = seed;
+  config.retain_peer_data = true;
+  config.dynamic_membership = true;
+  return config;
+}
+
+void ExpectAllVariantsExact(SkypeerNetwork* network, Subspace u) {
+  const auto truth = SortedIds(network->GroundTruthSkyline(u));
+  for (Variant variant : kAllVariants) {
+    QueryResult result = network->ExecuteQuery(u, 0, variant);
+    EXPECT_EQ(SortedIds(result.skyline.points), truth) << VariantName(variant);
+  }
+}
+
+TEST(Churn, JoinRequiresDynamicMembership) {
+  NetworkConfig config = DynamicConfig(1);
+  config.dynamic_membership = false;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  Rng rng(9);
+  Status status = network.JoinPeer(0, GenerateUniform(4, 10, &rng));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Churn, JoinBeforePreprocessFails) {
+  SkypeerNetwork network(DynamicConfig(2));
+  Rng rng(9);
+  Status status = network.JoinPeer(0, GenerateUniform(4, 10, &rng));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Churn, JoinRejectsBadArguments) {
+  SkypeerNetwork network(DynamicConfig(3));
+  network.Preprocess();
+  Rng rng(9);
+  EXPECT_EQ(network.JoinPeer(99, GenerateUniform(4, 10, &rng)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(network.JoinPeer(0, GenerateUniform(3, 10, &rng)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Churn, JoinedPeerContributesToQueries) {
+  SkypeerNetwork network(DynamicConfig(4));
+  network.Preprocess();
+  const Subspace u = Subspace::FromDims({0, 2});
+
+  // A joining peer with an unbeatable point.
+  PointSet data(4, {{0.0, 0.0, 0.0, 0.0}});
+  int peer_id = -1;
+  ASSERT_TRUE(network.JoinPeer(3, std::move(data), &peer_id).ok());
+  EXPECT_EQ(peer_id, 40);
+
+  QueryResult result = network.ExecuteQuery(u, 5, Variant::kFTPM);
+  // The origin dominates everything strictly: it is the only skyline
+  // point, under the id assigned at join time (40 peers * 30 points).
+  ASSERT_EQ(result.skyline.size(), 1u);
+  EXPECT_EQ(result.skyline.points.id(0), 40u * 30u);
+  ExpectAllVariantsExact(&network, u);
+}
+
+TEST(Churn, SequenceOfJoinsStaysExact) {
+  SkypeerNetwork network(DynamicConfig(5));
+  network.Preprocess();
+  Rng rng(77);
+  for (int round = 0; round < 5; ++round) {
+    const int sp = static_cast<int>(rng.UniformInt(0, 7));
+    ASSERT_TRUE(
+        network.JoinPeer(sp, GenerateUniform(4, 20, &rng)).ok());
+    ExpectAllVariantsExact(&network, Subspace::FromDims({1, 3}));
+    ExpectAllVariantsExact(&network, Subspace::FullSpace(4));
+  }
+  EXPECT_EQ(network.total_points(), 40u * 30u + 5u * 20u);
+}
+
+TEST(Churn, RemoveUnknownPeerFails) {
+  SkypeerNetwork network(DynamicConfig(6));
+  network.Preprocess();
+  EXPECT_EQ(network.RemovePeer(1234).code(), StatusCode::kNotFound);
+}
+
+TEST(Churn, RemovedPeerStopsContributing) {
+  SkypeerNetwork network(DynamicConfig(7));
+  network.Preprocess();
+  const Subspace u = Subspace::FullSpace(4);
+
+  // Find the peer owning the first skyline point and remove it.
+  QueryResult before = network.ExecuteQuery(u, 0, Variant::kFTFM);
+  ASSERT_FALSE(before.skyline.empty());
+  const PointId witness = before.skyline.points.id(0);
+  const int owner = static_cast<int>(witness / 30);  // 30 points per peer.
+  ASSERT_TRUE(network.RemovePeer(owner).ok());
+
+  QueryResult after = network.ExecuteQuery(u, 0, Variant::kFTFM);
+  for (PointId id : after.skyline.points.Ids()) {
+    EXPECT_TRUE(id < static_cast<PointId>(owner) * 30 ||
+                id >= static_cast<PointId>(owner + 1) * 30);
+  }
+  ExpectAllVariantsExact(&network, u);
+  EXPECT_EQ(network.total_points(), 39u * 30u);
+}
+
+TEST(Churn, RemovalResurrectsExtDominatedPoints) {
+  // The reason super-peers retain per-peer lists: removing the peer that
+  // ext-dominated a point must bring that point back.
+  SkypeerNetwork network(DynamicConfig(8));
+  network.Preprocess();
+  const Subspace u = Subspace::FromDims({0, 1});
+
+  // Join a dominator peer, then remove it again.
+  int dominator_id = -1;
+  PointSet dominator(4, {{0.0, 0.0, 0.0, 0.0}});
+  const auto truth_before = SortedIds(network.GroundTruthSkyline(u));
+  ASSERT_TRUE(network.JoinPeer(0, std::move(dominator), &dominator_id).ok());
+  QueryResult dominated = network.ExecuteQuery(u, 0, Variant::kRTPM);
+  EXPECT_EQ(dominated.skyline.size(), 1u);
+
+  ASSERT_TRUE(network.RemovePeer(dominator_id).ok());
+  QueryResult restored = network.ExecuteQuery(u, 0, Variant::kRTPM);
+  EXPECT_EQ(SortedIds(restored.skyline.points), truth_before);
+}
+
+TEST(Churn, DrainAllPeersOfOneSuperPeer) {
+  SkypeerNetwork network(DynamicConfig(9));
+  network.Preprocess();
+  const std::vector<int> victims = network.overlay().super_peer_peers[2];
+  for (int peer : victims) {
+    ASSERT_TRUE(network.RemovePeer(peer).ok());
+  }
+  EXPECT_TRUE(network.super_peer(2).store().empty());
+  ExpectAllVariantsExact(&network, Subspace::FromDims({0, 3}));
+}
+
+TEST(Churn, MixedJoinLeaveStress) {
+  SkypeerNetwork network(DynamicConfig(10));
+  network.Preprocess();
+  Rng rng(4242);
+  std::vector<int> removable;
+  for (int peer = 0; peer < 40; ++peer) {
+    removable.push_back(peer);
+  }
+  for (int round = 0; round < 12; ++round) {
+    if (rng.Uniform() < 0.5 || removable.empty()) {
+      int peer_id = -1;
+      const int sp = static_cast<int>(rng.UniformInt(0, 7));
+      ASSERT_TRUE(network
+                      .JoinPeer(sp,
+                                GenerateUniform(4, 1 + round % 25, &rng),
+                                &peer_id)
+                      .ok());
+      removable.push_back(peer_id);
+    } else {
+      const size_t victim = rng.UniformInt(0, removable.size() - 1);
+      ASSERT_TRUE(network.RemovePeer(removable[victim]).ok());
+      removable.erase(removable.begin() + victim);
+    }
+  }
+  ExpectAllVariantsExact(&network, Subspace::FromDims({0, 1, 2}));
+  ExpectAllVariantsExact(&network, Subspace::FullSpace(4));
+}
+
+// --- result cache ---------------------------------------------------------
+
+TEST(Cache, CachedQueriesStayExact) {
+  NetworkConfig config = DynamicConfig(11);
+  config.enable_cache = true;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  const auto tasks = GenerateWorkload(4, 2, 10, network.num_super_peers(), 3);
+  for (const QueryTask& task : tasks) {
+    const auto truth = SortedIds(network.GroundTruthSkyline(task.subspace));
+    for (Variant variant : kAllVariants) {
+      QueryResult result =
+          network.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      EXPECT_EQ(SortedIds(result.skyline.points), truth)
+          << VariantName(variant) << " " << task.subspace.ToString();
+    }
+    // Repeat (cache hit path).
+    QueryResult repeat =
+        network.ExecuteQuery(task.subspace, task.initiator_sp,
+                             Variant::kRTPM);
+    EXPECT_EQ(SortedIds(repeat.skyline.points), truth);
+  }
+}
+
+TEST(Cache, InvalidatedByChurn) {
+  NetworkConfig config = DynamicConfig(12);
+  config.enable_cache = true;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  const Subspace u = Subspace::FromDims({0, 2});
+
+  // Warm the cache.
+  network.ExecuteQuery(u, 0, Variant::kFTPM);
+
+  // Join a dominator: the cached lists must not leak stale results.
+  ASSERT_TRUE(network.JoinPeer(1, PointSet(4, {{0, 0, 0, 0}})).ok());
+  QueryResult result = network.ExecuteQuery(u, 0, Variant::kFTPM);
+  ASSERT_EQ(result.skyline.size(), 1u);
+  EXPECT_EQ(SortedIds(result.skyline.points),
+            SortedIds(network.GroundTruthSkyline(u)));
+}
+
+TEST(Cache, MatchesUncachedAcrossSeeds) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    NetworkConfig cached_config = DynamicConfig(seed);
+    cached_config.enable_cache = true;
+    NetworkConfig plain_config = DynamicConfig(seed);
+
+    SkypeerNetwork cached(cached_config);
+    cached.Preprocess();
+    SkypeerNetwork plain(plain_config);
+    plain.Preprocess();
+
+    const auto tasks = GenerateWorkload(4, 3, 6, cached.num_super_peers(),
+                                        seed);
+    for (const QueryTask& task : tasks) {
+      for (Variant variant : {Variant::kFTFM, Variant::kRTPM}) {
+        const auto a = SortedIds(
+            cached.ExecuteQuery(task.subspace, task.initiator_sp, variant)
+                .skyline.points);
+        const auto b = SortedIds(
+            plain.ExecuteQuery(task.subspace, task.initiator_sp, variant)
+                .skyline.points);
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,449 @@
+// Unit tests for the common module: Subspace, PointSet, dominance tests,
+// the f/dist_U mapping, Status and Rng.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/mapping.h"
+#include "skypeer/common/point_set.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/common/status.h"
+#include "skypeer/common/subspace.h"
+
+namespace skypeer {
+namespace {
+
+// --- Subspace ---------------------------------------------------------------
+
+TEST(Subspace, DefaultIsEmpty) {
+  Subspace s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Count(), 0);
+}
+
+TEST(Subspace, FullSpace) {
+  Subspace s = Subspace::FullSpace(5);
+  EXPECT_EQ(s.Count(), 5);
+  for (int d = 0; d < 5; ++d) {
+    EXPECT_TRUE(s.Contains(d));
+  }
+  EXPECT_FALSE(s.Contains(5));
+}
+
+TEST(Subspace, FullSpaceMaxDims) {
+  Subspace s = Subspace::FullSpace(32);
+  EXPECT_EQ(s.Count(), 32);
+  EXPECT_TRUE(s.Contains(31));
+}
+
+TEST(Subspace, FromDims) {
+  Subspace s = Subspace::FromDims({1, 4, 7});
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.Dims(), (std::vector<int>{1, 4, 7}));
+}
+
+TEST(Subspace, FromDimsVector) {
+  std::vector<int> dims = {0, 3};
+  EXPECT_EQ(Subspace::FromDims(dims), Subspace::FromDims({0, 3}));
+}
+
+TEST(Subspace, IterationAscending) {
+  Subspace s = Subspace::FromDims({6, 0, 3});
+  std::vector<int> seen;
+  for (int dim : s) {
+    seen.push_back(dim);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 6}));
+}
+
+TEST(Subspace, IterationOfEmptySetIsEmpty) {
+  int iterations = 0;
+  for (int dim : Subspace()) {
+    (void)dim;
+    ++iterations;
+  }
+  EXPECT_EQ(iterations, 0);
+}
+
+TEST(Subspace, SupersetRelation) {
+  Subspace big = Subspace::FromDims({0, 1, 2, 5});
+  Subspace small = Subspace::FromDims({1, 5});
+  EXPECT_TRUE(big.IsSupersetOf(small));
+  EXPECT_FALSE(small.IsSupersetOf(big));
+  EXPECT_TRUE(big.IsSupersetOf(big));
+  EXPECT_TRUE(big.IsSupersetOf(Subspace()));
+}
+
+TEST(Subspace, ToString) {
+  EXPECT_EQ(Subspace::FromDims({0, 2, 5}).ToString(), "{0,2,5}");
+  EXPECT_EQ(Subspace().ToString(), "{}");
+}
+
+TEST(Subspace, AllSubspacesCount) {
+  EXPECT_EQ(AllSubspaces(1).size(), 1u);
+  EXPECT_EQ(AllSubspaces(3).size(), 7u);
+  EXPECT_EQ(AllSubspaces(5).size(), 31u);
+}
+
+TEST(Subspace, AllSubspacesAreDistinctAndNonEmpty) {
+  std::set<uint32_t> masks;
+  for (Subspace s : AllSubspaces(4)) {
+    EXPECT_FALSE(s.empty());
+    masks.insert(s.mask());
+  }
+  EXPECT_EQ(masks.size(), 15u);
+}
+
+TEST(Subspace, SubspacesOfSize) {
+  // C(5, 2) = 10.
+  const std::vector<Subspace> pairs = SubspacesOfSize(5, 2);
+  EXPECT_EQ(pairs.size(), 10u);
+  for (Subspace s : pairs) {
+    EXPECT_EQ(s.Count(), 2);
+  }
+  EXPECT_EQ(SubspacesOfSize(5, 5).size(), 1u);
+  EXPECT_EQ(SubspacesOfSize(5, 1).size(), 5u);
+}
+
+// --- PointSet ---------------------------------------------------------------
+
+TEST(PointSet, EmptyOnConstruction) {
+  PointSet points(3);
+  EXPECT_EQ(points.dims(), 3);
+  EXPECT_EQ(points.size(), 0u);
+  EXPECT_TRUE(points.empty());
+}
+
+TEST(PointSet, InitializerListConstruction) {
+  PointSet points(2, {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0][0], 1.0);
+  EXPECT_EQ(points[0][1], 2.0);
+  EXPECT_EQ(points[2][1], 6.0);
+  EXPECT_EQ(points.id(0), 0u);
+  EXPECT_EQ(points.id(2), 2u);
+}
+
+TEST(PointSet, AppendAndAccess) {
+  PointSet points(3);
+  const double row[] = {0.5, 0.25, 0.75};
+  points.Append(row, 42);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points.id(0), 42u);
+  EXPECT_EQ(points[0][2], 0.75);
+}
+
+TEST(PointSet, AppendFromCopiesIdAndCoords) {
+  PointSet a(2, {{1.0, 2.0}, {3.0, 4.0}});
+  PointSet b(2);
+  b.AppendFrom(a, 1);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.id(0), 1u);
+  EXPECT_EQ(b[0][0], 3.0);
+}
+
+TEST(PointSet, AppendAll) {
+  PointSet a(2, {{1.0, 2.0}});
+  PointSet b(2, {{3.0, 4.0}, {5.0, 6.0}});
+  a.AppendAll(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2][0], 5.0);
+}
+
+TEST(PointSet, Permute) {
+  PointSet points(1, {{10.0}, {20.0}, {30.0}});
+  points.Permute({2, 0, 1});
+  EXPECT_EQ(points[0][0], 30.0);
+  EXPECT_EQ(points[1][0], 10.0);
+  EXPECT_EQ(points[2][0], 20.0);
+  EXPECT_EQ(points.id(0), 2u);
+}
+
+TEST(PointSet, ContainsId) {
+  PointSet points(1, {{1.0}, {2.0}});
+  EXPECT_TRUE(points.ContainsId(0));
+  EXPECT_TRUE(points.ContainsId(1));
+  EXPECT_FALSE(points.ContainsId(7));
+}
+
+TEST(PointSet, ClearKeepsDims) {
+  PointSet points(4, {{1, 2, 3, 4}});
+  points.Clear();
+  EXPECT_TRUE(points.empty());
+  EXPECT_EQ(points.dims(), 4);
+}
+
+TEST(PointSet, MutableRow) {
+  PointSet points(2, {{1.0, 2.0}});
+  points.mutable_row(0)[1] = 9.0;
+  EXPECT_EQ(points[0][1], 9.0);
+}
+
+// --- dominance --------------------------------------------------------------
+
+TEST(Dominance, BasicDomination) {
+  const double p[] = {1.0, 2.0};
+  const double q[] = {2.0, 3.0};
+  Subspace u = Subspace::FullSpace(2);
+  EXPECT_TRUE(Dominates(p, q, u));
+  EXPECT_FALSE(Dominates(q, p, u));
+}
+
+TEST(Dominance, EqualPointsDoNotDominate) {
+  const double p[] = {1.0, 2.0};
+  const double q[] = {1.0, 2.0};
+  Subspace u = Subspace::FullSpace(2);
+  EXPECT_FALSE(Dominates(p, q, u));
+  EXPECT_FALSE(Dominates(q, p, u));
+}
+
+TEST(Dominance, PartialTieStillDominates) {
+  const double p[] = {1.0, 2.0};
+  const double q[] = {1.0, 3.0};
+  Subspace u = Subspace::FullSpace(2);
+  EXPECT_TRUE(Dominates(p, q, u));
+  // Ext-dominance requires strictness on *every* dimension.
+  EXPECT_FALSE(ExtDominates(p, q, u));
+}
+
+TEST(Dominance, ExtDominationIsStrictEverywhere) {
+  const double p[] = {1.0, 2.0};
+  const double q[] = {2.0, 3.0};
+  Subspace u = Subspace::FullSpace(2);
+  EXPECT_TRUE(ExtDominates(p, q, u));
+  EXPECT_FALSE(ExtDominates(q, p, u));
+}
+
+TEST(Dominance, SubspaceRestriction) {
+  // p is worse on dim 1 but better on dim 0.
+  const double p[] = {1.0, 5.0};
+  const double q[] = {2.0, 3.0};
+  EXPECT_FALSE(Dominates(p, q, Subspace::FullSpace(2)));
+  EXPECT_TRUE(Dominates(p, q, Subspace::FromDims({0})));
+  EXPECT_TRUE(Dominates(q, p, Subspace::FromDims({1})));
+}
+
+TEST(Dominance, ExtImpliesRegular) {
+  Rng rng(3);
+  Subspace u = Subspace::FullSpace(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    double p[4];
+    double q[4];
+    for (int d = 0; d < 4; ++d) {
+      p[d] = rng.Uniform();
+      q[d] = rng.Uniform();
+    }
+    if (ExtDominates(p, q, u)) {
+      EXPECT_TRUE(Dominates(p, q, u));
+    }
+  }
+}
+
+TEST(Dominance, CompareMatchesPairwiseTests) {
+  Rng rng(11);
+  Subspace u = Subspace::FromDims({0, 2});
+  for (int trial = 0; trial < 300; ++trial) {
+    double p[3];
+    double q[3];
+    for (int d = 0; d < 3; ++d) {
+      // Coarse grid so ties occur often.
+      p[d] = std::floor(rng.Uniform() * 4) / 4.0;
+      q[d] = std::floor(rng.Uniform() * 4) / 4.0;
+    }
+    const DomRelation rel = CompareDominance(p, q, u);
+    EXPECT_EQ(rel == DomRelation::kPDominatesQ, Dominates(p, q, u));
+    EXPECT_EQ(rel == DomRelation::kQDominatesP, Dominates(q, p, u));
+  }
+}
+
+// --- mapping ----------------------------------------------------------------
+
+TEST(Mapping, MinCoord) {
+  const double p[] = {3.0, 1.0, 2.0};
+  EXPECT_EQ(MinCoord(p, 3), 1.0);
+  EXPECT_EQ(MinCoord(p, 1), 3.0);
+}
+
+TEST(Mapping, DistU) {
+  const double p[] = {3.0, 1.0, 2.0};
+  EXPECT_EQ(DistU(p, Subspace::FullSpace(3)), 3.0);
+  EXPECT_EQ(DistU(p, Subspace::FromDims({1, 2})), 2.0);
+  EXPECT_EQ(DistU(p, Subspace::FromDims({1})), 1.0);
+}
+
+TEST(Mapping, FNeverExceedsDistU) {
+  // f(p) = min over all dims <= max over any subset, the inequality
+  // Observation 5 rests on.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    double p[6];
+    for (int d = 0; d < 6; ++d) {
+      p[d] = rng.Uniform();
+    }
+    for (Subspace u : AllSubspaces(6)) {
+      EXPECT_LE(MinCoord(p, 6), DistU(p, u));
+    }
+  }
+}
+
+// Observation 5, directly: if f(q) > dist_U(p) then p dominates (and even
+// ext-dominates) q on U.
+TEST(Mapping, Observation5Pruning) {
+  Rng rng(6);
+  for (int trial = 0; trial < 500; ++trial) {
+    double p[4];
+    double q[4];
+    for (int d = 0; d < 4; ++d) {
+      p[d] = rng.Uniform();
+      q[d] = rng.Uniform();
+    }
+    for (Subspace u : AllSubspaces(4)) {
+      if (MinCoord(q, 4) > DistU(p, u)) {
+        EXPECT_TRUE(Dominates(p, q, u));
+        EXPECT_TRUE(ExtDominates(p, q, u));
+      }
+    }
+  }
+}
+
+// --- Status -----------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dims");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(Status, AllCodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+namespace status_macro {
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  SKYPEER_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+Status PassesThrough() {
+  SKYPEER_RETURN_IF_ERROR(Status::OK());
+  return Status::NotFound("reached end");
+}
+}  // namespace status_macro
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_EQ(status_macro::Propagates().code(), StatusCode::kInternal);
+  EXPECT_EQ(status_macro::PassesThrough().code(), StatusCode::kNotFound);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const double y = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(y, 2.0);
+    EXPECT_LT(y, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(1.0, 0.5);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(77);
+  const uint64_t child_seed = parent.Fork();
+  Rng parent_copy(77);
+  EXPECT_EQ(parent_copy.Fork(), child_seed);  // Fork is deterministic.
+  Rng child(child_seed);
+  // Child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.Uniform() == child.Uniform()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,134 @@
+// Tests of the constrained subspace skyline operator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/constrained.h"
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(Constraint, Validation) {
+  RangeConstraint constraint;
+  constraint.dims = Subspace::FromDims({0, 2});
+  constraint.lo = {0.1, 0.2};
+  constraint.hi = {0.5, 0.8};
+  EXPECT_TRUE(ValidateConstraint(constraint).ok());
+
+  constraint.lo = {0.1};
+  EXPECT_FALSE(ValidateConstraint(constraint).ok());
+
+  constraint.lo = {0.6, 0.2};
+  EXPECT_FALSE(ValidateConstraint(constraint).ok());  // lo > hi on dim 0.
+
+  EXPECT_TRUE(ValidateConstraint(RangeConstraint::None()).ok());
+}
+
+TEST(Constraint, MatchesIsClosedRange) {
+  RangeConstraint constraint;
+  constraint.dims = Subspace::FromDims({1});
+  constraint.lo = {0.25};
+  constraint.hi = {0.75};
+  const double inside[] = {0.0, 0.5};
+  const double at_lo[] = {0.0, 0.25};
+  const double at_hi[] = {0.0, 0.75};
+  const double below[] = {0.0, 0.2};
+  const double above[] = {0.0, 0.8};
+  EXPECT_TRUE(constraint.Matches(inside));
+  EXPECT_TRUE(constraint.Matches(at_lo));
+  EXPECT_TRUE(constraint.Matches(at_hi));
+  EXPECT_FALSE(constraint.Matches(below));
+  EXPECT_FALSE(constraint.Matches(above));
+}
+
+TEST(ConstrainedSkyline, UnconstrainedEqualsPlainSkyline) {
+  Rng rng(1);
+  PointSet data = GenerateUniform(4, 300, &rng);
+  const Subspace u = Subspace::FromDims({0, 3});
+  EXPECT_EQ(
+      SortedIds(ConstrainedSkyline(data, u, RangeConstraint::None())),
+      SortedIds(BnlSkyline(data, u)));
+}
+
+TEST(ConstrainedSkyline, MatchesBruteForce) {
+  Rng rng(2);
+  PointSet data = GenerateUniform(3, 400, &rng);
+  RangeConstraint constraint;
+  constraint.dims = Subspace::FromDims({0, 1});
+  constraint.lo = {0.3, 0.0};
+  constraint.hi = {0.9, 0.6};
+  const Subspace u = Subspace::FullSpace(3);
+
+  // Brute force: filter then quadratic skyline.
+  std::vector<PointId> expected;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!constraint.Matches(data[i])) {
+      continue;
+    }
+    bool dominated = false;
+    for (size_t j = 0; j < data.size() && !dominated; ++j) {
+      dominated = i != j && constraint.Matches(data[j]) &&
+                  Dominates(data[j], data[i], u);
+    }
+    if (!dominated) {
+      expected.push_back(data.id(i));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedIds(ConstrainedSkyline(data, u, constraint)), expected);
+  EXPECT_FALSE(expected.empty());
+}
+
+TEST(ConstrainedSkyline, ExcludedDominatorResurrectsPoints) {
+  // (0.1, 0.1) dominates (0.5, 0.5); constraining coordinates to
+  // [0.4, 1.0] excludes the dominator and (0.5, 0.5) becomes skyline.
+  PointSet data(2, {{0.1, 0.1}, {0.5, 0.5}, {0.6, 0.9}});
+  RangeConstraint constraint;
+  constraint.dims = Subspace::FullSpace(2);
+  constraint.lo = {0.4, 0.4};
+  constraint.hi = {1.0, 1.0};
+  const auto result =
+      SortedIds(ConstrainedSkyline(data, Subspace::FullSpace(2), constraint));
+  EXPECT_EQ(result, (std::vector<PointId>{1}));
+}
+
+TEST(ConstrainedSkyline, EmptyRegionYieldsEmptyResult) {
+  Rng rng(3);
+  PointSet data = GenerateUniform(2, 100, &rng);
+  RangeConstraint constraint;
+  constraint.dims = Subspace::FromDims({0});
+  constraint.lo = {2.0};  // Outside the unit box.
+  constraint.hi = {3.0};
+  EXPECT_TRUE(
+      ConstrainedSkyline(data, Subspace::FullSpace(2), constraint).empty());
+}
+
+TEST(ConstrainedSkyline, ConstraintOnNonQueriedDimension) {
+  // Constrain dim 2, query dims {0, 1}: the constraint selects the
+  // participants, the skyline is computed on the queried dims only.
+  PointSet data(3, {{0.1, 0.1, 0.9},    // Best on {0,1} but excluded.
+                    {0.2, 0.2, 0.1},    // Eligible, skyline.
+                    {0.3, 0.3, 0.2}});  // Eligible, dominated by #1.
+  RangeConstraint constraint;
+  constraint.dims = Subspace::FromDims({2});
+  constraint.lo = {0.0};
+  constraint.hi = {0.5};
+  const auto result = SortedIds(
+      ConstrainedSkyline(data, Subspace::FromDims({0, 1}), constraint));
+  EXPECT_EQ(result, (std::vector<PointId>{1}));
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,221 @@
+// Tests for the synthetic data generators and the horizontal partitioner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/data/partition.h"
+
+namespace skypeer {
+namespace {
+
+TEST(Generator, UniformShapeAndRange) {
+  Rng rng(1);
+  PointSet data = GenerateUniform(6, 1000, &rng, 500);
+  ASSERT_EQ(data.size(), 1000u);
+  EXPECT_EQ(data.dims(), 6);
+  EXPECT_EQ(data.id(0), 500u);
+  EXPECT_EQ(data.id(999), 1499u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int d = 0; d < 6; ++d) {
+      EXPECT_GE(data[i][d], 0.0);
+      EXPECT_LT(data[i][d], 1.0);
+    }
+  }
+}
+
+TEST(Generator, UniformMomentsRoughlyCorrect) {
+  Rng rng(2);
+  PointSet data = GenerateUniform(2, 20000, &rng);
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    sum += data[i][0];
+  }
+  EXPECT_NEAR(sum / data.size(), 0.5, 0.01);
+}
+
+TEST(Generator, UniformDeterministicBySeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  PointSet a = GenerateUniform(3, 50, &rng1);
+  PointSet b = GenerateUniform(3, 50, &rng2);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Generator, ClusteredConcentratesAroundCentroid) {
+  Rng rng(3);
+  const std::vector<double> centroid = {0.5, 0.5, 0.5};
+  PointSet data = GenerateClustered(centroid, 20000, kClusterStdDev, &rng);
+  // Mean near centroid, per-axis variance near 0.025 (clipping at the
+  // unit-box boundary shrinks it slightly).
+  for (int d = 0; d < 3; ++d) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      sum += data[i][d];
+      sum_sq += data[i][d] * data[i][d];
+    }
+    const double mean = sum / data.size();
+    const double var = sum_sq / data.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 0.025, 0.004);
+  }
+}
+
+TEST(Generator, ClusteredClampsToUnitBox) {
+  Rng rng(4);
+  const std::vector<double> centroid = {0.01, 0.99};
+  PointSet data = GenerateClustered(centroid, 5000, kClusterStdDev, &rng);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_GE(data[i][0], 0.0);
+    EXPECT_LE(data[i][0], 1.0);
+    EXPECT_GE(data[i][1], 0.0);
+    EXPECT_LE(data[i][1], 1.0);
+  }
+}
+
+TEST(Generator, RandomCentroidInUnitBox) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> c = RandomCentroid(7, &rng);
+    ASSERT_EQ(c.size(), 7u);
+    for (double v : c) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Generator, CorrelatedHasPositiveCorrelation) {
+  Rng rng(6);
+  PointSet data = GenerateCorrelated(2, 20000, &rng);
+  double sx = 0;
+  double sy = 0;
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  const double n = static_cast<double>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double x = data[i][0];
+    const double y = data[i][1];
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+    syy += y * y;
+  }
+  const double corr = (n * sxy - sx * sy) /
+                      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.8);
+}
+
+TEST(Generator, AnticorrelatedHasNegativeCorrelation) {
+  Rng rng(7);
+  PointSet data = GenerateAnticorrelated(2, 20000, &rng);
+  double sx = 0;
+  double sy = 0;
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  const double n = static_cast<double>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double x = data[i][0];
+    const double y = data[i][1];
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+    syy += y * y;
+  }
+  const double corr = (n * sxy - sx * sy) /
+                      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_LT(corr, -0.3);
+}
+
+TEST(Generator, DistributionNames) {
+  EXPECT_STREQ(DistributionName(Distribution::kUniform), "uniform");
+  EXPECT_STREQ(DistributionName(Distribution::kClustered), "clustered");
+  EXPECT_STREQ(DistributionName(Distribution::kCorrelated), "correlated");
+  EXPECT_STREQ(DistributionName(Distribution::kAnticorrelated),
+               "anticorrelated");
+}
+
+// --- partitioner --------------------------------------------------------
+
+TEST(Partition, EvenSlicesCoverEverythingOnce) {
+  Rng rng(8);
+  PointSet all = GenerateUniform(3, 103, &rng);
+  const auto parts = PartitionEvenly(all, 10);
+  ASSERT_EQ(parts.size(), 10u);
+  size_t total = 0;
+  std::set<PointId> seen;
+  for (const PointSet& part : parts) {
+    total += part.size();
+    EXPECT_TRUE(part.size() == 10 || part.size() == 11);
+    for (PointId id : part.Ids()) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(total, all.size());
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(Partition, SinglePart) {
+  Rng rng(9);
+  PointSet all = GenerateUniform(2, 20, &rng);
+  const auto parts = PartitionEvenly(all, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 20u);
+}
+
+TEST(Partition, MorePartsThanPoints) {
+  Rng rng(10);
+  PointSet all = GenerateUniform(2, 3, &rng);
+  const auto parts = PartitionEvenly(all, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  size_t total = 0;
+  for (const PointSet& part : parts) {
+    EXPECT_LE(part.size(), 1u);
+    total += part.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Partition, ShuffledCoversEverythingOnce) {
+  Rng data_rng(11);
+  PointSet all = GenerateUniform(2, 57, &data_rng);
+  Rng rng(12);
+  const auto parts = PartitionShuffled(all, 7, &rng);
+  std::set<PointId> seen;
+  for (const PointSet& part : parts) {
+    for (PointId id : part.Ids()) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(Partition, ShuffledActuallyShuffles) {
+  Rng data_rng(13);
+  PointSet all = GenerateUniform(1, 100, &data_rng);
+  Rng rng(14);
+  const auto parts = PartitionShuffled(all, 2, &rng);
+  // The first slice of an unshuffled split would be ids 0..49 exactly.
+  std::vector<PointId> ids = parts[0].Ids();
+  std::sort(ids.begin(), ids.end());
+  bool is_prefix = true;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] != i) {
+      is_prefix = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(is_prefix);
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,244 @@
+// Property tests of the paper's theoretical core (§4): the extended
+// skyline and Observations 1-5, cross-checked against the SkyCube oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/extended_skyline.h"
+#include "skypeer/algo/skycube.h"
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::set<PointId> IdSet(const std::vector<PointId>& ids) {
+  return std::set<PointId>(ids.begin(), ids.end());
+}
+
+PointSet MakeData(Distribution distribution, int dims, size_t n,
+                  uint64_t seed) {
+  Rng rng(seed);
+  switch (distribution) {
+    case Distribution::kUniform:
+      return GenerateUniform(dims, n, &rng);
+    case Distribution::kClustered:
+      return GenerateClustered(RandomCentroid(dims, &rng), n, kClusterStdDev,
+                               &rng);
+    case Distribution::kCorrelated:
+      return GenerateCorrelated(dims, n, &rng);
+    case Distribution::kAnticorrelated:
+      return GenerateAnticorrelated(dims, n, &rng);
+  }
+  return PointSet(dims);
+}
+
+// Gridded data maximizes coordinate ties, the regime the extended skyline
+// exists for (points tying a skyline point on some dimension).
+PointSet MakeGridded(int dims, size_t n, int grid, uint64_t seed) {
+  Rng rng(seed);
+  PointSet data(dims);
+  for (size_t i = 0; i < n; ++i) {
+    double row[kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng.UniformInt(0, grid - 1) / static_cast<double>(grid);
+    }
+    data.Append(row, i);
+  }
+  return data;
+}
+
+// Observation 3: SKY_U is contained in ext-SKY_U.
+TEST(ExtendedSkyline, Observation3SkylineContainedInExtSkyline) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    PointSet data = MakeGridded(4, 200, 5, seed);
+    for (Subspace u : AllSubspaces(4)) {
+      const auto sky = IdSet(SortedIds(BnlSkyline(data, u)));
+      const auto ext = IdSet(SortedIds(BnlSkyline(data, u, /*ext=*/true)));
+      EXPECT_TRUE(
+          std::includes(ext.begin(), ext.end(), sky.begin(), sky.end()))
+          << "seed " << seed << " u=" << u.ToString();
+    }
+  }
+}
+
+// Observation 4: SKY_V ⊆ ext-SKY_U for every V ⊆ U — in particular, the
+// extended skyline of the full space can answer ANY subspace query.
+TEST(ExtendedSkyline, Observation4AnswersAllSubspaces) {
+  for (Distribution distribution :
+       {Distribution::kUniform, Distribution::kClustered,
+        Distribution::kAnticorrelated}) {
+    PointSet data = MakeData(distribution, 5, 300, 17);
+    SkyCube cube(data);
+    const auto ext = IdSet(SortedIds(ExtendedSkyline(data).points));
+    for (Subspace u : AllSubspaces(5)) {
+      for (PointId id : cube.Skyline(u)) {
+        EXPECT_TRUE(ext.count(id) > 0)
+            << DistributionName(distribution) << " point " << id
+            << " of SKY_" << u.ToString() << " missing from ext-SKY_D";
+      }
+    }
+  }
+}
+
+TEST(ExtendedSkyline, Observation4OnGriddedData) {
+  PointSet data = MakeGridded(4, 400, 4, 99);
+  SkyCube cube(data);
+  const auto ext = IdSet(SortedIds(ExtendedSkyline(data).points));
+  for (PointId id : cube.UnionOfAllSkylines()) {
+    EXPECT_TRUE(ext.count(id) > 0);
+  }
+}
+
+// Observation 4 with nested subspaces: SKY_V ⊆ ext-SKY_U whenever V ⊆ U,
+// not only for U = D.
+TEST(ExtendedSkyline, Observation4NestedSubspaces) {
+  PointSet data = MakeGridded(4, 250, 5, 123);
+  for (Subspace u : AllSubspaces(4)) {
+    const auto ext_u = IdSet(SortedIds(BnlSkyline(data, u, /*ext=*/true)));
+    for (Subspace v : AllSubspaces(4)) {
+      if (!u.IsSupersetOf(v)) {
+        continue;
+      }
+      for (PointId id : BnlSkyline(data, v).Ids()) {
+        EXPECT_TRUE(ext_u.count(id) > 0)
+            << "V=" << v.ToString() << " U=" << u.ToString();
+      }
+    }
+  }
+}
+
+// Observation 1: no containment relationship between subspace skylines in
+// general — find concrete witnesses both ways.
+TEST(ExtendedSkyline, Observation1NoContainment) {
+  // p = (1, 5), q = (2, 2), r = (5, 1):
+  // SKY_{0} = {p}, SKY_{0,1} = {p, q, r}.
+  PointSet data(2, {{1, 5}, {2, 2}, {5, 1}});
+  const auto sky_0 = SortedIds(BnlSkyline(data, Subspace::FromDims({0})));
+  const auto sky_01 = SortedIds(BnlSkyline(data, Subspace::FullSpace(2)));
+  EXPECT_EQ(sky_0, (std::vector<PointId>{0}));
+  EXPECT_EQ(sky_01, (std::vector<PointId>{0, 1, 2}));
+
+  // Conversely a point can be in a subspace skyline without being in the
+  // superspace skyline: s = (1, 5), t = (1, 4). On {0} both are skyline
+  // (tied minimum); on {0,1} t dominates s.
+  PointSet data2(2, {{1, 5}, {1, 4}});
+  const auto sky2_0 = SortedIds(BnlSkyline(data2, Subspace::FromDims({0})));
+  const auto sky2_01 = SortedIds(BnlSkyline(data2, Subspace::FullSpace(2)));
+  EXPECT_EQ(sky2_0, (std::vector<PointId>{0, 1}));
+  EXPECT_EQ(sky2_01, (std::vector<PointId>{1}));
+}
+
+// The paper's Figure 1(a) narrative: a point (m) that belongs to the
+// ext-skyline yet to NO subspace skyline — the price of losslessness.
+TEST(ExtendedSkyline, ExtSkylineCanExceedUnionOfSkylines) {
+  // a = (0.5, 7) owns SKY_{x}; b = (3, 1) owns SKY_{y}; k = (1, 4) is in
+  // SKY_{xy}; m = (1, 6) (id 1) ties k on x, is dominated by k, beaten by
+  // a on x alone — so m is in NO subspace skyline. Yet nobody is strictly
+  // smaller than m on both dims, so m is in the ext-skyline.
+  PointSet data(2, {{1, 4}, {1, 6}, {3, 1}, {0.5, 7}});
+  SkyCube cube(data);
+  const auto union_ids = IdSet(cube.UnionOfAllSkylines());
+  EXPECT_EQ(union_ids.count(1), 0u);  // m in no subspace skyline.
+  const auto ext = IdSet(SortedIds(ExtendedSkyline(data).points));
+  EXPECT_EQ(ext.count(1), 1u);  // Yet m is in the ext-skyline.
+}
+
+// ... and the counterpart: e = (4, 5) dominated by i = (3, 2) strictly on
+// both dims is NOT in the ext-skyline.
+TEST(ExtendedSkyline, StrictlyDominatedPointExcluded) {
+  PointSet data(2, {{3, 2}, {4, 5}});
+  const auto ext = IdSet(SortedIds(ExtendedSkyline(data).points));
+  EXPECT_EQ(ext.count(1), 0u);
+}
+
+TEST(ExtendedSkyline, MatchesBnlExtOnAllDistributions) {
+  for (Distribution distribution :
+       {Distribution::kUniform, Distribution::kClustered,
+        Distribution::kCorrelated, Distribution::kAnticorrelated}) {
+    PointSet data = MakeData(distribution, 6, 500, 31337);
+    EXPECT_EQ(
+        SortedIds(ExtendedSkyline(data).points),
+        SortedIds(BnlSkyline(data, Subspace::FullSpace(6), /*ext=*/true)))
+        << DistributionName(distribution);
+  }
+}
+
+TEST(ExtendedSkyline, ResultIsSortedByF) {
+  PointSet data = MakeData(Distribution::kUniform, 5, 400, 3);
+  ResultList ext = ExtendedSkyline(data);
+  EXPECT_TRUE(ext.IsSorted());
+}
+
+TEST(ExtendedSkyline, SubspaceVariantRestrictsDominance) {
+  PointSet data = MakeGridded(4, 200, 4, 5);
+  Subspace u = Subspace::FromDims({0, 3});
+  EXPECT_EQ(SortedIds(ExtendedSkyline(data, u).points),
+            SortedIds(BnlSkyline(data, u, /*ext=*/true)));
+}
+
+// The selectivity property behind Fig 3(a): ext-skyline grows with d.
+TEST(ExtendedSkyline, SelectivityGrowsWithDimensionality) {
+  double previous = 0.0;
+  for (int dims : {2, 4, 6, 8}) {
+    PointSet data = MakeData(Distribution::kUniform, dims, 2000, 40 + dims);
+    const double fraction =
+        static_cast<double>(ExtendedSkyline(data).size()) / data.size();
+    EXPECT_GT(fraction, previous) << "dims " << dims;
+    previous = fraction;
+  }
+  EXPECT_GT(previous, 0.4);  // At d=8 nearly half the points survive.
+}
+
+// --- SkyCube oracle sanity ----------------------------------------------
+
+TEST(SkyCube, MatchesDirectBnl) {
+  PointSet data = MakeData(Distribution::kUniform, 4, 100, 77);
+  SkyCube cube(data);
+  for (Subspace u : AllSubspaces(4)) {
+    EXPECT_EQ(cube.Skyline(u), BnlSkyline(data, u).Ids());
+  }
+}
+
+TEST(SkyCube, UnionContainsFullSpaceSkyline) {
+  PointSet data = MakeData(Distribution::kClustered, 4, 150, 78);
+  SkyCube cube(data);
+  const auto union_ids = IdSet(cube.UnionOfAllSkylines());
+  for (PointId id : cube.Skyline(Subspace::FullSpace(4))) {
+    EXPECT_EQ(union_ids.count(id), 1u);
+  }
+}
+
+TEST(SkyCube, SingletonSubspacesContainMinima) {
+  PointSet data = MakeData(Distribution::kUniform, 3, 60, 79);
+  SkyCube cube(data);
+  for (int d = 0; d < 3; ++d) {
+    double best = 2.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      best = std::min(best, data[i][d]);
+    }
+    for (PointId id : cube.Skyline(Subspace::FromDims({d}))) {
+      // Every singleton-subspace skyline point attains the dimension
+      // minimum.
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (data.id(i) == id) {
+          EXPECT_EQ(data[i][d], best);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skypeer

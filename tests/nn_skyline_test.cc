@@ -1,0 +1,212 @@
+// Tests of the nearest-neighbor skyline algorithm (Kossmann et al.,
+// VLDB'02) and of RTree::NearestBySum.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/nn_skyline.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/rtree/rtree.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// --- RTree::NearestBySum ----------------------------------------------------
+
+TEST(NearestBySum, EmptyTree) {
+  RTree tree(2);
+  const double lo[] = {-1e300, -1e300};
+  const double hi[] = {1e300, 1e300};
+  double point[2];
+  uint64_t payload = 0;
+  EXPECT_FALSE(tree.NearestBySum(lo, hi, 0, point, &payload));
+}
+
+TEST(NearestBySum, FindsGlobalMinSum) {
+  Rng rng(1);
+  PointSet data = GenerateUniform(3, 500, &rng);
+  RTree tree(3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], i);
+  }
+  const double lo[] = {-1e300, -1e300, -1e300};
+  const double hi[] = {1e300, 1e300, 1e300};
+  double point[3];
+  uint64_t payload = 0;
+  ASSERT_TRUE(tree.NearestBySum(lo, hi, 0, point, &payload));
+
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_row = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double sum = data[i][0] + data[i][1] + data[i][2];
+    if (sum < best) {
+      best = sum;
+      best_row = i;
+    }
+  }
+  EXPECT_EQ(payload, best_row);
+  EXPECT_DOUBLE_EQ(point[0] + point[1] + point[2], best);
+}
+
+TEST(NearestBySum, RespectsBoxAndStrictness) {
+  PointSet data(2, {{0.1, 0.1}, {0.5, 0.5}, {0.5, 0.9}, {0.8, 0.2}});
+  RTree tree(2);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], i);
+  }
+  double point[2];
+  uint64_t payload = 0;
+  // Box excluding the global minimum.
+  const double lo[] = {0.3, 0.0};
+  const double hi[] = {0.5, 1.0};
+  ASSERT_TRUE(tree.NearestBySum(lo, hi, 0, point, &payload));
+  EXPECT_EQ(payload, 1u);  // (0.5, 0.5) has the smallest sum in the box.
+
+  // Strict upper bound on dim 0 excludes x == 0.5 entirely.
+  EXPECT_FALSE(tree.NearestBySum(lo, hi, /*strict_upper_mask=*/1u, point,
+                                 &payload));
+
+  // Strict on dim 1 only: (0.5, 0.5) still qualifies (0.5 < 1.0).
+  ASSERT_TRUE(tree.NearestBySum(lo, hi, /*strict_upper_mask=*/2u, point,
+                                &payload));
+  EXPECT_EQ(payload, 1u);
+}
+
+TEST(NearestBySum, MatchesBruteForceOnRandomBoxes) {
+  Rng rng(2);
+  PointSet data = GenerateUniform(3, 400, &rng);
+  RTree tree(3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], i);
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    double lo[3];
+    double hi[3];
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = rng.Uniform() * 0.5;
+      hi[d] = lo[d] + rng.Uniform() * 0.5;
+    }
+    const uint32_t mask = static_cast<uint32_t>(rng.UniformInt(0, 7));
+    double best = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (size_t i = 0; i < data.size(); ++i) {
+      bool inside = true;
+      double sum = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        const bool strict = (mask >> d & 1u) != 0;
+        if (data[i][d] < lo[d] ||
+            (strict ? data[i][d] >= hi[d] : data[i][d] > hi[d])) {
+          inside = false;
+          break;
+        }
+        sum += data[i][d];
+      }
+      if (inside && sum < best) {
+        best = sum;
+        found = true;
+      }
+    }
+    double point[3];
+    uint64_t payload = 0;
+    ASSERT_EQ(tree.NearestBySum(lo, hi, mask, point, &payload), found);
+    if (found) {
+      EXPECT_DOUBLE_EQ(point[0] + point[1] + point[2], best);
+    }
+  }
+}
+
+// --- NN-skyline ---------------------------------------------------------------
+
+class NnSkylineTest
+    : public ::testing::TestWithParam<std::tuple<Distribution, int, int>> {};
+
+TEST_P(NnSkylineTest, MatchesBnl) {
+  const auto [distribution, dims, n] = GetParam();
+  Rng rng(300 + dims + n);
+  PointSet data(dims);
+  switch (distribution) {
+    case Distribution::kUniform:
+      data = GenerateUniform(dims, n, &rng);
+      break;
+    case Distribution::kClustered:
+      data = GenerateClustered(RandomCentroid(dims, &rng), n, kClusterStdDev,
+                               &rng);
+      break;
+    case Distribution::kAnticorrelated:
+      data = GenerateAnticorrelated(dims, n, &rng);
+      break;
+    default:
+      data = GenerateCorrelated(dims, n, &rng);
+      break;
+  }
+  std::vector<Subspace> subspaces = {Subspace::FullSpace(dims),
+                                     Subspace::FromDims({0})};
+  if (dims >= 3) {
+    subspaces.push_back(Subspace::FromDims({0, 2}));
+  }
+  for (Subspace u : subspaces) {
+    NnSkylineStats stats;
+    PointSet result = NnSkyline(data, u, &stats);
+    EXPECT_EQ(SortedIds(result), SortedIds(BnlSkyline(data, u)))
+        << DistributionName(distribution) << " u=" << u.ToString();
+    EXPECT_GE(stats.nn_queries, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NnSkylineTest,
+    ::testing::Combine(::testing::Values(Distribution::kUniform,
+                                         Distribution::kClustered,
+                                         Distribution::kCorrelated,
+                                         Distribution::kAnticorrelated),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(50, 500)),
+    [](const auto& info) {
+      return std::string(DistributionName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(NnSkyline, EmptyInput) {
+  NnSkylineStats stats;
+  EXPECT_TRUE(NnSkyline(PointSet(3), Subspace::FullSpace(3), &stats).empty());
+  EXPECT_EQ(stats.nn_queries, 0u);
+}
+
+TEST(NnSkyline, GriddedDataWithTies) {
+  // Duplicate coordinates exercise the strict splits + equality pass.
+  Rng rng(7);
+  PointSet data(3);
+  for (int i = 0; i < 300; ++i) {
+    double row[3];
+    for (int d = 0; d < 3; ++d) {
+      row[d] = rng.UniformInt(0, 3) / 4.0;
+    }
+    data.Append(row, i);
+  }
+  for (Subspace u : AllSubspaces(3)) {
+    EXPECT_EQ(SortedIds(NnSkyline(data, u)), SortedIds(BnlSkyline(data, u)))
+        << u.ToString();
+  }
+}
+
+TEST(NnSkyline, ExactDuplicatePoints) {
+  PointSet data(2, {{0.2, 0.8}, {0.2, 0.8}, {0.2, 0.8}, {0.5, 0.5}});
+  const auto result = SortedIds(NnSkyline(data, Subspace::FullSpace(2)));
+  EXPECT_EQ(result, (std::vector<PointId>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace skypeer

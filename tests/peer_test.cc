@@ -1,0 +1,77 @@
+// Unit tests of the Peer class (pre-processing participant).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/engine/peer.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(Peer, HoldsItsPartition) {
+  Rng rng(1);
+  PointSet data = GenerateUniform(4, 50, &rng, 100);
+  Peer peer(7, std::move(data));
+  EXPECT_EQ(peer.id(), 7);
+  EXPECT_EQ(peer.data_size(), 50u);
+  EXPECT_EQ(peer.data().size(), 50u);
+  EXPECT_FALSE(peer.ext_computed());
+}
+
+TEST(Peer, ExtendedSkylineMatchesDirectComputation) {
+  Rng rng(2);
+  PointSet data = GenerateUniform(4, 200, &rng);
+  PointSet copy = data;
+  Peer peer(0, std::move(data));
+  const ResultList& ext = peer.ComputeExtendedSkyline();
+  EXPECT_TRUE(peer.ext_computed());
+  EXPECT_EQ(SortedIds(ext.points),
+            SortedIds(BnlSkyline(copy, Subspace::FullSpace(4), /*ext=*/true)));
+  EXPECT_TRUE(ext.IsSorted());
+}
+
+TEST(Peer, ComputeIsIdempotent) {
+  Rng rng(3);
+  Peer peer(0, GenerateUniform(3, 80, &rng));
+  const size_t first = peer.ComputeExtendedSkyline().size();
+  EXPECT_EQ(peer.ComputeExtendedSkyline().size(), first);
+}
+
+TEST(Peer, DiscardDataKeepsSkylineAndSize) {
+  Rng rng(4);
+  Peer peer(0, GenerateUniform(3, 60, &rng));
+  peer.ComputeExtendedSkyline();
+  const size_t ext_size = peer.extended_skyline().size();
+  peer.DiscardData();
+  EXPECT_TRUE(peer.data().empty());
+  EXPECT_EQ(peer.data_size(), 60u);  // Statistic survives.
+  EXPECT_EQ(peer.extended_skyline().size(), ext_size);
+}
+
+TEST(Peer, DiscardExtendedSkyline) {
+  Rng rng(5);
+  Peer peer(0, GenerateUniform(3, 60, &rng));
+  peer.ComputeExtendedSkyline();
+  peer.DiscardExtendedSkyline();
+  EXPECT_TRUE(peer.extended_skyline().empty());
+}
+
+TEST(Peer, EmptyPartition) {
+  Peer peer(0, PointSet(5));
+  EXPECT_EQ(peer.data_size(), 0u);
+  EXPECT_TRUE(peer.ComputeExtendedSkyline().empty());
+}
+
+}  // namespace
+}  // namespace skypeer

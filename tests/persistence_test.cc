@@ -1,0 +1,163 @@
+// Tests of store snapshots: save a preprocessed network, restore into a
+// fresh one, and verify identical query answers; plus error paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "skypeer/engine/experiment.h"
+#include "skypeer/engine/network_builder.h"
+#include "skypeer/engine/persistence.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+NetworkConfig Config(uint64_t seed) {
+  NetworkConfig config;
+  config.num_peers = 50;
+  config.num_super_peers = 10;
+  config.points_per_peer = 40;
+  config.dims = 5;
+  config.seed = seed;
+  return config;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Persistence, RoundTripPreservesAnswers) {
+  const std::string path = TempPath("stores_roundtrip.bin");
+  NetworkConfig config = Config(1);
+
+  SkypeerNetwork original(config);
+  original.Preprocess();
+  ASSERT_TRUE(SaveStores(original, path).ok());
+
+  SkypeerNetwork restored(config);
+  ASSERT_FALSE(restored.preprocessed());
+  ASSERT_TRUE(LoadStores(&restored, path).ok());
+  EXPECT_TRUE(restored.preprocessed());
+
+  // Stores are byte-identical in content.
+  for (int sp = 0; sp < original.num_super_peers(); ++sp) {
+    EXPECT_EQ(SortedIds(restored.super_peer(sp).store().points),
+              SortedIds(original.super_peer(sp).store().points));
+  }
+
+  const auto tasks = GenerateWorkload(5, 3, 6, original.num_super_peers(), 7);
+  for (const QueryTask& task : tasks) {
+    for (Variant variant : {Variant::kFTPM, Variant::kNaive}) {
+      const auto a = SortedIds(
+          original.ExecuteQuery(task.subspace, task.initiator_sp, variant)
+              .skyline.points);
+      const auto b = SortedIds(
+          restored.ExecuteQuery(task.subspace, task.initiator_sp, variant)
+              .skyline.points);
+      EXPECT_EQ(a, b);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, SaveRequiresPreprocessedNetwork) {
+  SkypeerNetwork network(Config(2));
+  EXPECT_EQ(SaveStores(network, TempPath("never_written.bin")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Persistence, LoadMissingFileFails) {
+  SkypeerNetwork network(Config(3));
+  EXPECT_EQ(LoadStores(&network, TempPath("does_not_exist.bin")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Persistence, LoadRejectsShapeMismatch) {
+  const std::string path = TempPath("stores_shape.bin");
+  NetworkConfig config = Config(4);
+  SkypeerNetwork original(config);
+  original.Preprocess();
+  ASSERT_TRUE(SaveStores(original, path).ok());
+
+  NetworkConfig other_dims = Config(4);
+  other_dims.dims = 6;
+  SkypeerNetwork wrong_dims(other_dims);
+  EXPECT_EQ(LoadStores(&wrong_dims, path).code(),
+            StatusCode::kInvalidArgument);
+
+  NetworkConfig other_sp = Config(4);
+  other_sp.num_super_peers = 5;
+  SkypeerNetwork wrong_sp(other_sp);
+  EXPECT_EQ(LoadStores(&wrong_sp, path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, LoadRejectsCorruptedFile) {
+  const std::string path = TempPath("stores_corrupt.bin");
+  NetworkConfig config = Config(5);
+  SkypeerNetwork original(config);
+  original.Preprocess();
+  ASSERT_TRUE(SaveStores(original, path).ok());
+
+  // Truncate the file.
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  SkypeerNetwork restored(config);
+  EXPECT_FALSE(LoadStores(&restored, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, LoadIntoPreprocessedNetworkFails) {
+  const std::string path = TempPath("stores_twice.bin");
+  NetworkConfig config = Config(6);
+  SkypeerNetwork original(config);
+  original.Preprocess();
+  ASSERT_TRUE(SaveStores(original, path).ok());
+  // `original` is already preprocessed; AdoptStores must refuse.
+  EXPECT_EQ(LoadStores(&original, path).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, AdoptStoresValidatesInput) {
+  SkypeerNetwork network(Config(7));
+  std::vector<ResultList> too_few;
+  too_few.emplace_back(5);
+  EXPECT_EQ(network.AdoptStores(std::move(too_few)).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<ResultList> wrong_dims;
+  for (int i = 0; i < 10; ++i) {
+    wrong_dims.emplace_back(4);
+  }
+  EXPECT_EQ(network.AdoptStores(std::move(wrong_dims)).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<ResultList> unsorted;
+  for (int i = 0; i < 10; ++i) {
+    unsorted.emplace_back(5);
+  }
+  PointSet bad(5, {{0.9, 0.9, 0.9, 0.9, 0.9}, {0.1, 0.1, 0.1, 0.1, 0.1}});
+  unsorted[0].points.AppendAll(bad);
+  unsorted[0].f = {0.9, 0.1};  // Not sorted.
+  EXPECT_EQ(network.AdoptStores(std::move(unsorted)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,201 @@
+// Randomized cross-invariant property tests tying the library's pieces
+// together: algebraic laws of skyline/ext-skyline computation, the
+// threshold-filter equivalence behind the result cache, and the
+// distribution theorem behind SKYPEER itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/extended_skyline.h"
+#include "skypeer/algo/merge.h"
+#include "skypeer/algo/sfs.h"
+#include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/mapping.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/data/partition.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+PointSet RandomData(int dims, size_t n, uint64_t seed, bool gridded) {
+  Rng rng(seed);
+  if (!gridded) {
+    return GenerateUniform(dims, n, &rng);
+  }
+  PointSet data(dims);
+  for (size_t i = 0; i < n; ++i) {
+    double row[kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng.UniformInt(0, 5) / 6.0;
+    }
+    data.Append(row, i);
+  }
+  return data;
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  int dims() const { return std::get<0>(GetParam()); }
+  bool gridded() const { return std::get<1>(GetParam()); }
+};
+
+// ext(ext(S)) == ext(S): the extended skyline is idempotent.
+TEST_P(PropertyTest, ExtSkylineIdempotent) {
+  PointSet data = RandomData(dims(), 400, 11 * dims(), gridded());
+  ResultList once = ExtendedSkyline(data);
+  ResultList twice = ExtendedSkyline(once.points);
+  EXPECT_EQ(SortedIds(once.points), SortedIds(twice.points));
+}
+
+// SKY(ext(S)) == SKY(S): computing the skyline over the extended skyline
+// loses nothing — the foundation of querying super-peer stores.
+TEST_P(PropertyTest, SkylineOfExtSkylineIsSkyline) {
+  PointSet data = RandomData(dims(), 400, 13 * dims(), gridded());
+  ResultList ext = ExtendedSkyline(data);
+  for (Subspace u : SubspacesOfSize(dims(), std::max(1, dims() - 2))) {
+    EXPECT_EQ(SortedIds(BnlSkyline(ext.points, u)),
+              SortedIds(BnlSkyline(data, u)))
+        << u.ToString();
+  }
+}
+
+// Merge is associative: merge(merge(A,B),C) == merge(A,B,C).
+TEST_P(PropertyTest, MergeAssociative) {
+  std::vector<ResultList> lists;
+  for (int l = 0; l < 3; ++l) {
+    lists.push_back(
+        BuildSortedByF(RandomData(dims(), 120, 100 * l + dims(), gridded())));
+  }
+  const Subspace u = Subspace::FullSpace(dims());
+  ResultList ab = MergeSortedSkylines(
+      std::vector<const ResultList*>{&lists[0], &lists[1]}, u);
+  ResultList ab_c = MergeSortedSkylines(
+      std::vector<const ResultList*>{&ab, &lists[2]}, u);
+  ResultList abc = MergeSortedSkylines(lists, u);
+  EXPECT_EQ(SortedIds(ab_c.points), SortedIds(abc.points));
+}
+
+// The distribution theorem: the skyline of a horizontally partitioned
+// dataset is the merge of the partition skylines.
+TEST_P(PropertyTest, DistributionTheorem) {
+  PointSet all = RandomData(dims(), 600, 17 * dims(), gridded());
+  Rng rng(3);
+  const auto parts = PartitionShuffled(all, 7, &rng);
+  for (Subspace u :
+       {Subspace::FullSpace(dims()), Subspace::FromDims({0, dims() - 1})}) {
+    std::vector<ResultList> locals;
+    for (const PointSet& part : parts) {
+      locals.push_back(BuildSortedByF(SfsSkyline(part, u)));
+    }
+    EXPECT_EQ(SortedIds(MergeSortedSkylines(locals, u).points),
+              SortedIds(SfsSkyline(all, u)))
+        << u.ToString();
+  }
+}
+
+// Threshold-filter equivalence (the cache's correctness argument): a
+// scan under initial threshold t equals the unconstrained scan filtered
+// in f-order with an evolving threshold.
+TEST_P(PropertyTest, ThresholdFilterEquivalence) {
+  PointSet data = RandomData(dims(), 500, 19 * dims(), gridded());
+  ResultList sorted = BuildSortedByF(data);
+  Rng rng(5);
+  for (Subspace u :
+       {Subspace::FullSpace(dims()), Subspace::FromDims({0, 1})}) {
+    ResultList full = SortedSkyline(sorted, u);
+    for (int trial = 0; trial < 10; ++trial) {
+      const double t = rng.Uniform();
+      ThresholdScanOptions options;
+      options.initial_threshold = t;
+      ResultList scanned = SortedSkyline(sorted, u, options);
+
+      // Filter the unconstrained result.
+      std::vector<PointId> filtered;
+      double threshold = t;
+      for (size_t i = 0; i < full.size(); ++i) {
+        if (full.f[i] > threshold) {
+          break;
+        }
+        filtered.push_back(full.points.id(i));
+        threshold = std::min(threshold, DistU(full.points[i], u));
+      }
+      std::sort(filtered.begin(), filtered.end());
+      EXPECT_EQ(SortedIds(scanned.points), filtered)
+          << "t=" << t << " u=" << u.ToString();
+    }
+  }
+}
+
+// Scan results are insensitive to input order among equal-f points and to
+// the dominance-test backend.
+TEST_P(PropertyTest, ScanOrderInsensitive) {
+  PointSet data = RandomData(dims(), 300, 23 * dims(), gridded());
+  ResultList sorted = BuildSortedByF(data);
+  const Subspace u = Subspace::FullSpace(dims());
+  ThresholdScanOptions rtree_options;
+  rtree_options.use_rtree = true;
+  ThresholdScanOptions linear_options;
+  linear_options.use_rtree = false;
+  const auto a = SortedIds(SortedSkyline(sorted, u, rtree_options).points);
+  const auto b = SortedIds(SortedSkyline(sorted, u, linear_options).points);
+  EXPECT_EQ(a, b);
+
+  // Shuffle the raw input; BuildSortedByF re-sorts (stable), results match.
+  Rng rng(7);
+  PointSet shuffled(data.dims());
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (size_t i : order) {
+    shuffled.AppendFrom(data, i);
+  }
+  const auto c =
+      SortedIds(SortedSkyline(BuildSortedByF(shuffled), u).points);
+  EXPECT_EQ(a, c);
+}
+
+// Thresholds reported by the scan are achievable: every reported final
+// threshold equals min(initial, min dist_U over the result).
+TEST_P(PropertyTest, FinalThresholdIsTight) {
+  PointSet data = RandomData(dims(), 200, 29 * dims(), gridded());
+  ResultList sorted = BuildSortedByF(data);
+  const Subspace u = Subspace::FullSpace(dims());
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double t = 0.2 + rng.Uniform();
+    ThresholdScanOptions options;
+    options.initial_threshold = t;
+    ThresholdScanStats stats;
+    ResultList result = SortedSkyline(sorted, u, options, &stats);
+    double expected = t;
+    for (size_t i = 0; i < result.size(); ++i) {
+      expected = std::min(expected, DistU(result.points[i], u));
+    }
+    EXPECT_DOUBLE_EQ(stats.final_threshold, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PropertyTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Bool()),
+                         [](const auto& info) {
+                           return "d" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) ? "_grid"
+                                                           : "_cont");
+                         });
+
+}  // namespace
+}  // namespace skypeer

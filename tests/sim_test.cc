@@ -1,0 +1,301 @@
+// Tests of the discrete-event simulator: delivery semantics, bandwidth
+// and latency arithmetic, FIFO links, CPU serialization, statistics and
+// reset behaviour.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "skypeer/sim/simulator.h"
+
+namespace skypeer::sim {
+namespace {
+
+struct Ping : MessageBody {
+  explicit Ping(int hops_left = 0) : hops_left(hops_left) {}
+  int hops_left;
+};
+
+/// Records every delivery; optionally charges CPU and forwards.
+class Recorder : public Node {
+ public:
+  struct Delivery {
+    double arrival;     // Event time.
+    double start;       // When processing actually began.
+    int src;
+    size_t bytes;
+  };
+
+  explicit Recorder(double cpu_per_message = 0.0)
+      : cpu_per_message_(cpu_per_message) {}
+
+  void HandleMessage(Simulator* simulator, const Message& message) override {
+    deliveries_.push_back(Delivery{simulator->now(),
+                                   simulator->CurrentNodeClock(), message.src,
+                                   message.bytes});
+    if (cpu_per_message_ > 0.0) {
+      simulator->ChargeCpu(cpu_per_message_);
+    }
+    const auto* ping = dynamic_cast<const Ping*>(message.body.get());
+    if (ping != nullptr && ping->hops_left > 0 && forward_to_ >= 0) {
+      simulator->Send(self_, forward_to_, forward_bytes_,
+                      std::make_shared<Ping>(ping->hops_left - 1));
+    }
+  }
+
+  void ConfigureForward(int self, int to, size_t bytes) {
+    self_ = self;
+    forward_to_ = to;
+    forward_bytes_ = bytes;
+  }
+
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+
+ private:
+  double cpu_per_message_;
+  int self_ = -1;
+  int forward_to_ = -1;
+  size_t forward_bytes_ = 0;
+  std::vector<Delivery> deliveries_;
+};
+
+TEST(Simulator, PostDeliversImmediately) {
+  Simulator sim;
+  Recorder node;
+  const int id = sim.AddNode(&node);
+  sim.Post(id, std::make_shared<Ping>());
+  sim.Run();
+  ASSERT_EQ(node.deliveries().size(), 1u);
+  EXPECT_EQ(node.deliveries()[0].arrival, 0.0);
+  EXPECT_EQ(node.deliveries()[0].src, -1);
+}
+
+TEST(Simulator, TransferTimeIsBytesOverBandwidth) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{1024.0, 0.0});
+  a.ConfigureForward(ia, ib, 4096);  // 4 KB over 1 KB/s -> 4 s.
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 4.0);
+}
+
+TEST(Simulator, LatencyAddsOnTop) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{1024.0, 0.5});
+  a.ConfigureForward(ia, ib, 1024);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 1.5);
+}
+
+TEST(Simulator, InfiniteBandwidthMeansZeroTransfer) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  a.ConfigureForward(ia, ib, 1 << 30);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 0.0);
+}
+
+TEST(Simulator, LinkIsFifoAndSerializesTransfers) {
+  // Two messages sent back-to-back share the link: the second waits.
+  Simulator sim;
+  Recorder b;
+
+  class DoubleSender : public Node {
+   public:
+    void HandleMessage(Simulator* simulator, const Message&) override {
+      simulator->Send(0, 1, 1024, std::make_shared<Ping>());
+      simulator->Send(0, 1, 1024, std::make_shared<Ping>());
+    }
+  } a;
+
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  ASSERT_EQ(ia, 0);
+  ASSERT_EQ(ib, 1);
+  sim.Connect(0, 1, LinkParams{1024.0, 0.0});
+  sim.Post(0, std::make_shared<Ping>());
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(b.deliveries()[1].arrival, 2.0);
+}
+
+TEST(Simulator, OppositeDirectionsDoNotShareCapacity) {
+  // a->b and b->a are independent channels.
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{1024.0, 0.0});
+  a.ConfigureForward(ia, ib, 1024);
+  b.ConfigureForward(ib, ia, 1024);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Post(ib, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(a.deliveries().size(), 2u);  // Post + reply... both directions.
+  ASSERT_EQ(b.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[1].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(a.deliveries()[1].arrival, 1.0);
+}
+
+TEST(Simulator, CpuChargesSerializeProcessing) {
+  // Node b takes 2 s per message; two messages arriving at ~0 finish at
+  // 2 and 4.
+  Simulator sim;
+  Recorder a;
+  Recorder b(/*cpu_per_message=*/2.0);
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+
+  class TwoPings : public Node {
+   public:
+    void HandleMessage(Simulator* simulator, const Message&) override {
+      simulator->Send(0, 1, 1, std::make_shared<Ping>());
+      simulator->Send(0, 1, 1, std::make_shared<Ping>());
+    }
+  };
+  // Replace a's behavior by sending via a helper node is overkill; reuse
+  // forward with 0 hops by posting two external messages instead:
+  (void)a;
+  sim.Post(ib, std::make_shared<Ping>());
+  sim.Post(ib, std::make_shared<Ping>());
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].start, 0.0);
+  // Second message arrived at t=0 but processing began once the first
+  // finished.
+  EXPECT_DOUBLE_EQ(b.deliveries()[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(sim.NodeClock(ib), 4.0);
+}
+
+TEST(Simulator, SendDepartsAfterCpuCharge) {
+  // A node that charges CPU then forwards: the message departs at its
+  // advanced clock, not the arrival time.
+  Simulator sim;
+  Recorder a(/*cpu_per_message=*/3.0);
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  a.ConfigureForward(ia, ib, 8);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 1u);
+  // ChargeCpu happens before the forward in Recorder::HandleMessage.
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 3.0);
+}
+
+TEST(Simulator, MultiHopChainAccumulatesDelay) {
+  Simulator sim;
+  Recorder n0;
+  Recorder n1;
+  Recorder n2;
+  const int i0 = sim.AddNode(&n0);
+  const int i1 = sim.AddNode(&n1);
+  const int i2 = sim.AddNode(&n2);
+  sim.Connect(i0, i1, LinkParams{1024.0, 0.0});
+  sim.Connect(i1, i2, LinkParams{512.0, 0.0});
+  n0.ConfigureForward(i0, i1, 1024);  // 1 s.
+  n1.ConfigureForward(i1, i2, 1024);  // 2 s.
+  sim.Post(i0, std::make_shared<Ping>(2));
+  sim.Run();
+  ASSERT_EQ(n2.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(n2.deliveries()[0].arrival, 3.0);
+}
+
+TEST(Simulator, StatisticsCountBytesAndMessages) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib);
+  a.ConfigureForward(ia, ib, 100);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  EXPECT_EQ(sim.total_bytes(), 100u);
+  EXPECT_EQ(sim.num_messages(), 1u);  // Post is free; Send counts.
+}
+
+TEST(Simulator, ResetClearsStateButKeepsTopology) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{1024.0, 0.0});
+  a.ConfigureForward(ia, ib, 2048);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  EXPECT_GT(sim.total_bytes(), 0u);
+  EXPECT_GT(sim.MaxClock(), 0.0);
+
+  sim.Reset();
+  EXPECT_EQ(sim.total_bytes(), 0u);
+  EXPECT_EQ(sim.num_messages(), 0u);
+  EXPECT_DOUBLE_EQ(sim.MaxClock(), 0.0);
+  EXPECT_TRUE(sim.AreConnected(ia, ib));
+
+  // Link backlog cleared: a fresh send sees a free link.
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[1].arrival, 2.0);
+}
+
+TEST(Simulator, SetAllLinkParamsApplies) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{1024.0, 0.0});
+  sim.SetAllLinkParams(LinkParams{kInfiniteBandwidth, 0.0});
+  a.ConfigureForward(ia, ib, 1 << 20);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 0.0);
+}
+
+TEST(Simulator, EqualTimestampsProcessedInSendOrder) {
+  Simulator sim;
+  Recorder b;
+  const int ib_expected = 0;
+  const int ib = sim.AddNode(&b);
+  ASSERT_EQ(ib, ib_expected);
+  // Three posts at t=0 must arrive in post order.
+  sim.Post(ib, std::make_shared<Ping>(10));
+  sim.Post(ib, std::make_shared<Ping>(20));
+  sim.Post(ib, std::make_shared<Ping>(30));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 3u);
+  // All at time zero; order verified via the shared body pointer not
+  // being exposed — instead rely on deterministic arrival ordering by
+  // construction: all arrivals at 0.0.
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(b.deliveries()[2].arrival, 0.0);
+}
+
+}  // namespace
+}  // namespace skypeer::sim

@@ -1,0 +1,173 @@
+// Tests of the k-skyband operator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/skyband.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+namespace skypeer {
+namespace {
+
+std::vector<PointId> SortedIds(const PointSet& points) {
+  std::vector<PointId> ids = points.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(Skyband, BandOneIsSkyline) {
+  Rng rng(1);
+  PointSet data = GenerateUniform(4, 300, &rng);
+  for (Subspace u : {Subspace::FullSpace(4), Subspace::FromDims({1, 3})}) {
+    EXPECT_EQ(SortedIds(KSkyband(data, u, 1)), SortedIds(BnlSkyline(data, u)));
+  }
+}
+
+TEST(Skyband, BandsAreNested) {
+  Rng rng(2);
+  PointSet data = GenerateUniform(3, 200, &rng);
+  const Subspace u = Subspace::FullSpace(3);
+  std::vector<PointId> previous;
+  for (int band = 1; band <= 5; ++band) {
+    const std::vector<PointId> current = SortedIds(KSkyband(data, u, band));
+    EXPECT_TRUE(std::includes(current.begin(), current.end(),
+                              previous.begin(), previous.end()))
+        << "band " << band;
+    EXPECT_GE(current.size(), previous.size());
+    previous = current;
+  }
+}
+
+TEST(Skyband, LargeBandReturnsEverything) {
+  Rng rng(3);
+  PointSet data = GenerateUniform(2, 50, &rng);
+  EXPECT_EQ(KSkyband(data, Subspace::FullSpace(2), 1000).size(), data.size());
+}
+
+TEST(Skyband, HandChecked) {
+  // Chain a < b < c < d on both dims: a dominates all, b dominated by 1,
+  // c by 2, d by 3.
+  PointSet data(2, {{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  const Subspace u = Subspace::FullSpace(2);
+  EXPECT_EQ(SortedIds(KSkyband(data, u, 1)), (std::vector<PointId>{0}));
+  EXPECT_EQ(SortedIds(KSkyband(data, u, 2)), (std::vector<PointId>{0, 1}));
+  EXPECT_EQ(SortedIds(KSkyband(data, u, 3)), (std::vector<PointId>{0, 1, 2}));
+  EXPECT_EQ(SortedIds(KSkyband(data, u, 4)),
+            (std::vector<PointId>{0, 1, 2, 3}));
+}
+
+TEST(Skyband, DominanceCount) {
+  PointSet data(2, {{1, 1}, {2, 2}, {3, 3}});
+  const Subspace u = Subspace::FullSpace(2);
+  EXPECT_EQ(DominanceCount(data, data[0], u), 0u);
+  EXPECT_EQ(DominanceCount(data, data[1], u), 1u);
+  EXPECT_EQ(DominanceCount(data, data[2], u), 2u);
+  const double outside[] = {0.5, 0.5};
+  EXPECT_EQ(DominanceCount(data, outside, u), 0u);
+}
+
+TEST(Skyband, MembershipMatchesDominanceCount) {
+  Rng rng(4);
+  PointSet data = GenerateUniform(3, 150, &rng);
+  const Subspace u = Subspace::FromDims({0, 2});
+  for (int band : {1, 2, 4}) {
+    PointSet result = KSkyband(data, u, band);
+    std::vector<PointId> ids = result.Ids();
+    for (size_t i = 0; i < data.size(); ++i) {
+      const bool in_band =
+          std::find(ids.begin(), ids.end(), data.id(i)) != ids.end();
+      EXPECT_EQ(in_band,
+                DominanceCount(data, data[i], u) < static_cast<size_t>(band));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skypeer
+
+namespace skypeer {
+namespace {
+
+PointSet GriddedData(int dims, size_t n, int levels, uint64_t seed) {
+  Rng rng(seed);
+  PointSet data(dims);
+  for (size_t i = 0; i < n; ++i) {
+    double row[kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng.UniformInt(0, levels - 1) / static_cast<double>(levels);
+    }
+    data.Append(row, i);
+  }
+  return data;
+}
+
+TEST(ExtKSkyband, BandOneIsExtendedSkyline) {
+  PointSet data = GriddedData(4, 250, 5, 1);
+  for (Subspace u : {Subspace::FullSpace(4), Subspace::FromDims({0, 2})}) {
+    EXPECT_EQ(SortedIds(ExtKSkyband(data, u, 1)),
+              SortedIds(BnlSkyline(data, u, /*ext=*/true)));
+  }
+}
+
+TEST(ExtKSkyband, ContainsRegularSkyband) {
+  // Ext-dominance is stricter, so fewer dominators per point: the
+  // extended band is a superset of the regular one.
+  PointSet data = GriddedData(3, 300, 4, 2);
+  const Subspace u = Subspace::FullSpace(3);
+  for (int band : {1, 2, 4}) {
+    const auto regular = SortedIds(KSkyband(data, u, band));
+    const auto extended = SortedIds(ExtKSkyband(data, u, band));
+    EXPECT_TRUE(std::includes(extended.begin(), extended.end(),
+                              regular.begin(), regular.end()))
+        << "band " << band;
+  }
+}
+
+// The skyband analogue of Observation 4: SKYBAND_V(k) is contained in
+// ext-SKYBAND_U(k) for every V subset of U — the property enabling
+// distributed subspace k-skyband queries from extended-skyband stores.
+TEST(ExtKSkyband, Observation4Analogue) {
+  PointSet data = GriddedData(4, 250, 4, 3);
+  for (int band : {1, 2, 3}) {
+    const auto ext_full = SortedIds(
+        ExtKSkyband(data, Subspace::FullSpace(4), band));
+    for (Subspace v : AllSubspaces(4)) {
+      for (PointId id : KSkyband(data, v, band).Ids()) {
+        EXPECT_TRUE(std::binary_search(ext_full.begin(), ext_full.end(), id))
+            << "band " << band << " V=" << v.ToString() << " point " << id;
+      }
+    }
+  }
+}
+
+// Distribution property: the global k-skyband is contained in the union
+// of local k-skybands (a point's global dominators include its local
+// ones), so skyband queries decompose across peers like skylines do.
+TEST(ExtKSkyband, LocalBandsCoverGlobalBand) {
+  PointSet data = GriddedData(3, 400, 5, 4);
+  // Split into 4 partitions.
+  std::vector<PointSet> parts(4, PointSet(3));
+  for (size_t i = 0; i < data.size(); ++i) {
+    parts[i % 4].AppendFrom(data, i);
+  }
+  const Subspace u = Subspace::FullSpace(3);
+  for (int band : {1, 3}) {
+    std::set<PointId> local_union;
+    for (const PointSet& part : parts) {
+      for (PointId id : KSkyband(part, u, band).Ids()) {
+        local_union.insert(id);
+      }
+    }
+    for (PointId id : KSkyband(data, u, band).Ids()) {
+      EXPECT_EQ(local_union.count(id), 1u) << "band " << band;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,42 @@
+// End-to-end smoke test: a tiny SKYPEER network answers a subspace query
+// exactly, for every variant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "skypeer/engine/experiment.h"
+#include "skypeer/engine/network_builder.h"
+
+namespace skypeer {
+namespace {
+
+TEST(Smoke, AllVariantsMatchGroundTruth) {
+  NetworkConfig config;
+  config.num_peers = 40;
+  config.num_super_peers = 8;
+  config.points_per_peer = 30;
+  config.dims = 4;
+  config.seed = 99;
+  config.retain_peer_data = true;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+
+  const Subspace u = Subspace::FromDims({0, 2});
+  std::vector<PointId> truth = network.GroundTruthSkyline(u).Ids();
+  std::sort(truth.begin(), truth.end());
+  ASSERT_FALSE(truth.empty());
+
+  for (Variant variant : kAllVariants) {
+    QueryResult result = network.ExecuteQuery(u, /*initiator_sp=*/3, variant);
+    std::vector<PointId> ids = result.skyline.points.Ids();
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, truth) << VariantName(variant);
+    EXPECT_GT(result.metrics.total_time_s, 0.0) << VariantName(variant);
+    EXPECT_GT(result.metrics.bytes_transferred, 0u) << VariantName(variant);
+  }
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,103 @@
+// Tests of the top-k dominating query operator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/top_k_dominating.h"
+#include "skypeer/common/dominance.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/data/generator.h"
+
+namespace skypeer {
+namespace {
+
+TEST(TopKDominating, HandChecked) {
+  // Chain: a=(1,1) dominates b, c, d; b=(2,2) dominates c, d; c=(3,3)
+  // dominates d; e=(0.5, 4) dominates nothing.
+  PointSet data(2, {{1, 1}, {2, 2}, {3, 3}, {4, 4}, {0.5, 4}});
+  const auto scores = DominationScores(data, Subspace::FullSpace(2));
+  EXPECT_EQ(scores, (std::vector<size_t>{3, 2, 1, 0, 0}));
+
+  const auto top = TopKDominating(data, Subspace::FullSpace(2), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[0].score, 3u);
+  EXPECT_EQ(top[1].id, 1u);
+  EXPECT_EQ(top[2].id, 2u);
+}
+
+TEST(TopKDominating, TiesBreakById) {
+  PointSet data(1, {{1.0}, {1.0}, {2.0}});
+  // Neither of the tied points dominates the other; both dominate #2.
+  const auto top = TopKDominating(data, Subspace::FullSpace(1), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[0].score, 1u);
+  EXPECT_EQ(top[1].id, 1u);
+  EXPECT_EQ(top[1].score, 1u);
+}
+
+TEST(TopKDominating, KLargerThanDataset) {
+  PointSet data(2, {{1, 1}, {2, 2}});
+  EXPECT_EQ(TopKDominating(data, Subspace::FullSpace(2), 10).size(), 2u);
+}
+
+TEST(TopKDominating, EmptyInput) {
+  PointSet data(3);
+  EXPECT_TRUE(TopKDominating(data, Subspace::FullSpace(3), 5).empty());
+  EXPECT_TRUE(DominationScores(data, Subspace::FullSpace(3)).empty());
+}
+
+TEST(TopKDominating, ScoresMatchBruteForce) {
+  Rng rng(1);
+  PointSet data = GenerateUniform(4, 200, &rng);
+  for (Subspace u : {Subspace::FullSpace(4), Subspace::FromDims({1, 3})}) {
+    const auto scores = DominationScores(data, u);
+    for (size_t i = 0; i < data.size(); ++i) {
+      size_t expected = 0;
+      for (size_t j = 0; j < data.size(); ++j) {
+        if (i != j && Dominates(data[i], data[j], u)) {
+          ++expected;
+        }
+      }
+      EXPECT_EQ(scores[i], expected) << "point " << i << " " << u.ToString();
+    }
+  }
+}
+
+TEST(TopKDominating, TopOneIsASkylinePoint) {
+  // The maximum-score point cannot be dominated (its dominator would
+  // score strictly higher), so it is on the skyline.
+  for (uint64_t seed : {2u, 3u, 4u}) {
+    Rng rng(seed);
+    PointSet data = GenerateUniform(3, 300, &rng);
+    const Subspace u = Subspace::FullSpace(3);
+    const auto top = TopKDominating(data, u, 1);
+    ASSERT_EQ(top.size(), 1u);
+    const auto skyline = BnlSkyline(data, u).Ids();
+    EXPECT_TRUE(std::find(skyline.begin(), skyline.end(), top[0].id) !=
+                skyline.end());
+  }
+}
+
+TEST(TopKDominating, ScoresAreDescending) {
+  Rng rng(5);
+  PointSet data = GenerateAnticorrelated(3, 250, &rng);
+  const auto top = TopKDominating(data, Subspace::FullSpace(3), 50);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+  // Exactly k distinct points.
+  std::set<PointId> ids;
+  for (const DominatingPoint& p : top) {
+    ids.insert(p.id);
+  }
+  EXPECT_EQ(ids.size(), top.size());
+}
+
+}  // namespace
+}  // namespace skypeer

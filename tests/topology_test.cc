@@ -1,0 +1,248 @@
+// Tests for the Graph primitive, the Waxman generator and the two-tier
+// overlay builder.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "skypeer/common/rng.h"
+#include "skypeer/topology/graph.h"
+#include "skypeer/topology/overlay.h"
+
+namespace skypeer {
+namespace {
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));  // Duplicate.
+  EXPECT_FALSE(g.AddEdge(1, 0));  // Duplicate, reversed.
+  EXPECT_FALSE(g.AddEdge(2, 2));  // Self-loop.
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(Graph, AverageDegree) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.5);  // 2*3/4.
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, HopDistances) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const auto dist = g.HopDistances(0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], -1);  // Unreachable.
+}
+
+TEST(Graph, AveragePathLengthOnPath) {
+  // Path 0-1-2: distances from 0 are {1,2}, from 1 {1,1}, from 2 {1,2}.
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Rng rng(1);
+  const double apl = g.AveragePathLength(50, &rng);
+  EXPECT_GT(apl, 1.0);
+  EXPECT_LT(apl, 2.0);
+}
+
+TEST(Waxman, ConnectedAtAllSizes) {
+  for (int n : {1, 2, 5, 40, 200}) {
+    Rng rng(100 + n);
+    Graph g = GenerateWaxmanGraph(n, 4.0, &rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_TRUE(g.IsConnected()) << "n=" << n;
+  }
+}
+
+TEST(Waxman, HitsTargetAverageDegree) {
+  for (double target : {4.0, 5.0, 6.0, 7.0}) {
+    Rng rng(static_cast<uint64_t>(target * 13));
+    Graph g = GenerateWaxmanGraph(400, target, &rng);
+    // Within 15% of the requested degree (connectivity repair adds a few
+    // edges; sampling adds noise).
+    EXPECT_NEAR(g.AverageDegree(), target, 0.15 * target)
+        << "target " << target;
+  }
+}
+
+TEST(Waxman, HigherDegreeShortensPaths) {
+  Rng rng4(7);
+  Rng rng7(7);
+  Graph sparse = GenerateWaxmanGraph(300, 4.0, &rng4);
+  Graph dense = GenerateWaxmanGraph(300, 7.0, &rng7);
+  Rng apl_rng(1);
+  Rng apl_rng2(1);
+  EXPECT_LT(dense.AveragePathLength(50, &apl_rng2),
+            sparse.AveragePathLength(50, &apl_rng));
+}
+
+TEST(Waxman, DeterministicBySeed) {
+  Rng a(55);
+  Rng b(55);
+  Graph ga = GenerateWaxmanGraph(100, 4.0, &a);
+  Graph gb = GenerateWaxmanGraph(100, 4.0, &b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ga.Neighbors(i), gb.Neighbors(i));
+  }
+}
+
+TEST(Waxman, ZeroDegreeStillConnects) {
+  // Even with target degree 0 the repair pass yields a spanning structure.
+  Rng rng(3);
+  Graph g = GenerateWaxmanGraph(20, 0.0, &rng);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_GE(g.num_edges(), 19u);
+}
+
+// --- overlay ------------------------------------------------------------
+
+TEST(Overlay, DefaultSuperPeerRule) {
+  EXPECT_EQ(DefaultNumSuperPeers(4000), 200);    // 5%.
+  EXPECT_EQ(DefaultNumSuperPeers(12000), 600);   // 5%.
+  EXPECT_EQ(DefaultNumSuperPeers(20000), 200);   // 1% from 20000 on.
+  EXPECT_EQ(DefaultNumSuperPeers(80000), 800);   // 1%.
+  EXPECT_EQ(DefaultNumSuperPeers(5), 1);         // At least one.
+}
+
+TEST(Overlay, ValidateRejectsBadConfigs) {
+  OverlayConfig config;
+  config.num_peers = 0;
+  EXPECT_FALSE(ValidateOverlayConfig(config).ok());
+  config.num_peers = 10;
+  config.num_super_peers = 20;
+  EXPECT_FALSE(ValidateOverlayConfig(config).ok());
+  config.num_super_peers = 2;
+  config.degree_sp = -1.0;
+  EXPECT_FALSE(ValidateOverlayConfig(config).ok());
+  config.degree_sp = 4.0;
+  EXPECT_TRUE(ValidateOverlayConfig(config).ok());
+}
+
+TEST(Overlay, EvenPeerAssignment) {
+  OverlayConfig config;
+  config.num_peers = 103;
+  config.num_super_peers = 10;
+  config.seed = 5;
+  Overlay overlay = BuildOverlay(config);
+  EXPECT_EQ(overlay.num_peers(), 103);
+  EXPECT_EQ(overlay.num_super_peers(), 10);
+  size_t total = 0;
+  for (const auto& peers : overlay.super_peer_peers) {
+    EXPECT_TRUE(peers.size() == 10 || peers.size() == 11);
+    total += peers.size();
+  }
+  EXPECT_EQ(total, 103u);
+  // Mapping is consistent both ways.
+  for (int peer = 0; peer < overlay.num_peers(); ++peer) {
+    const int sp = overlay.peer_super_peer[peer];
+    const auto& list = overlay.super_peer_peers[sp];
+    EXPECT_TRUE(std::find(list.begin(), list.end(), peer) != list.end());
+  }
+}
+
+TEST(Overlay, PaperDefaultsProduceConnectedBackbone) {
+  OverlayConfig config;
+  config.num_peers = 4000;
+  config.degree_sp = 4.0;
+  config.seed = 11;
+  Overlay overlay = BuildOverlay(config);
+  EXPECT_EQ(overlay.num_super_peers(), 200);
+  EXPECT_TRUE(overlay.backbone.IsConnected());
+  EXPECT_NEAR(overlay.backbone.AverageDegree(), 4.0, 1.0);
+}
+
+TEST(Overlay, SingleSuperPeerDegenerate) {
+  OverlayConfig config;
+  config.num_peers = 12;
+  config.num_super_peers = 1;
+  Overlay overlay = BuildOverlay(config);
+  EXPECT_EQ(overlay.num_super_peers(), 1);
+  EXPECT_EQ(overlay.super_peer_peers[0].size(), 12u);
+  EXPECT_EQ(overlay.backbone.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace skypeer
+
+namespace skypeer {
+namespace {
+
+// --- HyperCuP-style hypercube backbone ------------------------------------
+
+TEST(Hypercube, ExactPowerOfTwo) {
+  Graph g = GenerateHypercubeGraph(16);
+  EXPECT_TRUE(g.IsConnected());
+  // A full 4-cube: every node has degree exactly 4.
+  for (int node = 0; node < 16; ++node) {
+    EXPECT_EQ(g.Neighbors(node).size(), 4u) << "node " << node;
+  }
+  EXPECT_EQ(g.num_edges(), 32u);  // 16 * 4 / 2.
+}
+
+TEST(Hypercube, PartialCubeStaysConnected) {
+  for (int n : {1, 2, 3, 5, 11, 100, 200, 750}) {
+    Graph g = GenerateHypercubeGraph(n);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_TRUE(g.IsConnected()) << "n=" << n;
+  }
+}
+
+TEST(Hypercube, LogarithmicDiameter) {
+  Graph g = GenerateHypercubeGraph(256);
+  const auto dist = g.HopDistances(0);
+  const int diameter = *std::max_element(dist.begin(), dist.end());
+  EXPECT_LE(diameter, 8);  // log2(256).
+}
+
+TEST(Hypercube, Deterministic) {
+  Graph a = GenerateHypercubeGraph(77);
+  Graph b = GenerateHypercubeGraph(77);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int node = 0; node < 77; ++node) {
+    EXPECT_EQ(a.Neighbors(node), b.Neighbors(node));
+  }
+}
+
+TEST(Hypercube, OverlayIntegration) {
+  OverlayConfig config;
+  config.num_peers = 640;
+  config.num_super_peers = 64;
+  config.topology = BackboneTopology::kHypercube;
+  Overlay overlay = BuildOverlay(config);
+  EXPECT_TRUE(overlay.backbone.IsConnected());
+  EXPECT_DOUBLE_EQ(overlay.backbone.AverageDegree(), 6.0);  // log2(64).
+  EXPECT_STREQ(BackboneTopologyName(BackboneTopology::kHypercube),
+               "hypercube");
+  EXPECT_STREQ(BackboneTopologyName(BackboneTopology::kWaxman), "waxman");
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,107 @@
+// Tests of the Zipf-skewed workload generator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "skypeer/engine/zipf_workload.h"
+
+namespace skypeer {
+namespace {
+
+std::map<uint32_t, int> SubspaceHistogram(const std::vector<QueryTask>& tasks) {
+  std::map<uint32_t, int> histogram;
+  for (const QueryTask& task : tasks) {
+    ++histogram[task.subspace.mask()];
+  }
+  return histogram;
+}
+
+TEST(ZipfWorkload, ShapeAndDeterminism) {
+  ZipfWorkloadConfig config;
+  config.query_dims = 3;
+  config.num_queries = 200;
+  config.seed = 5;
+  const auto a = GenerateZipfWorkload(8, config, 40);
+  const auto b = GenerateZipfWorkload(8, config, 40);
+  ASSERT_EQ(a.size(), 200u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subspace, b[i].subspace);
+    EXPECT_EQ(a[i].initiator_sp, b[i].initiator_sp);
+    EXPECT_EQ(a[i].subspace.Count(), 3);
+    EXPECT_TRUE(Subspace::FullSpace(8).IsSupersetOf(a[i].subspace));
+    EXPECT_GE(a[i].initiator_sp, 0);
+    EXPECT_LT(a[i].initiator_sp, 40);
+  }
+}
+
+TEST(ZipfWorkload, HighExponentConcentrates) {
+  ZipfWorkloadConfig skewed;
+  skewed.query_dims = 2;
+  skewed.num_queries = 500;
+  skewed.exponent = 2.5;
+  skewed.seed = 7;
+  ZipfWorkloadConfig flat = skewed;
+  flat.exponent = 0.0;
+
+  const auto skewed_hist =
+      SubspaceHistogram(GenerateZipfWorkload(8, skewed, 10));
+  const auto flat_hist = SubspaceHistogram(GenerateZipfWorkload(8, flat, 10));
+
+  int skewed_max = 0;
+  for (const auto& [mask, count] : skewed_hist) {
+    skewed_max = std::max(skewed_max, count);
+  }
+  int flat_max = 0;
+  for (const auto& [mask, count] : flat_hist) {
+    flat_max = std::max(flat_max, count);
+  }
+  // With exponent 2.5 the top subspace should absorb a large share; the
+  // uniform workload spreads over C(8,2) = 28 subspaces.
+  EXPECT_GT(skewed_max, 250);
+  EXPECT_LT(flat_max, 60);
+  EXPECT_GT(flat_hist.size(), skewed_hist.size());
+}
+
+TEST(ZipfWorkload, ZeroExponentIsUniformish) {
+  ZipfWorkloadConfig config;
+  config.query_dims = 1;
+  config.num_queries = 800;
+  config.exponent = 0.0;
+  config.seed = 9;
+  const auto hist = SubspaceHistogram(GenerateZipfWorkload(4, config, 5));
+  EXPECT_EQ(hist.size(), 4u);  // All four singleton subspaces appear.
+  for (const auto& [mask, count] : hist) {
+    EXPECT_GT(count, 120);  // ~200 each; loose bound.
+    EXPECT_LT(count, 280);
+  }
+}
+
+TEST(ZipfWorkload, DifferentSeedsPickDifferentHotSubspaces) {
+  ZipfWorkloadConfig config;
+  config.query_dims = 2;
+  config.num_queries = 100;
+  config.exponent = 3.0;
+  config.seed = 1;
+  const auto first = SubspaceHistogram(GenerateZipfWorkload(10, config, 5));
+  config.seed = 2;
+  const auto second = SubspaceHistogram(GenerateZipfWorkload(10, config, 5));
+  // The most popular subspace is seed-dependent (the rank order is a
+  // seeded shuffle). With C(10,2)=45 candidates a collision is unlikely.
+  auto hottest = [](const std::map<uint32_t, int>& hist) {
+    uint32_t best_mask = 0;
+    int best = -1;
+    for (const auto& [mask, count] : hist) {
+      if (count > best) {
+        best = count;
+        best_mask = mask;
+      }
+    }
+    return best_mask;
+  };
+  EXPECT_NE(hottest(first), hottest(second));
+}
+
+}  // namespace
+}  // namespace skypeer

@@ -1,0 +1,221 @@
+// skypeer_cli — run a SKYPEER simulation from the command line.
+//
+//   skypeer_cli [--peers N] [--super-peers N] [--points N] [--dims D]
+//               [--degree G] [--dist uniform|clustered|correlated|anti]
+//               [--k K] [--queries Q] [--variant naive|FTFM|FTPM|RTFM|RTPM|all]
+//               [--bandwidth BYTES_PER_S] [--latency S] [--seed S]
+//               [--cache] [--verbose]
+//
+// Prints pre-processing statistics and per-variant averages in the
+// paper's three metrics (computational time, total time, volume).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "skypeer/engine/experiment.h"
+#include "skypeer/engine/network_builder.h"
+#include "skypeer/engine/zipf_workload.h"
+
+namespace {
+
+using namespace skypeer;
+
+struct CliOptions {
+  NetworkConfig network;
+  int k = 3;
+  int queries = 20;
+  std::string variant = "all";
+  double zipf = -1.0;  // < 0: uniform workload.
+  bool verbose = false;
+};
+
+void PrintUsageAndExit(const char* binary, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --peers N        number of peers (default 4000)\n"
+      "  --super-peers N  number of super-peers (default: paper rule,\n"
+      "                   5%% of peers; 1%% from 20000 peers on)\n"
+      "  --points N       points per peer (default 250)\n"
+      "  --dims D         data dimensionality, 1..32 (default 8)\n"
+      "  --degree G       average super-peer degree (default 4)\n"
+      "  --dist NAME      uniform | clustered | correlated | anti\n"
+      "  --k K            query dimensionality (default 3)\n"
+      "  --queries Q      number of queries (default 20)\n"
+      "  --variant V      naive | FTFM | FTPM | RTFM | RTPM | PIPE | all\n"
+      "  --topology T     waxman (default) | hypercube\n"
+      "  --zipf E         Zipf-skew the subspace popularity with\n"
+      "                   exponent E (default: uniform workload)\n"
+      "  --bandwidth B    link bandwidth in bytes/s (default 4096)\n"
+      "  --latency L      link latency in seconds (default 0)\n"
+      "  --seed S         master seed (default 1)\n"
+      "  --cache          enable the per-subspace result cache\n"
+      "  --verbose        per-query output\n",
+      binary);
+  std::exit(code);
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions options;
+  auto next_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      PrintUsageAndExit(argv[0], 1);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--peers") == 0) {
+      options.network.num_peers = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--super-peers") == 0) {
+      options.network.num_super_peers = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--points") == 0) {
+      options.network.points_per_peer = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--dims") == 0) {
+      options.network.dims = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--degree") == 0) {
+      options.network.degree_sp = std::atof(next_value(&i));
+    } else if (std::strcmp(arg, "--dist") == 0) {
+      const std::string name = next_value(&i);
+      if (name == "uniform") {
+        options.network.distribution = Distribution::kUniform;
+      } else if (name == "clustered") {
+        options.network.distribution = Distribution::kClustered;
+      } else if (name == "correlated") {
+        options.network.distribution = Distribution::kCorrelated;
+      } else if (name == "anti" || name == "anticorrelated") {
+        options.network.distribution = Distribution::kAnticorrelated;
+      } else {
+        std::fprintf(stderr, "unknown distribution: %s\n", name.c_str());
+        PrintUsageAndExit(argv[0], 1);
+      }
+    } else if (std::strcmp(arg, "--k") == 0) {
+      options.k = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--queries") == 0) {
+      options.queries = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--variant") == 0) {
+      options.variant = next_value(&i);
+    } else if (std::strcmp(arg, "--topology") == 0) {
+      const std::string name = next_value(&i);
+      if (name == "waxman") {
+        options.network.topology = BackboneTopology::kWaxman;
+      } else if (name == "hypercube") {
+        options.network.topology = BackboneTopology::kHypercube;
+      } else {
+        std::fprintf(stderr, "unknown topology: %s\n", name.c_str());
+        PrintUsageAndExit(argv[0], 1);
+      }
+    } else if (std::strcmp(arg, "--bandwidth") == 0) {
+      options.network.bandwidth = std::atof(next_value(&i));
+    } else if (std::strcmp(arg, "--latency") == 0) {
+      options.network.latency = std::atof(next_value(&i));
+    } else if (std::strcmp(arg, "--zipf") == 0) {
+      options.zipf = std::atof(next_value(&i));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.network.seed = std::strtoull(next_value(&i), nullptr, 10);
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      options.network.enable_cache = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      PrintUsageAndExit(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      PrintUsageAndExit(argv[0], 1);
+    }
+  }
+  return options;
+}
+
+std::vector<Variant> SelectVariants(const std::string& name) {
+  if (name == "all") {
+    std::vector<Variant> all(kAllVariants, kAllVariants + 5);
+    all.push_back(Variant::kPipeline);
+    return all;
+  }
+  for (Variant variant : kAllVariants) {
+    if (name == VariantName(variant)) {
+      return {variant};
+    }
+  }
+  if (name == VariantName(Variant::kPipeline)) {
+    return {Variant::kPipeline};
+  }
+  std::fprintf(stderr, "unknown variant: %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = Parse(argc, argv);
+
+  const Status status = SkypeerNetwork::Validate(options.network);
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (options.k < 1 || options.k > options.network.dims) {
+    std::fprintf(stderr, "invalid query dimensionality k=%d (d=%d)\n",
+                 options.k, options.network.dims);
+    return 1;
+  }
+
+  SkypeerNetwork network(options.network);
+  std::printf("building network: %d peers / %d super-peers, %s data, d=%d\n",
+              network.num_peers(), network.num_super_peers(),
+              DistributionName(options.network.distribution),
+              options.network.dims);
+  const PreprocessStats stats = network.Preprocess();
+  std::printf(
+      "pre-processing: n=%zu  SEL_p=%.1f%%  SEL_sp=%.1f%%  "
+      "(peer cpu %.2fs, super-peer cpu %.2fs)\n\n",
+      stats.total_points, stats.sel_p() * 100, stats.sel_sp() * 100,
+      stats.peer_cpu_s, stats.super_peer_cpu_s);
+
+  std::vector<QueryTask> tasks;
+  if (options.zipf >= 0.0) {
+    ZipfWorkloadConfig zipf_config;
+    zipf_config.query_dims = options.k;
+    zipf_config.num_queries = options.queries;
+    zipf_config.exponent = options.zipf;
+    zipf_config.seed = options.network.seed + 99;
+    tasks = GenerateZipfWorkload(options.network.dims, zipf_config,
+                                 network.num_super_peers());
+  } else {
+    tasks =
+        GenerateWorkload(options.network.dims, options.k, options.queries,
+                         network.num_super_peers(), options.network.seed + 99);
+  }
+
+  std::printf("%-6s | %11s | %10s | %13s | %12s | %9s | %7s\n", "variant",
+              "comp (ms)", "total (s)", "total p95 (s)", "volume (KB)",
+              "messages", "result");
+  std::printf(
+      "-------+-------------+------------+---------------+--------------+"
+      "-----------+--------\n");
+  for (Variant variant : SelectVariants(options.variant)) {
+    AggregateMetrics aggregate;
+    for (const QueryTask& task : tasks) {
+      const QueryResult result =
+          network.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      aggregate.Add(result.metrics);
+      if (options.verbose) {
+        std::printf("  [%s] U=%s init=%d -> %zu points, %.2f s, %.1f KB\n",
+                    VariantName(variant), task.subspace.ToString().c_str(),
+                    task.initiator_sp, result.metrics.result_size,
+                    result.metrics.total_time_s, result.metrics.volume_kb());
+      }
+    }
+    std::printf("%-6s | %11.3f | %10.2f | %13.2f | %12.1f | %9.1f | %7.1f\n",
+                VariantName(variant), aggregate.avg_comp_s() * 1e3,
+                aggregate.avg_total_s(), aggregate.total_s.Percentile(95),
+                aggregate.avg_kb(), aggregate.avg_messages(),
+                aggregate.avg_result());
+  }
+  return 0;
+}
