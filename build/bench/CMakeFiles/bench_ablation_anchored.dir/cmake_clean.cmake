@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anchored.dir/bench_ablation_anchored.cc.o"
+  "CMakeFiles/bench_ablation_anchored.dir/bench_ablation_anchored.cc.o.d"
+  "bench_ablation_anchored"
+  "bench_ablation_anchored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anchored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extstore.dir/bench_ablation_extstore.cc.o"
+  "CMakeFiles/bench_ablation_extstore.dir/bench_ablation_extstore.cc.o.d"
+  "bench_ablation_extstore"
+  "bench_ablation_extstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wire.dir/bench_ablation_wire.cc.o"
+  "CMakeFiles/bench_ablation_wire.dir/bench_ablation_wire.cc.o.d"
+  "bench_ablation_wire"
+  "bench_ablation_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

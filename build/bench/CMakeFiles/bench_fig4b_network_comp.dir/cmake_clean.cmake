@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_network_comp.dir/bench_fig4b_network_comp.cc.o"
+  "CMakeFiles/bench_fig4b_network_comp.dir/bench_fig4b_network_comp.cc.o.d"
+  "bench_fig4b_network_comp"
+  "bench_fig4b_network_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_network_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_network_total.dir/bench_fig4c_network_total.cc.o"
+  "CMakeFiles/bench_fig4c_network_total.dir/bench_fig4c_network_total.cc.o.d"
+  "bench_fig4c_network_total"
+  "bench_fig4c_network_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_network_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4e_degree_total.dir/bench_fig4e_degree_total.cc.o"
+  "CMakeFiles/bench_fig4e_degree_total.dir/bench_fig4e_degree_total.cc.o.d"
+  "bench_fig4e_degree_total"
+  "bench_fig4e_degree_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4e_degree_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

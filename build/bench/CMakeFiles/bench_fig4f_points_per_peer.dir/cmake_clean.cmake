@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4f_points_per_peer.dir/bench_fig4f_points_per_peer.cc.o"
+  "CMakeFiles/bench_fig4f_points_per_peer.dir/bench_fig4f_points_per_peer.cc.o.d"
+  "bench_fig4f_points_per_peer"
+  "bench_fig4f_points_per_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4f_points_per_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

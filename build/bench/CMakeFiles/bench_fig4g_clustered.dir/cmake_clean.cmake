@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4g_clustered.dir/bench_fig4g_clustered.cc.o"
+  "CMakeFiles/bench_fig4g_clustered.dir/bench_fig4g_clustered.cc.o.d"
+  "bench_fig4g_clustered"
+  "bench_fig4g_clustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4g_clustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4h_clustered_dim.dir/bench_fig4h_clustered_dim.cc.o"
+  "CMakeFiles/bench_fig4h_clustered_dim.dir/bench_fig4h_clustered_dim.cc.o.d"
+  "bench_fig4h_clustered_dim"
+  "bench_fig4h_clustered_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4h_clustered_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4h_clustered_dim.
+# This may be replaced when dependencies are built.

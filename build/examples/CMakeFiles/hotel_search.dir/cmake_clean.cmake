@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_search.dir/hotel_search.cc.o"
+  "CMakeFiles/hotel_search.dir/hotel_search.cc.o.d"
+  "hotel_search"
+  "hotel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_gallery.dir/operator_gallery.cc.o"
+  "CMakeFiles/operator_gallery.dir/operator_gallery.cc.o.d"
+  "operator_gallery"
+  "operator_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skycube_explorer.dir/skycube_explorer.cc.o"
+  "CMakeFiles/skycube_explorer.dir/skycube_explorer.cc.o.d"
+  "skycube_explorer"
+  "skycube_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skycube_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_comparison.dir/variant_comparison.cc.o"
+  "CMakeFiles/variant_comparison.dir/variant_comparison.cc.o.d"
+  "variant_comparison"
+  "variant_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

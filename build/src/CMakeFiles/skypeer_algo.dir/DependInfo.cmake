@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skypeer/algo/anchored_skyline.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/anchored_skyline.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/anchored_skyline.cc.o.d"
+  "/root/repo/src/skypeer/algo/bitmap_skyline.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/bitmap_skyline.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/bitmap_skyline.cc.o.d"
+  "/root/repo/src/skypeer/algo/bnl.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/bnl.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/bnl.cc.o.d"
+  "/root/repo/src/skypeer/algo/constrained.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/constrained.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/constrained.cc.o.d"
+  "/root/repo/src/skypeer/algo/divide_conquer.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/divide_conquer.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/divide_conquer.cc.o.d"
+  "/root/repo/src/skypeer/algo/extended_skyline.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/extended_skyline.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/extended_skyline.cc.o.d"
+  "/root/repo/src/skypeer/algo/merge.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/merge.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/merge.cc.o.d"
+  "/root/repo/src/skypeer/algo/nn_skyline.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/nn_skyline.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/nn_skyline.cc.o.d"
+  "/root/repo/src/skypeer/algo/sfs.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/sfs.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/sfs.cc.o.d"
+  "/root/repo/src/skypeer/algo/skyband.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/skyband.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/skyband.cc.o.d"
+  "/root/repo/src/skypeer/algo/skycube.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/skycube.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/skycube.cc.o.d"
+  "/root/repo/src/skypeer/algo/sorted_skyline.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/sorted_skyline.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/sorted_skyline.cc.o.d"
+  "/root/repo/src/skypeer/algo/top_k_dominating.cc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/top_k_dominating.cc.o" "gcc" "src/CMakeFiles/skypeer_algo.dir/skypeer/algo/top_k_dominating.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skypeer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_btree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/anchored_skyline.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/anchored_skyline.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/bitmap_skyline.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/bitmap_skyline.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/bnl.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/bnl.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/constrained.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/constrained.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/divide_conquer.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/divide_conquer.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/extended_skyline.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/extended_skyline.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/merge.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/merge.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/nn_skyline.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/nn_skyline.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/sfs.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/sfs.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/skyband.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/skyband.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/skycube.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/skycube.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/sorted_skyline.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/sorted_skyline.cc.o.d"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/top_k_dominating.cc.o"
+  "CMakeFiles/skypeer_algo.dir/skypeer/algo/top_k_dominating.cc.o.d"
+  "libskypeer_algo.a"
+  "libskypeer_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_btree.dir/skypeer/btree/bplus_tree.cc.o"
+  "CMakeFiles/skypeer_btree.dir/skypeer/btree/bplus_tree.cc.o.d"
+  "libskypeer_btree.a"
+  "libskypeer_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

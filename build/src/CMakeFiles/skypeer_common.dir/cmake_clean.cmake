@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_common.dir/skypeer/common/point_set.cc.o"
+  "CMakeFiles/skypeer_common.dir/skypeer/common/point_set.cc.o.d"
+  "CMakeFiles/skypeer_common.dir/skypeer/common/status.cc.o"
+  "CMakeFiles/skypeer_common.dir/skypeer/common/status.cc.o.d"
+  "CMakeFiles/skypeer_common.dir/skypeer/common/subspace.cc.o"
+  "CMakeFiles/skypeer_common.dir/skypeer/common/subspace.cc.o.d"
+  "libskypeer_common.a"
+  "libskypeer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskypeer_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_data.dir/skypeer/data/generator.cc.o"
+  "CMakeFiles/skypeer_data.dir/skypeer/data/generator.cc.o.d"
+  "CMakeFiles/skypeer_data.dir/skypeer/data/partition.cc.o"
+  "CMakeFiles/skypeer_data.dir/skypeer/data/partition.cc.o.d"
+  "libskypeer_data.a"
+  "libskypeer_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skypeer/engine/experiment.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/experiment.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/experiment.cc.o.d"
+  "/root/repo/src/skypeer/engine/network_builder.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/network_builder.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/network_builder.cc.o.d"
+  "/root/repo/src/skypeer/engine/persistence.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/persistence.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/persistence.cc.o.d"
+  "/root/repo/src/skypeer/engine/query.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/query.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/query.cc.o.d"
+  "/root/repo/src/skypeer/engine/super_peer.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/super_peer.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/super_peer.cc.o.d"
+  "/root/repo/src/skypeer/engine/wire.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/wire.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/wire.cc.o.d"
+  "/root/repo/src/skypeer/engine/zipf_workload.cc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/zipf_workload.cc.o" "gcc" "src/CMakeFiles/skypeer_engine.dir/skypeer/engine/zipf_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skypeer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_btree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/experiment.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/experiment.cc.o.d"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/network_builder.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/network_builder.cc.o.d"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/persistence.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/persistence.cc.o.d"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/query.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/query.cc.o.d"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/super_peer.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/super_peer.cc.o.d"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/wire.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/wire.cc.o.d"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/zipf_workload.cc.o"
+  "CMakeFiles/skypeer_engine.dir/skypeer/engine/zipf_workload.cc.o.d"
+  "libskypeer_engine.a"
+  "libskypeer_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skypeer_engine.
+# This may be replaced when dependencies are built.

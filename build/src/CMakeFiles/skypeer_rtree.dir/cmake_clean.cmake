@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_rtree.dir/skypeer/rtree/rtree.cc.o"
+  "CMakeFiles/skypeer_rtree.dir/skypeer/rtree/rtree.cc.o.d"
+  "libskypeer_rtree.a"
+  "libskypeer_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_sim.dir/skypeer/sim/simulator.cc.o"
+  "CMakeFiles/skypeer_sim.dir/skypeer/sim/simulator.cc.o.d"
+  "libskypeer_sim.a"
+  "libskypeer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

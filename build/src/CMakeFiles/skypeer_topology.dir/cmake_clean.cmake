@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_topology.dir/skypeer/topology/graph.cc.o"
+  "CMakeFiles/skypeer_topology.dir/skypeer/topology/graph.cc.o.d"
+  "CMakeFiles/skypeer_topology.dir/skypeer/topology/overlay.cc.o"
+  "CMakeFiles/skypeer_topology.dir/skypeer/topology/overlay.cc.o.d"
+  "libskypeer_topology.a"
+  "libskypeer_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

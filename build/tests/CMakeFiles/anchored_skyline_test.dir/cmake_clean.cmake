@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchored_skyline_test.dir/anchored_skyline_test.cc.o"
+  "CMakeFiles/anchored_skyline_test.dir/anchored_skyline_test.cc.o.d"
+  "anchored_skyline_test"
+  "anchored_skyline_test.pdb"
+  "anchored_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchored_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

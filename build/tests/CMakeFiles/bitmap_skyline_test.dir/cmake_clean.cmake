@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_skyline_test.dir/bitmap_skyline_test.cc.o"
+  "CMakeFiles/bitmap_skyline_test.dir/bitmap_skyline_test.cc.o.d"
+  "bitmap_skyline_test"
+  "bitmap_skyline_test.pdb"
+  "bitmap_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/constrained_test.cc" "tests/CMakeFiles/constrained_test.dir/constrained_test.cc.o" "gcc" "tests/CMakeFiles/constrained_test.dir/constrained_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skypeer_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skypeer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

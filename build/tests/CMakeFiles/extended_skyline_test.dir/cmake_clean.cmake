@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_skyline_test.dir/extended_skyline_test.cc.o"
+  "CMakeFiles/extended_skyline_test.dir/extended_skyline_test.cc.o.d"
+  "extended_skyline_test"
+  "extended_skyline_test.pdb"
+  "extended_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_skyline_test.dir/nn_skyline_test.cc.o"
+  "CMakeFiles/nn_skyline_test.dir/nn_skyline_test.cc.o.d"
+  "nn_skyline_test"
+  "nn_skyline_test.pdb"
+  "nn_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

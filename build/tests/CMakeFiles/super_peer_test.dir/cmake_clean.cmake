@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/super_peer_test.dir/super_peer_test.cc.o"
+  "CMakeFiles/super_peer_test.dir/super_peer_test.cc.o.d"
+  "super_peer_test"
+  "super_peer_test.pdb"
+  "super_peer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/super_peer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipf_workload_test.dir/zipf_workload_test.cc.o"
+  "CMakeFiles/zipf_workload_test.dir/zipf_workload_test.cc.o.d"
+  "zipf_workload_test"
+  "zipf_workload_test.pdb"
+  "zipf_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipf_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/churn_test[1]_include.cmake")
+include("/root/repo/build/tests/constrained_test[1]_include.cmake")
+include("/root/repo/build/tests/skyband_test[1]_include.cmake")
+include("/root/repo/build/tests/super_peer_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/anchored_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/peer_test[1]_include.cmake")
+include("/root/repo/build/tests/top_k_dominating_test[1]_include.cmake")
+include("/root/repo/build/tests/zipf_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/network_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_skyline_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skypeer_cli.dir/skypeer_cli.cc.o"
+  "CMakeFiles/skypeer_cli.dir/skypeer_cli.cc.o.d"
+  "skypeer_cli"
+  "skypeer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skypeer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
