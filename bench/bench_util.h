@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "skypeer/common/thread_pool.h"
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
 
@@ -17,10 +18,13 @@ namespace skypeer::bench {
 ///
 ///   --queries N   queries per data point (default: figure-specific)
 ///   --seed S      master seed (default 1)
+///   --threads N   worker threads (default hardware_concurrency;
+///                 1 = sequential); simulated metrics are unaffected
 ///   --full        paper-scale parameters (more queries, larger sweeps)
 struct BenchOptions {
   int queries = -1;  // -1: use the bench's default.
   uint64_t seed = 1;
+  int threads = 0;  // 0: hardware_concurrency.
   bool full = false;
 
   int QueriesOr(int fallback, int full_value = 100) const {
@@ -40,14 +44,22 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       options.queries = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+      if (options.threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        std::exit(1);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--queries N] [--seed S] [--full]\n", argv[0]);
+      std::printf("usage: %s [--queries N] [--seed S] [--threads N] [--full]\n",
+                  argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(1);
     }
   }
+  ThreadPool::SetGlobalConcurrency(options.threads);
   return options;
 }
 

@@ -1,0 +1,167 @@
+#include "skypeer/common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "skypeer/common/macros.h"
+
+namespace skypeer {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  SKYPEER_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain.
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    task();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SKYPEER_CHECK(!stop_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Shared loop state. Helpers that start after the caller already
+  // drained every index find `next >= n` and return without touching
+  // `fn`, so the state (held alive by the shared_ptr) is all they need.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+
+  const auto claim_loop = [state, n, &fn]() {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // Enqueue up to one helper per worker; the caller claims indices too,
+  // so progress never depends on a worker being free (re-entrancy).
+  const size_t helpers = std::min<size_t>(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SKYPEER_CHECK(!stop_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.emplace(claim_loop);
+    }
+  }
+  cv_.notify_all();
+
+  claim_loop();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+int g_requested_concurrency = 0;  // 0: hardware_concurrency.
+
+int ResolveConcurrency(int n) {
+  if (n > 0) {
+    return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool* ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool =
+        std::make_unique<ThreadPool>(ResolveConcurrency(g_requested_concurrency));
+  }
+  return g_global_pool.get();
+}
+
+void ThreadPool::SetGlobalConcurrency(int n) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_requested_concurrency = n;
+  if (g_global_pool &&
+      g_global_pool->num_threads() != ResolveConcurrency(n)) {
+    g_global_pool.reset();  // Recreated lazily at the new size.
+  }
+}
+
+int ThreadPool::GlobalConcurrency() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  return g_global_pool ? g_global_pool->num_threads()
+                       : ResolveConcurrency(g_requested_concurrency);
+}
+
+}  // namespace skypeer

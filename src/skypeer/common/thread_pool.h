@@ -1,0 +1,77 @@
+#ifndef SKYPEER_COMMON_THREAD_POOL_H_
+#define SKYPEER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace skypeer {
+
+/// \brief A fixed-size worker pool with a FIFO work queue.
+///
+/// Concurrency 1 starts no worker threads and runs everything inline on
+/// the calling thread, which is bit-identical to the historical
+/// sequential code paths. `ParallelFor` is re-entrant: it may be called
+/// from inside a pool task (the caller participates in the index loop
+/// instead of blocking on a free worker), so a parallel batch driver can
+/// nest parallel per-query work without deadlocking the pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads - 1 >= 0` workers (the calling thread always
+  /// participates in `ParallelFor`). `num_threads` must be >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues `fn` for execution on a worker. The future resolves once it
+  /// ran; an exception thrown by `fn` propagates through the future. With
+  /// concurrency 1 the task runs inline before `Submit` returns.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs `fn(0), ..., fn(n-1)`, distributing indices over the workers
+  /// and the calling thread, and returns once every index completed.
+  /// Execution order is unspecified — callers must aggregate
+  /// deterministically (e.g. write into a pre-sized vector by index).
+  /// The first exception thrown by any invocation is rethrown on the
+  /// caller after the loop drains. With concurrency 1 this is a plain
+  /// sequential loop.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // --- process-wide default pool ----------------------------------------
+
+  /// The pool the engine uses by default. Sized by the most recent
+  /// `SetGlobalConcurrency` call, else by `hardware_concurrency`.
+  static ThreadPool* Global();
+
+  /// Sets the global pool's concurrency; `n == 0` selects
+  /// `hardware_concurrency`, `1` restores fully sequential execution.
+  /// Any existing global pool is drained and replaced on next use. Call
+  /// between workloads, not while work is in flight.
+  static void SetGlobalConcurrency(int n);
+
+  /// Concurrency the global pool has (or would be created with).
+  static int GlobalConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_COMMON_THREAD_POOL_H_

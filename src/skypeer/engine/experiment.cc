@@ -1,10 +1,12 @@
 #include "skypeer/engine/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "skypeer/common/macros.h"
 #include "skypeer/common/rng.h"
+#include "skypeer/common/thread_pool.h"
 
 namespace skypeer {
 
@@ -34,10 +36,38 @@ AggregateMetrics RunWorkload(SkypeerNetwork* network,
                              const std::vector<QueryTask>& tasks,
                              Variant variant) {
   AggregateMetrics aggregate;
-  for (const QueryTask& task : tasks) {
-    const QueryResult result =
-        network->ExecuteQuery(task.subspace, task.initiator_sp, variant);
-    aggregate.Add(result.metrics);
+  ThreadPool* pool = ThreadPool::Global();
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(pool->num_threads()), tasks.size());
+  if (workers <= 1 || !network->SupportsParallelWorkloads()) {
+    for (const QueryTask& task : tasks) {
+      const QueryResult result =
+          network->ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      aggregate.Add(result.metrics);
+    }
+    return aggregate;
+  }
+
+  // Queries of a workload are independent (no cache, read-only stores),
+  // so each worker executes a round-robin slice of the tasks against its
+  // own store replica. Metrics are aggregated in task order afterwards,
+  // making the result identical to the sequential loop.
+  std::vector<std::unique_ptr<SkypeerNetwork>> replicas;
+  replicas.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    replicas.push_back(network->CloneForQueries());
+  }
+  std::vector<QueryMetrics> per_task(tasks.size());
+  pool->ParallelFor(workers, [&](size_t w) {
+    SkypeerNetwork* net = w == 0 ? network : replicas[w - 1].get();
+    for (size_t t = w; t < tasks.size(); t += workers) {
+      per_task[t] =
+          net->ExecuteQuery(tasks[t].subspace, tasks[t].initiator_sp, variant)
+              .metrics;
+    }
+  });
+  for (const QueryMetrics& metrics : per_task) {
+    aggregate.Add(metrics);
   }
   return aggregate;
 }

@@ -4,9 +4,13 @@
 #include <chrono>
 #include <utility>
 
+#include <limits>
+
+#include "skypeer/algo/extended_skyline.h"
 #include "skypeer/algo/sfs.h"
 #include "skypeer/common/macros.h"
 #include "skypeer/common/rng.h"
+#include "skypeer/common/thread_pool.h"
 #include "skypeer/engine/peer.h"
 
 namespace skypeer {
@@ -70,6 +74,24 @@ PreprocessStats SkypeerNetwork::Preprocess() {
   PreprocessStats stats;
   Rng rng(config_.seed ^ 0x5eed5eed5eed5eedULL);
 
+  // Phase 1 (sequential): consume the master RNG in the historical order
+  // — per super-peer a centroid draw (clustered only), then one fork per
+  // associated peer — so the generated dataset is bit-identical at any
+  // thread count.
+  struct PeerJob {
+    int sp = 0;
+    int peer_id = 0;
+    uint64_t seed = 0;
+    PointId first_id = 0;
+    std::vector<double> centroid;  // Clustered distribution only.
+    // Worker outputs.
+    PointSet data{1};
+    ResultList ext{1};
+    size_t data_size = 0;
+    double cpu_s = 0.0;
+  };
+  std::vector<PeerJob> jobs;
+  jobs.reserve(overlay_.num_peers());
   for (int sp = 0; sp < overlay_.num_super_peers(); ++sp) {
     super_peers_[sp]->set_retain_peer_lists(config_.dynamic_membership);
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
@@ -80,48 +102,77 @@ PreprocessStats SkypeerNetwork::Preprocess() {
       centroid = RandomCentroid(config_.dims, &rng);
     }
     for (int peer_id : overlay_.super_peer_peers[sp]) {
-      Rng peer_rng(rng.Fork());
-      const PointId first_id =
-          static_cast<PointId>(peer_id) * config_.points_per_peer;
-      PointSet data(config_.dims);
-      switch (config_.distribution) {
-        case Distribution::kUniform:
-          data = GenerateUniform(config_.dims, config_.points_per_peer,
-                                 &peer_rng, first_id);
-          break;
-        case Distribution::kClustered:
-          data = GenerateClustered(centroid, config_.points_per_peer,
-                                   kClusterStdDev, &peer_rng, first_id);
-          break;
-        case Distribution::kCorrelated:
-          data = GenerateCorrelated(config_.dims, config_.points_per_peer,
-                                    &peer_rng, first_id);
-          break;
-        case Distribution::kAnticorrelated:
-          data = GenerateAnticorrelated(config_.dims, config_.points_per_peer,
-                                        &peer_rng, first_id);
-          break;
-      }
-      if (config_.retain_peer_data) {
-        all_data_.AppendAll(data);
-      }
-      stats.total_points += data.size();
-
-      if (config_.dynamic_membership) {
-        peer_point_ranges_[peer_id] = {
-            first_id, first_id + static_cast<PointId>(data.size())};
-      }
-
-      Peer peer(peer_id, std::move(data));
-      const auto start = std::chrono::steady_clock::now();
-      const ResultList& ext = peer.ComputeExtendedSkyline();
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - start;
-      stats.peer_cpu_s += elapsed.count();
-      stats.peer_ext_points += ext.size();
-      super_peers_[sp]->AddPeerList(peer_id, ext);
+      PeerJob job;
+      job.sp = sp;
+      job.peer_id = peer_id;
+      job.seed = rng.Fork();
+      job.first_id = static_cast<PointId>(peer_id) * config_.points_per_peer;
+      job.centroid = centroid;
+      jobs.push_back(std::move(job));
     }
-    stats.super_peer_cpu_s += super_peers_[sp]->FinalizePreprocessing();
+  }
+
+  // Phase 2 (parallel): every peer generates its partition and computes
+  // its extended skyline independently — the embarrassingly parallel
+  // bulk of pre-processing.
+  ThreadPool::Global()->ParallelFor(jobs.size(), [&](size_t i) {
+    PeerJob& job = jobs[i];
+    Rng peer_rng(job.seed);
+    PointSet data(config_.dims);
+    switch (config_.distribution) {
+      case Distribution::kUniform:
+        data = GenerateUniform(config_.dims, config_.points_per_peer,
+                               &peer_rng, job.first_id);
+        break;
+      case Distribution::kClustered:
+        data = GenerateClustered(job.centroid, config_.points_per_peer,
+                                 kClusterStdDev, &peer_rng, job.first_id);
+        break;
+      case Distribution::kCorrelated:
+        data = GenerateCorrelated(config_.dims, config_.points_per_peer,
+                                  &peer_rng, job.first_id);
+        break;
+      case Distribution::kAnticorrelated:
+        data = GenerateAnticorrelated(config_.dims, config_.points_per_peer,
+                                      &peer_rng, job.first_id);
+        break;
+    }
+    job.data_size = data.size();
+    const auto start = std::chrono::steady_clock::now();
+    job.ext = ExtendedSkyline(data);  // What Peer::ComputeExtendedSkyline runs.
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    job.cpu_s = elapsed.count();
+    if (config_.retain_peer_data) {
+      job.data = std::move(data);
+    }
+  });
+
+  // Phase 3 (sequential, job order): aggregate statistics and upload the
+  // lists in the same peer order as the sequential code did.
+  for (PeerJob& job : jobs) {
+    if (config_.retain_peer_data) {
+      all_data_.AppendAll(job.data);
+    }
+    stats.total_points += job.data_size;
+    if (config_.dynamic_membership) {
+      peer_point_ranges_[job.peer_id] = {
+          job.first_id, job.first_id + static_cast<PointId>(job.data_size)};
+    }
+    stats.peer_cpu_s += job.cpu_s;
+    stats.peer_ext_points += job.ext.size();
+    super_peers_[job.sp]->AddPeerList(job.peer_id, std::move(job.ext));
+  }
+  jobs.clear();
+
+  // Phase 4 (parallel): each super-peer merges its uploaded lists.
+  std::vector<double> merge_cpu_s(overlay_.num_super_peers(), 0.0);
+  ThreadPool::Global()->ParallelFor(
+      overlay_.num_super_peers(), [&](size_t sp) {
+        merge_cpu_s[sp] = super_peers_[sp]->FinalizePreprocessing();
+      });
+  for (int sp = 0; sp < overlay_.num_super_peers(); ++sp) {
+    stats.super_peer_cpu_s += merge_cpu_s[sp];
     stats.super_peer_ext_points += super_peers_[sp]->store().size();
   }
   total_points_ = stats.total_points;
@@ -249,6 +300,29 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
     sp->set_measure_cpu(config_.measure_cpu);
   }
 
+  // Stage the per-super-peer local scans concurrently when the variant's
+  // scan thresholds are known up front: infinity everywhere for naive;
+  // for FT*M the initiator computes first (threshold infinity) and every
+  // other node then scans under the initiator's flooded value. The
+  // simulator consumes the staged results when it replays the protocol,
+  // so results and simulated metrics match the sequential run exactly.
+  ThreadPool* pool = ThreadPool::Global();
+  const int num_sp = num_super_peers();
+  if (pool->num_threads() > 1 && num_sp > 1 &&
+      SupportsParallelLocalScan(variant)) {
+    double threshold = std::numeric_limits<double>::infinity();
+    if (variant != Variant::kNaive) {
+      super_peers_[initiator_sp]->StageLocalScan(subspace, variant, threshold);
+      threshold = super_peers_[initiator_sp]->StagedThreshold();
+    }
+    pool->ParallelFor(num_sp, [&](size_t sp) {
+      if (variant != Variant::kNaive && static_cast<int>(sp) == initiator_sp) {
+        return;  // Already staged above (under threshold infinity).
+      }
+      super_peers_[sp]->StageLocalScan(subspace, variant, threshold);
+    });
+  }
+
   auto start = std::make_shared<StartQueryMessage>();
   start->query_id = next_query_id_++;
   start->subspace = subspace;
@@ -307,6 +381,23 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
     }
   }
   return query_result;
+}
+
+std::unique_ptr<SkypeerNetwork> SkypeerNetwork::CloneForQueries() const {
+  SKYPEER_CHECK(preprocessed_);
+  NetworkConfig config = config_;
+  // Replicas only serve queries: no raw data, no churn bookkeeping.
+  config.retain_peer_data = false;
+  config.dynamic_membership = false;
+  auto clone = std::make_unique<SkypeerNetwork>(config);
+  std::vector<ResultList> stores;
+  stores.reserve(super_peers_.size());
+  for (const auto& sp : super_peers_) {
+    stores.push_back(sp->store());
+  }
+  SKYPEER_CHECK(clone->AdoptStores(std::move(stores)).ok());
+  clone->total_points_ = total_points_;
+  return clone;
 }
 
 Status SkypeerNetwork::ReplacePeerData(int peer_id, PointSet data) {

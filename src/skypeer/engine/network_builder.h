@@ -89,8 +89,29 @@ class SkypeerNetwork {
 
   /// Executes a subspace skyline query from the given initiator
   /// super-peer under the chosen strategy. Requires `Preprocess()`.
+  ///
+  /// When the global thread pool (see common/thread_pool.h) has more than
+  /// one thread and the variant's local scans are threshold-independent
+  /// (naive, FT*M), the per-super-peer scans are staged concurrently
+  /// before the simulator replays the protocol. Results and simulated
+  /// metrics are identical to the sequential execution — only host
+  /// wall-clock time changes.
   QueryResult ExecuteQuery(Subspace subspace, int initiator_sp,
                            Variant variant);
+
+  /// Builds a query-serving replica of this preprocessed network: same
+  /// configuration and overlay, stores copied via `AdoptStores`. Used by
+  /// parallel workload drivers to execute independent queries
+  /// concurrently; churn and ground truth stay with the original.
+  std::unique_ptr<SkypeerNetwork> CloneForQueries() const;
+
+  /// True when the queries of a workload are order-independent — the
+  /// per-subspace cache is off (its hit pattern, and thus the scan
+  /// counters, depend on query order) — so a batch may be distributed
+  /// over `CloneForQueries` replicas with bit-identical aggregates.
+  bool SupportsParallelWorkloads() const {
+    return preprocessed_ && !config_.enable_cache;
+  }
 
   /// Centralized skyline over the union of all peer data; requires
   /// `retain_peer_data`. The oracle for exactness tests.

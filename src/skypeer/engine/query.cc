@@ -28,4 +28,9 @@ bool UsesProgressiveMerging(Variant variant) {
   return variant == Variant::kFTPM || variant == Variant::kRTPM;
 }
 
+bool SupportsParallelLocalScan(Variant variant) {
+  return variant == Variant::kNaive || variant == Variant::kFTFM ||
+         variant == Variant::kFTPM;
+}
+
 }  // namespace skypeer

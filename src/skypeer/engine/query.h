@@ -45,6 +45,13 @@ inline constexpr Variant kAllVariants[] = {Variant::kNaive, Variant::kFTFM,
 bool UsesRefinedThreshold(Variant variant);
 /// True for FTPM / RTPM (paper: "*TPM").
 bool UsesProgressiveMerging(Variant variant);
+/// True when every super-peer's local scan for `variant` runs under a
+/// threshold that is known before the flood reaches it — infinity for
+/// naive, the initiator's value for FT*M — so the scans can be staged
+/// concurrently before the simulation replays the protocol. RT*M and the
+/// pipeline refine the threshold along the routing path, which makes
+/// their scans inherently sequential.
+bool SupportsParallelLocalScan(Variant variant);
 
 /// \brief Byte-size model of serialized protocol traffic.
 ///

@@ -167,14 +167,17 @@ void SuperPeer::HandleMessage(sim::Simulator* simulator,
   }
 }
 
-void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
-  ScopedCpuCharge charge(simulator, measure_cpu_);
-  if (state->variant == Variant::kNaive) {
+void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
+                             double threshold_in,
+                             std::shared_ptr<const ResultList>* local,
+                             double* threshold_out, size_t* scanned) {
+  if (variant == Variant::kNaive) {
     // The baseline ignores the f-ordering and the threshold: a plain BNL
     // over the store, then sorted for shipping.
-    PointSet skyline = BnlSkyline(store_.points, state->subspace);
-    state->local = std::make_shared<const ResultList>(BuildSortedByF(skyline));
-    state->scanned = store_.size();
+    PointSet skyline = BnlSkyline(store_.points, subspace);
+    *local = std::make_shared<const ResultList>(BuildSortedByF(skyline));
+    *threshold_out = threshold_in;
+    *scanned = store_.size();
     return;
   }
 
@@ -184,17 +187,17 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
     // f-order. Every point the filter drops is dominated by a real data
     // point (Observation 5 applied to the evolving threshold), so the
     // reply stays exact after the final merge.
-    auto it = cache_.find(state->subspace.mask());
+    auto it = cache_.find(subspace.mask());
     if (it == cache_.end()) {
       it = cache_
-               .emplace(state->subspace.mask(),
+               .emplace(subspace.mask(),
                         std::make_shared<const ResultList>(
-                            SortedSkyline(store_, state->subspace)))
+                            SortedSkyline(store_, subspace)))
                .first;
     }
     const ResultList& full = *it->second;
     auto filtered = std::make_shared<ResultList>(dims_);
-    double threshold = state->threshold;
+    double threshold = threshold_in;
     size_t consumed = 0;
     for (size_t i = 0; i < full.size(); ++i) {
       if (full.f[i] > threshold) {
@@ -203,22 +206,61 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
       ++consumed;
       filtered->points.AppendFrom(full.points, i);
       filtered->f.push_back(full.f[i]);
-      threshold = std::min(threshold, DistU(full.points[i], state->subspace));
+      threshold = std::min(threshold, DistU(full.points[i], subspace));
     }
-    state->local = std::move(filtered);
-    state->threshold = threshold;
-    state->scanned = consumed;
+    *local = std::move(filtered);
+    *threshold_out = threshold;
+    *scanned = consumed;
     return;
   }
 
   ThresholdScanOptions options;
-  options.initial_threshold = state->threshold;
+  options.initial_threshold = threshold_in;
   ThresholdScanStats stats;
-  state->local = std::make_shared<const ResultList>(
-      SortedSkyline(store_, state->subspace, options, &stats));
+  *local = std::make_shared<const ResultList>(
+      SortedSkyline(store_, subspace, options, &stats));
   // The scan threshold only ever tightens; RT*M forwards this value.
-  state->threshold = stats.final_threshold;
-  state->scanned = stats.scanned;
+  *threshold_out = stats.final_threshold;
+  *scanned = stats.scanned;
+}
+
+void SuperPeer::StageLocalScan(const Subspace& subspace, Variant variant,
+                               double threshold) {
+  StagedScan staged;
+  staged.mask = subspace.mask();
+  staged.variant = variant;
+  staged.threshold_in = threshold;
+  const auto start = std::chrono::steady_clock::now();
+  RunLocalScan(subspace, variant, threshold, &staged.local,
+               &staged.threshold_out, &staged.scanned);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  staged.cpu_s = std::max(0.0, elapsed.count());
+  staged_ = std::move(staged);
+}
+
+double SuperPeer::StagedThreshold() const {
+  SKYPEER_CHECK(staged_.has_value());
+  return staged_->threshold_out;
+}
+
+void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
+  if (staged_.has_value() && staged_->mask == state->subspace.mask() &&
+      staged_->variant == state->variant &&
+      staged_->threshold_in == state->threshold) {
+    if (measure_cpu_) {
+      simulator->ChargeCpu(staged_->cpu_s);
+    }
+    state->local = std::move(staged_->local);
+    state->threshold = staged_->threshold_out;
+    state->scanned = staged_->scanned;
+    staged_.reset();
+    return;
+  }
+  staged_.reset();
+  ScopedCpuCharge charge(simulator, measure_cpu_);
+  RunLocalScan(state->subspace, state->variant, state->threshold,
+               &state->local, &state->threshold, &state->scanned);
 }
 
 SuperPeer::LastQueryStats SuperPeer::last_query_stats() const {

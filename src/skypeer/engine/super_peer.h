@@ -101,7 +101,27 @@ class SuperPeer : public sim::Node {
   // --- query protocol ---------------------------------------------------
 
   /// Clears any in-flight query state; call between query executions.
-  void ResetQueryState() { query_.reset(); }
+  void ResetQueryState() {
+    query_.reset();
+    staged_.reset();
+  }
+
+  /// Pre-executes the local scan this node would run for a query on
+  /// `subspace` under `variant` arriving with `threshold`, measuring its
+  /// CPU cost on the executing (worker) thread. When the real query
+  /// message arrives with exactly these parameters, `ComputeLocal`
+  /// consumes the staged result and charges the recorded cost to the
+  /// virtual clock; on any parameter mismatch the scan silently reruns
+  /// inline, so staging can never change results or metrics — it only
+  /// moves host CPU work off the simulator thread. Safe to call
+  /// concurrently on *different* SuperPeer instances (it touches only
+  /// this node's store and cache). Cleared by `ResetQueryState`.
+  void StageLocalScan(const Subspace& subspace, Variant variant,
+                      double threshold);
+
+  /// Threshold the staged scan ended with — for FT*M the value the
+  /// initiator floods. Requires a preceding `StageLocalScan`.
+  double StagedThreshold() const;
 
   void HandleMessage(sim::Simulator* simulator,
                      const sim::Message& message) override;
@@ -156,6 +176,18 @@ class SuperPeer : public sim::Node {
     size_t scanned = 0;
   };
 
+  /// A local scan computed ahead of message delivery by `StageLocalScan`.
+  struct StagedScan {
+    uint32_t mask = 0;
+    Variant variant = Variant::kFTPM;
+    double threshold_in = 0.0;
+    std::shared_ptr<const ResultList> local;
+    double threshold_out = 0.0;
+    size_t scanned = 0;
+    /// Host CPU seconds the scan took on the staging thread.
+    double cpu_s = 0.0;
+  };
+
   void HandleStart(sim::Simulator* simulator, const StartQueryMessage& start);
   void HandleQuery(sim::Simulator* simulator, const sim::Message& message,
                    const QueryMessage& query);
@@ -169,7 +201,17 @@ class SuperPeer : public sim::Node {
   /// Computes the local subspace skyline under `state->threshold` and
   /// stores it in `state->local`, charging measured CPU. Updates
   /// `state->threshold` to the (possibly lower) final scan threshold.
+  /// Consumes a matching staged scan instead of recomputing.
   void ComputeLocal(sim::Simulator* simulator, QueryState* state);
+
+  /// The simulator-free scan core shared by `ComputeLocal` and
+  /// `StageLocalScan`: evaluates `subspace` against the store under
+  /// `threshold_in` for `variant` (including the cache path) and writes
+  /// the resulting list, tightened threshold and scan count.
+  void RunLocalScan(const Subspace& subspace, Variant variant,
+                    double threshold_in,
+                    std::shared_ptr<const ResultList>* local,
+                    double* threshold_out, size_t* scanned);
 
   /// Floods the query to every neighbor except `state->parent`; sets
   /// `pending`.
@@ -198,6 +240,7 @@ class SuperPeer : public sim::Node {
   bool preprocessed_ = false;
   std::vector<int> neighbors_;
   std::optional<QueryState> query_;
+  std::optional<StagedScan> staged_;
   bool measure_cpu_ = true;
   bool cache_enabled_ = false;
   std::map<uint32_t, std::shared_ptr<const ResultList>> cache_;

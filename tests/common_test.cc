@@ -248,6 +248,47 @@ TEST(Dominance, ExtImpliesRegular) {
   }
 }
 
+TEST(Dominance, EqualPointsAreIncomparable) {
+  // Equal coordinates on every queried dimension: neither point
+  // dominates, and the three-way relation agrees.
+  const double p[] = {1.0, 2.0, 3.0};
+  const double q[] = {1.0, 2.0, 3.0};
+  for (Subspace u : AllSubspaces(3)) {
+    EXPECT_FALSE(Dominates(p, q, u)) << u.ToString();
+    EXPECT_FALSE(Dominates(q, p, u)) << u.ToString();
+    EXPECT_EQ(CompareDominance(p, q, u), DomRelation::kIncomparable)
+        << u.ToString();
+  }
+}
+
+TEST(Dominance, DuplicateCoordinatesOnQueriedDims) {
+  // Points that differ only outside the queried subspace are equal
+  // *within* it — duplicates under u must behave like equal points.
+  const double p[] = {1.0, 2.0, 9.0};
+  const double q[] = {1.0, 2.0, 4.0};
+  const Subspace u = Subspace::FromDims({0, 1});
+  EXPECT_FALSE(Dominates(p, q, u));
+  EXPECT_FALSE(Dominates(q, p, u));
+  EXPECT_EQ(CompareDominance(p, q, u), DomRelation::kIncomparable);
+  // On the full space the third dimension decides.
+  EXPECT_TRUE(Dominates(q, p, Subspace::FullSpace(3)));
+  EXPECT_EQ(CompareDominance(p, q, Subspace::FullSpace(3)),
+            DomRelation::kQDominatesP);
+}
+
+TEST(Dominance, SingleStrictDimensionSuffices) {
+  // The §3.1 boundary case the top-k hand-check tripped over: smaller on
+  // one dimension, equal on the rest, still dominates.
+  const double p[] = {0.5, 4.0};
+  const double q[] = {4.0, 4.0};
+  const Subspace u = Subspace::FullSpace(2);
+  EXPECT_TRUE(Dominates(p, q, u));
+  EXPECT_FALSE(Dominates(q, p, u));
+  EXPECT_EQ(CompareDominance(p, q, u), DomRelation::kPDominatesQ);
+  // Ext-dominance still fails: the tie on dimension 1 breaks strictness.
+  EXPECT_FALSE(ExtDominates(p, q, u));
+}
+
 TEST(Dominance, CompareMatchesPairwiseTests) {
   Rng rng(11);
   Subspace u = Subspace::FromDims({0, 2});

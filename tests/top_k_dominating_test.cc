@@ -17,17 +17,21 @@ namespace {
 
 TEST(TopKDominating, HandChecked) {
   // Chain: a=(1,1) dominates b, c, d; b=(2,2) dominates c, d; c=(3,3)
-  // dominates d; e=(0.5, 4) dominates nothing.
+  // dominates d; e=(0.5, 4) dominates d — §3.1 dominance needs `<=` on
+  // every dimension and `<` on at least one, and (0.5, 4) vs (4, 4) is
+  // strictly smaller on the first dimension and equal on the second.
   PointSet data(2, {{1, 1}, {2, 2}, {3, 3}, {4, 4}, {0.5, 4}});
   const auto scores = DominationScores(data, Subspace::FullSpace(2));
-  EXPECT_EQ(scores, (std::vector<size_t>{3, 2, 1, 0, 0}));
+  EXPECT_EQ(scores, (std::vector<size_t>{3, 2, 1, 0, 1}));
 
   const auto top = TopKDominating(data, Subspace::FullSpace(2), 3);
   ASSERT_EQ(top.size(), 3u);
   EXPECT_EQ(top[0].id, 0u);
   EXPECT_EQ(top[0].score, 3u);
   EXPECT_EQ(top[1].id, 1u);
+  // c and e tie at score 1; the lower id wins the last slot.
   EXPECT_EQ(top[2].id, 2u);
+  EXPECT_EQ(top[2].score, 1u);
 }
 
 TEST(TopKDominating, TiesBreakById) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "skypeer/common/thread_pool.h"
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
 #include "skypeer/engine/zipf_workload.h"
@@ -27,6 +28,7 @@ struct CliOptions {
   NetworkConfig network;
   int k = 3;
   int queries = 20;
+  int threads = 0;  // 0: hardware_concurrency.
   std::string variant = "all";
   double zipf = -1.0;  // < 0: uniform workload.
   bool verbose = false;
@@ -51,6 +53,12 @@ void PrintUsageAndExit(const char* binary, int code) {
       "  --bandwidth B    link bandwidth in bytes/s (default 4096)\n"
       "  --latency L      link latency in seconds (default 0)\n"
       "  --seed S         master seed (default 1)\n"
+      "  --threads N      worker threads (default: hardware concurrency;\n"
+      "                   1 = sequential). Results and metrics do not\n"
+      "                   depend on the thread count\n"
+      "  --no-measure-cpu charge zero CPU to the virtual clocks instead\n"
+      "                   of measured host time; makes every reported\n"
+      "                   metric bit-reproducible across runs\n"
       "  --cache          enable the per-subspace result cache\n"
       "  --verbose        per-query output\n",
       binary);
@@ -116,6 +124,14 @@ CliOptions Parse(int argc, char** argv) {
       options.zipf = std::atof(next_value(&i));
     } else if (std::strcmp(arg, "--seed") == 0) {
       options.network.seed = std::strtoull(next_value(&i), nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = std::atoi(next_value(&i));
+      if (options.threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        PrintUsageAndExit(argv[0], 1);
+      }
+    } else if (std::strcmp(arg, "--no-measure-cpu") == 0) {
+      options.network.measure_cpu = false;
     } else if (std::strcmp(arg, "--cache") == 0) {
       options.network.enable_cache = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -152,6 +168,7 @@ std::vector<Variant> SelectVariants(const std::string& name) {
 
 int main(int argc, char** argv) {
   const CliOptions options = Parse(argc, argv);
+  ThreadPool::SetGlobalConcurrency(options.threads);
 
   const Status status = SkypeerNetwork::Validate(options.network);
   if (!status.ok()) {
@@ -200,16 +217,20 @@ int main(int argc, char** argv) {
       "-----------+--------\n");
   for (Variant variant : SelectVariants(options.variant)) {
     AggregateMetrics aggregate;
-    for (const QueryTask& task : tasks) {
-      const QueryResult result =
-          network.ExecuteQuery(task.subspace, task.initiator_sp, variant);
-      aggregate.Add(result.metrics);
-      if (options.verbose) {
+    if (options.verbose) {
+      // Per-query output wants interleaved prints; run sequentially.
+      for (const QueryTask& task : tasks) {
+        const QueryResult result =
+            network.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+        aggregate.Add(result.metrics);
         std::printf("  [%s] U=%s init=%d -> %zu points, %.2f s, %.1f KB\n",
                     VariantName(variant), task.subspace.ToString().c_str(),
                     task.initiator_sp, result.metrics.result_size,
                     result.metrics.total_time_s, result.metrics.volume_kb());
       }
+    } else {
+      // Distributes the batch over the thread pool when --threads > 1.
+      aggregate = RunWorkload(&network, tasks, variant);
     }
     std::printf("%-6s | %11.3f | %10.2f | %13.2f | %12.1f | %9.1f | %7.1f\n",
                 VariantName(variant), aggregate.avg_comp_s() * 1e3,
