@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.num_peers = num_peers;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     for (Variant variant :
          {Variant::kFTPM, Variant::kRTPM, Variant::kPipeline}) {

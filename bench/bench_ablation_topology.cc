@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.topology = topology;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     const double degree = network.overlay().backbone.AverageDegree();
     for (Variant variant :

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         config.wire.coord_bytes =
             static_cast<size_t>(8.0 * (d + 1) / (3 + 1));
       }
-      SkypeerNetwork network = BuildNetwork(config);
+      SkypeerNetwork network = BuildNetwork(config, options);
       network.Preprocess();
       const AggregateMetrics agg = RunVariant(&network, /*k=*/3, queries,
                                               options.seed + d,

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.dims = d;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     const PreprocessStats stats = network.Preprocess();
     table.AddRow({std::to_string(d), Fmt(stats.sel_p() * 100, 1),
                   Fmt(stats.sel_sp() * 100, 1),

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.dims = d;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     std::vector<std::string> row = {std::to_string(d)};
     for (int k : {2, 3}) {

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   NetworkConfig config;
   config.num_peers = 12000;
   config.seed = options.seed;
-  SkypeerNetwork network = BuildNetwork(config);
+  SkypeerNetwork network = BuildNetwork(config, options);
   network.Preprocess();
 
   Table table({"k", "FTFM", "RTFM"});

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.num_peers = num_peers;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     const AggregateMetrics naive = RunVariant(
         &network, /*k=*/3, queries, options.seed + num_peers, Variant::kNaive);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.num_peers = num_peers;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     std::vector<std::string> row = {std::to_string(num_peers)};
     for (Variant variant : kAllVariants) {

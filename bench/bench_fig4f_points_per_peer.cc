@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
     NetworkConfig config;
     config.points_per_peer = ppp;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     std::vector<std::string> row = {std::to_string(ppp)};
     for (Variant variant : kAllVariants) {

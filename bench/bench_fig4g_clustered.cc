@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   config.dims = 3;
   config.distribution = Distribution::kClustered;
   config.seed = options.seed;
-  SkypeerNetwork network = BuildNetwork(config);
+  SkypeerNetwork network = BuildNetwork(config, options);
   network.Preprocess();
 
   Table table({"variant", "comp (ms)", "total (s)", "volume (KB)"});

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     config.dims = d;
     config.distribution = Distribution::kClustered;
     config.seed = options.seed;
-    SkypeerNetwork network = BuildNetwork(config);
+    SkypeerNetwork network = BuildNetwork(config, options);
     network.Preprocess();
     std::vector<std::string> row = {std::to_string(d)};
     for (Variant variant : kAllVariants) {

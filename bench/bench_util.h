@@ -16,15 +16,19 @@ namespace skypeer::bench {
 
 /// Command-line options shared by all figure benches.
 ///
-///   --queries N   queries per data point (default: figure-specific)
-///   --seed S      master seed (default 1)
-///   --threads N   worker threads (default hardware_concurrency;
-///                 1 = sequential); simulated metrics are unaffected
-///   --full        paper-scale parameters (more queries, larger sweeps)
+///   --queries N    queries per data point (default: figure-specific)
+///   --seed S       master seed (default 1)
+///   --threads N    worker threads (default hardware_concurrency;
+///                  1 = sequential); simulated metrics are unaffected
+///   --scan-chunk N chunk size of the chunked parallel threshold scan at
+///                  super-peers (default 0 = sequential scan); results
+///                  are identical either way
+///   --full         paper-scale parameters (more queries, larger sweeps)
 struct BenchOptions {
   int queries = -1;  // -1: use the bench's default.
   uint64_t seed = 1;
   int threads = 0;  // 0: hardware_concurrency.
+  size_t scan_chunk = 0;  // 0: sequential threshold scans.
   bool full = false;
 
   int QueriesOr(int fallback, int full_value = 100) const {
@@ -50,9 +54,13 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be >= 0\n");
         std::exit(1);
       }
+    } else if (std::strcmp(argv[i], "--scan-chunk") == 0 && i + 1 < argc) {
+      options.scan_chunk = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--queries N] [--seed S] [--threads N] [--full]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--queries N] [--seed S] [--threads N] "
+          "[--scan-chunk N] [--full]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
@@ -124,16 +132,20 @@ inline std::string Fmt(double value, int precision = 3) {
 
 inline std::string FmtMs(double seconds) { return Fmt(seconds * 1e3, 3); }
 
-/// Builds + preprocesses a network, echoing the configuration.
-inline SkypeerNetwork BuildNetwork(const NetworkConfig& config) {
+/// Builds + preprocesses a network, echoing the configuration. Applies
+/// the harness options that map onto the network config (`--scan-chunk`).
+inline SkypeerNetwork BuildNetwork(NetworkConfig config,
+                                   const BenchOptions& options) {
+  config.scan_chunk_size = options.scan_chunk;
   std::printf(
-      "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu\n",
+      "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
+      "scan_chunk=%zu\n",
       config.num_peers,
       config.num_super_peers > 0 ? config.num_super_peers
                                  : DefaultNumSuperPeers(config.num_peers),
       config.points_per_peer, config.dims, config.degree_sp,
       DistributionName(config.distribution),
-      static_cast<unsigned long long>(config.seed));
+      static_cast<unsigned long long>(config.seed), config.scan_chunk_size);
   return SkypeerNetwork(config);
 }
 

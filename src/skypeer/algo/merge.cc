@@ -9,20 +9,25 @@
 
 namespace skypeer {
 
-ResultList MergeSortedSkylines(const std::vector<const ResultList*>& lists,
+ResultList MergeSortedSkylines(int dims,
+                               const std::vector<const ResultList*>& lists,
                                Subspace u, const ThresholdScanOptions& options,
                                ThresholdScanStats* stats) {
-  int dims = 0;
+  SKYPEER_CHECK(dims > 0);
   for (const ResultList* list : lists) {
     SKYPEER_CHECK(list != nullptr);
     SKYPEER_DCHECK(list->IsSorted());
-    if (dims == 0) {
-      dims = list->points.dims();
-    } else {
-      SKYPEER_CHECK(list->points.dims() == dims);
-    }
+    SKYPEER_CHECK(list->points.dims() == dims);
   }
-  SKYPEER_CHECK(dims > 0);
+  if (lists.empty()) {
+    // Nothing to merge: the skyline of an empty union is empty, at the
+    // unchanged initial threshold.
+    if (stats != nullptr) {
+      stats->scanned = 0;
+      stats->final_threshold = options.initial_threshold;
+    }
+    return ResultList(dims);
+  }
 
   SkylineAccumulator accumulator(dims, u, options);
 
@@ -70,7 +75,18 @@ ResultList MergeSortedSkylines(const std::vector<const ResultList*>& lists,
   return accumulator.TakeResult();
 }
 
-ResultList MergeSortedSkylines(const std::vector<ResultList>& lists,
+ResultList MergeSortedSkylines(const std::vector<const ResultList*>& lists,
+                               Subspace u, const ThresholdScanOptions& options,
+                               ThresholdScanStats* stats) {
+  // With no lists there is no dims source; callers whose list set can be
+  // empty must use the explicit-dims overload.
+  SKYPEER_CHECK(!lists.empty());
+  SKYPEER_CHECK(lists[0] != nullptr);
+  return MergeSortedSkylines(lists[0]->points.dims(), lists, u, options,
+                             stats);
+}
+
+ResultList MergeSortedSkylines(int dims, const std::vector<ResultList>& lists,
                                Subspace u, const ThresholdScanOptions& options,
                                ThresholdScanStats* stats) {
   std::vector<const ResultList*> pointers;
@@ -78,7 +94,14 @@ ResultList MergeSortedSkylines(const std::vector<ResultList>& lists,
   for (const ResultList& list : lists) {
     pointers.push_back(&list);
   }
-  return MergeSortedSkylines(pointers, u, options, stats);
+  return MergeSortedSkylines(dims, pointers, u, options, stats);
+}
+
+ResultList MergeSortedSkylines(const std::vector<ResultList>& lists,
+                               Subspace u, const ThresholdScanOptions& options,
+                               ThresholdScanStats* stats) {
+  SKYPEER_CHECK(!lists.empty());
+  return MergeSortedSkylines(lists[0].points.dims(), lists, u, options, stats);
 }
 
 }  // namespace skypeer

@@ -19,13 +19,28 @@ namespace skypeer {
 /// of the algorithm: dominated tails are never even touched.
 ///
 /// Returns the (extended) skyline of the union of all input lists on
-/// subspace `u`, sorted by `f`.
+/// subspace `u`, sorted by `f`. `dims` is the data dimensionality every
+/// list must match; an empty `lists` vector yields an empty result (a
+/// super-peer drained of all its peers merges zero lists).
+ResultList MergeSortedSkylines(int dims,
+                               const std::vector<const ResultList*>& lists,
+                               Subspace u,
+                               const ThresholdScanOptions& options = {},
+                               ThresholdScanStats* stats = nullptr);
+
+/// Overload inferring `dims` from the first list; `lists` must therefore
+/// be non-empty. Prefer the explicit-`dims` form on paths where the list
+/// set can shrink to nothing.
 ResultList MergeSortedSkylines(const std::vector<const ResultList*>& lists,
                                Subspace u,
                                const ThresholdScanOptions& options = {},
                                ThresholdScanStats* stats = nullptr);
 
-/// Convenience overload for value vectors.
+/// Convenience overloads for value vectors.
+ResultList MergeSortedSkylines(int dims, const std::vector<ResultList>& lists,
+                               Subspace u,
+                               const ThresholdScanOptions& options = {},
+                               ThresholdScanStats* stats = nullptr);
 ResultList MergeSortedSkylines(const std::vector<ResultList>& lists,
                                Subspace u,
                                const ThresholdScanOptions& options = {},

@@ -6,8 +6,16 @@
 
 #include "skypeer/common/dominance.h"
 #include "skypeer/common/mapping.h"
+#include "skypeer/common/thread_pool.h"
 
 namespace skypeer {
+
+namespace {
+
+/// Below this window size compaction is not worth the copy.
+constexpr size_t kCompactMinWindow = 64;
+
+}  // namespace
 
 ResultList BuildSortedByF(const PointSet& input) {
   const int dims = input.dims();
@@ -127,11 +135,13 @@ bool SkylineAccumulator::Offer(const double* p, PointId id, double f) {
     }
     EvictDominatedLinear(proj);
   }
+  MaybeCompact();
 
   const uint64_t index = window_points_.size();
   window_points_.Append(p, id);
   window_f_.push_back(f);
   alive_flags_.push_back(1);
+  emit_flags_.push_back(1);
   window_proj_.insert(window_proj_.end(), proj, proj + k);
   ++alive_;
   if (use_rtree_) {
@@ -144,12 +154,50 @@ bool SkylineAccumulator::Offer(const double* p, PointId id, double f) {
   return true;
 }
 
+void SkylineAccumulator::MaybeCompact() {
+  if (window_points_.size() < kCompactMinWindow ||
+      alive_ * 2 >= window_points_.size()) {
+    return;
+  }
+  const int k = u_.Count();
+  PointSet points(dims_);
+  points.Reserve(alive_);
+  std::vector<double> f;
+  f.reserve(alive_);
+  std::vector<char> emit;
+  emit.reserve(alive_);
+  std::vector<double> proj;
+  proj.reserve(alive_ * static_cast<size_t>(k));
+  for (size_t i = 0; i < window_points_.size(); ++i) {
+    if (!alive_flags_[i]) {
+      continue;
+    }
+    points.AppendFrom(window_points_, i);
+    f.push_back(window_f_[i]);
+    emit.push_back(emit_flags_[i]);
+    const double* row = window_proj_.data() + i * static_cast<size_t>(k);
+    proj.insert(proj.end(), row, row + k);
+  }
+  window_points_ = std::move(points);
+  window_f_ = std::move(f);
+  emit_flags_ = std::move(emit);
+  window_proj_ = std::move(proj);
+  alive_flags_.assign(alive_, 1);
+  if (use_rtree_) {
+    // The payloads are window indices; renumber them 0..alive-1 to match
+    // the compacted arrays.
+    std::vector<uint64_t> payloads(alive_);
+    std::iota(payloads.begin(), payloads.end(), uint64_t{0});
+    *rtree_ = RTree::BulkLoad(k, window_proj_.data(), payloads.data(), alive_);
+  }
+}
+
 ResultList SkylineAccumulator::TakeResult() {
   ResultList result(dims_);
   result.points.Reserve(alive_);
   result.f.reserve(alive_);
   for (size_t i = 0; i < window_points_.size(); ++i) {
-    if (alive_flags_[i]) {
+    if (alive_flags_[i] && emit_flags_[i]) {
       result.points.AppendFrom(window_points_, i);
       result.f.push_back(window_f_[i]);
     }
@@ -157,12 +205,40 @@ ResultList SkylineAccumulator::TakeResult() {
   window_points_.Clear();
   window_f_.clear();
   alive_flags_.clear();
+  emit_flags_.clear();
   window_proj_.clear();
   alive_ = 0;
   if (use_rtree_) {
     rtree_->Clear();
   }
   return result;
+}
+
+void SkylineAccumulator::SeedWindow(const ResultList& seed) {
+  SKYPEER_CHECK(window_points_.empty());
+  const int k = u_.Count();
+  const size_t n = seed.size();
+  window_points_.Reserve(n);
+  window_f_.reserve(n);
+  window_proj_.reserve(n * static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    window_points_.AppendFrom(seed.points, i);
+    window_f_.push_back(seed.f[i]);
+    const double* p = seed.points[i];
+    for (int dim : u_) {
+      window_proj_.push_back(p[dim]);
+    }
+  }
+  alive_flags_.assign(n, 1);
+  emit_flags_.assign(n, 0);
+  alive_ = n;
+  if (use_rtree_ && n > 0) {
+    // Seeds arrive all at once on an empty window: bulk loading beats n
+    // incremental inserts.
+    std::vector<uint64_t> payloads(n);
+    std::iota(payloads.begin(), payloads.end(), uint64_t{0});
+    *rtree_ = RTree::BulkLoad(k, window_proj_.data(), payloads.data(), n);
+  }
 }
 
 ResultList SortedSkyline(const ResultList& input, Subspace u,
@@ -183,6 +259,146 @@ ResultList SortedSkyline(const ResultList& input, Subspace u,
     stats->final_threshold = accumulator.threshold();
   }
   return accumulator.TakeResult();
+}
+
+ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
+                                 size_t chunk_size,
+                                 const ThresholdScanOptions& options,
+                                 ThresholdScanStats* stats, ThreadPool* pool) {
+  if (chunk_size == 0 || input.size() <= chunk_size) {
+    return SortedSkyline(input, u, options, stats);
+  }
+  SKYPEER_DCHECK(input.IsSorted());
+  if (pool == nullptr) {
+    pool = ThreadPool::Global();
+  }
+  const int dims = input.points.dims();
+  const size_t num_chunks = (input.size() + chunk_size - 1) / chunk_size;
+
+  std::vector<ResultList> chunk_results;
+  chunk_results.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    chunk_results.emplace_back(dims);
+  }
+  std::vector<ThresholdScanStats> chunk_stats(num_chunks);
+
+  const auto scan_chunk = [&](size_t c, double seed) {
+    ThresholdScanOptions chunk_options = options;
+    chunk_options.initial_threshold = seed;
+    SkylineAccumulator accumulator(dims, u, chunk_options);
+    if (c > 0) {
+      // Chunk 0's survivors — the sequential scan's hot window — reject
+      // most duplicated chunk-local survivors up front. They are
+      // computed before the fan-out, so the rejections (and hence every
+      // per-chunk result and scan count) stay deterministic; and they
+      // remain in the survivor union themselves, so the cross-filter
+      // below removes exactly the same points either way.
+      accumulator.SeedWindow(chunk_results[0]);
+    }
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(input.size(), begin + chunk_size);
+    size_t scanned = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (input.f[i] > accumulator.threshold()) {
+        break;
+      }
+      accumulator.Offer(input.points[i], input.points.id(i), input.f[i]);
+      ++scanned;
+    }
+    chunk_stats[c].scanned = scanned;
+    chunk_stats[c].final_threshold = accumulator.threshold();
+    chunk_results[c] = accumulator.TakeResult();
+  };
+
+  // Chunk 0 — the prefix the sequential scan would consume first — runs
+  // before the fan-out so its final threshold seeds every later chunk.
+  scan_chunk(0, options.initial_threshold);
+
+  // Deterministic seeds: chunk c starts from the tightest bound derivable
+  // from chunk 0's scan and the first point of chunks 1..c-1. Observation 5
+  // holds for the dist_U of any point (accepted or not), so the seed only
+  // prunes dominated points; and because the seeds depend on the input
+  // alone, per-chunk scan counts never vary with scheduling.
+  std::vector<double> seeds(num_chunks);
+  double bound = chunk_stats[0].final_threshold;
+  for (size_t c = 1; c < num_chunks; ++c) {
+    seeds[c] = bound;
+    bound = std::min(bound, DistU(input.points[c * chunk_size], u));
+  }
+  pool->ParallelFor(num_chunks - 1,
+                    [&](size_t i) { scan_chunk(i + 1, seeds[i + 1]); });
+
+  // Cross-filter: the final skyline is exactly the survivors that no
+  // other survivor dominates. Any input point that dominates a survivor
+  // resolves — through chunk evictions and threshold witnesses, both of
+  // which strictly dominate what they prune — to a survivor that also
+  // dominates it, so filtering against the survivor union alone is
+  // exact. The test is order-independent (a point never dominates
+  // itself or an equal projection), which makes this stage
+  // embarrassingly parallel, unlike a serial Algorithm 2 re-merge whose
+  // single accumulator pass would bound the speedup on skyline-heavy
+  // stores.
+  size_t total = 0;
+  for (const ResultList& r : chunk_results) {
+    total += r.size();
+  }
+  const int k = u.Count();
+  std::vector<double> proj(total * static_cast<size_t>(k));
+  {
+    size_t offset = 0;
+    for (const ResultList& r : chunk_results) {
+      for (size_t i = 0; i < r.size(); ++i, ++offset) {
+        const double* p = r.points[i];
+        double* row = proj.data() + offset * static_cast<size_t>(k);
+        int j = 0;
+        for (int dim : u) {
+          row[j++] = p[dim];
+        }
+      }
+    }
+  }
+  std::vector<uint64_t> payloads(total);
+  std::iota(payloads.begin(), payloads.end(), uint64_t{0});
+  const RTree tree = RTree::BulkLoad(k, proj.data(), payloads.data(), total);
+  std::vector<uint8_t> keep(total, 0);
+  constexpr size_t kFilterBlock = 1024;
+  const size_t num_blocks = (total + kFilterBlock - 1) / kFilterBlock;
+  pool->ParallelFor(num_blocks, [&](size_t b) {
+    const size_t begin = b * kFilterBlock;
+    const size_t end = std::min(total, begin + kFilterBlock);
+    for (size_t i = begin; i < end; ++i) {
+      keep[i] = !tree.AnyDominates(proj.data() + i * static_cast<size_t>(k),
+                                   options.ext);
+    }
+  });
+
+  // Concatenating in chunk order restores the original (f, position)
+  // order, and the final threshold — min dist_U over the survivors —
+  // matches the sequential accumulator's (every evicted point has an
+  // evictor chain ending in a survivor with dist_U no larger).
+  ResultList merged(dims);
+  double final_threshold = options.initial_threshold;
+  {
+    size_t offset = 0;
+    for (const ResultList& r : chunk_results) {
+      for (size_t i = 0; i < r.size(); ++i, ++offset) {
+        if (!keep[offset]) {
+          continue;
+        }
+        merged.points.AppendFrom(r.points, i);
+        merged.f.push_back(r.f[i]);
+        final_threshold = std::min(final_threshold, DistU(r.points[i], u));
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->scanned = 0;
+    for (const ThresholdScanStats& chunk : chunk_stats) {
+      stats->scanned += chunk.scanned;
+    }
+    stats->final_threshold = final_threshold;
+  }
+  return merged;
 }
 
 }  // namespace skypeer

@@ -13,6 +13,8 @@
 
 namespace skypeer {
 
+class ThreadPool;
+
 /// Options shared by the threshold-based scan algorithms (paper
 /// Algorithms 1 and 2).
 struct ThresholdScanOptions {
@@ -69,12 +71,27 @@ class SkylineAccumulator {
   size_t alive() const { return alive_; }
 
   /// Extracts the result, sorted ascending by `f` (insertion order with
-  /// evicted points dropped). The accumulator is left empty.
+  /// evicted points dropped and seed points excluded). The accumulator is
+  /// left empty.
   ResultList TakeResult();
+
+  /// Pre-populates the window with an already-computed skyline whose
+  /// points reject (and may be evicted by) later offers but never appear
+  /// in `TakeResult()`. `seed` must be mutually non-dominated and must
+  /// precede every future offer in `f` order. Only valid on an empty
+  /// accumulator; does not tighten `threshold()` (fold the seed's
+  /// threshold into `options.initial_threshold` instead).
+  void SeedWindow(const ResultList& seed);
 
  private:
   bool IsDominatedLinear(const double* proj) const;
   void EvictDominatedLinear(const double* proj);
+
+  /// Drops evicted window slots once fewer than half the entries are
+  /// alive, so the linear dominance tests and `window_proj_` stay
+  /// proportional to the running skyline instead of every point ever
+  /// offered. Rebuilds the R-tree payload indices when `use_rtree_`.
+  void MaybeCompact();
 
   int dims_;
   Subspace u_;
@@ -83,10 +100,13 @@ class SkylineAccumulator {
   double threshold_;
 
   // Candidate window: points appended in offer order; `alive_flags_[i]`
-  // clears when candidate i is evicted by a later dominator.
+  // clears when candidate i is evicted by a later dominator, and
+  // `emit_flags_[i]` is 0 for SeedWindow() entries, which participate in
+  // dominance tests but are not part of the result.
   PointSet window_points_;
   std::vector<double> window_f_;
   std::vector<char> alive_flags_;
+  std::vector<char> emit_flags_;
   std::vector<double> window_proj_;  // u-projected coords, row-major k-dim
   size_t alive_ = 0;
 
@@ -105,6 +125,31 @@ class SkylineAccumulator {
 ResultList SortedSkyline(const ResultList& input, Subspace u,
                          const ThresholdScanOptions& options = {},
                          ThresholdScanStats* stats = nullptr);
+
+/// \brief Chunked parallel form of Algorithm 1: splits the f-sorted input
+/// into contiguous chunks of `chunk_size` points, scans them concurrently
+/// on `pool` (the process-global pool when null) and cross-filters the
+/// per-chunk survivors — in parallel, against one bulk-loaded R-tree over
+/// their union — down to the exact skyline.
+///
+/// Returns a result bit-identical to `SortedSkyline(input, u, options)` at
+/// any thread count, including `stats->final_threshold`. Chunk 0 — the
+/// sequential scan's hot prefix — runs first; its final threshold plus the
+/// `dist_U` of each earlier chunk's first point seed the remaining chunks
+/// (Observation 5 justifies pruning against the `dist_U` of *any* point,
+/// accepted or not, because `f(p) <= dist_U(p)`). The seeds depend only on
+/// the input, so `stats->scanned` — the sum of the per-chunk scan counts —
+/// is also reproducible across thread counts; it can exceed the sequential
+/// scan count because later chunks cannot see thresholds discovered
+/// concurrently.
+///
+/// `chunk_size == 0` (or an input no larger than one chunk) falls back to
+/// the sequential scan.
+ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
+                                 size_t chunk_size,
+                                 const ThresholdScanOptions& options = {},
+                                 ThresholdScanStats* stats = nullptr,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace skypeer
 

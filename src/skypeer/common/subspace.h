@@ -29,8 +29,11 @@ class Subspace {
   constexpr explicit Subspace(uint32_t mask) : mask_(mask) {}
 
   /// The full space of dimensionality `dims` ({d_0, ..., d_{dims-1}}).
+  /// `dims` beyond `kMaxDims` cannot be represented as a bitmask and is
+  /// rejected rather than silently truncated to a 32-d subspace.
   static constexpr Subspace FullSpace(int dims) {
-    return Subspace(dims >= kMaxDims ? ~uint32_t{0}
+    SKYPEER_CHECK(dims >= 0 && dims <= kMaxDims);
+    return Subspace(dims == kMaxDims ? ~uint32_t{0}
                                      : ((uint32_t{1} << dims) - 1));
   }
 

@@ -95,6 +95,7 @@ PreprocessStats SkypeerNetwork::Preprocess() {
   for (int sp = 0; sp < overlay_.num_super_peers(); ++sp) {
     super_peers_[sp]->set_retain_peer_lists(config_.dynamic_membership);
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
+    super_peers_[sp]->set_scan_chunk_size(config_.scan_chunk_size);
     // The clustered workload has each super-peer pick a centroid; its
     // associated peers draw Gaussian points around it (§6).
     std::vector<double> centroid;
@@ -202,6 +203,7 @@ Status SkypeerNetwork::AdoptStores(std::vector<ResultList> stores) {
   }
   for (int sp = 0; sp < num_super_peers(); ++sp) {
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
+    super_peers_[sp]->set_scan_chunk_size(config_.scan_chunk_size);
     super_peers_[sp]->SetStore(std::move(stores[sp]));
   }
   // Only the retained fraction is known after a restore.

@@ -50,6 +50,14 @@ struct NetworkConfig {
   /// Cache each super-peer's unconstrained local skyline per query
   /// subspace; repeated queries on a subspace only filter by threshold.
   bool enable_cache = false;
+  /// Chunk size of the chunked parallel threshold scan at super-peers
+  /// (`ParallelSortedSkyline`): local scans over stores larger than one
+  /// chunk split into contiguous chunks executed on the global thread
+  /// pool and merged. 0 keeps Algorithm 1 sequential. Results, simulated
+  /// times, volume and messages are identical either way; only
+  /// `store_points_scanned` may differ from the sequential scan's count
+  /// (deterministically, for a fixed chunk size).
+  size_t scan_chunk_size = 0;
   WireModel wire;
 };
 

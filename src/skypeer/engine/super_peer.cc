@@ -54,16 +54,14 @@ void SuperPeer::AddPeerList(int peer_id, ResultList list) {
 void SuperPeer::RebuildStore() {
   ThresholdScanOptions options;
   options.ext = true;
-  if (peer_lists_.empty()) {
-    store_ = ResultList(dims_);
-  } else {
-    std::vector<const ResultList*> inputs;
-    inputs.reserve(peer_lists_.size());
-    for (const auto& [peer_id, list] : peer_lists_) {
-      inputs.push_back(&list);
-    }
-    store_ = MergeSortedSkylines(inputs, Subspace::FullSpace(dims_), options);
+  std::vector<const ResultList*> inputs;
+  inputs.reserve(peer_lists_.size());
+  for (const auto& [peer_id, list] : peer_lists_) {
+    inputs.push_back(&list);
   }
+  // Zero inputs (every peer departed) merge to the empty store.
+  store_ =
+      MergeSortedSkylines(dims_, inputs, Subspace::FullSpace(dims_), options);
   cache_.clear();
 }
 
@@ -191,8 +189,8 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
     if (it == cache_.end()) {
       it = cache_
                .emplace(subspace.mask(),
-                        std::make_shared<const ResultList>(
-                            SortedSkyline(store_, subspace)))
+                        std::make_shared<const ResultList>(ParallelSortedSkyline(
+                            store_, subspace, scan_chunk_size_)))
                .first;
     }
     const ResultList& full = *it->second;
@@ -217,8 +215,11 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
   ThresholdScanOptions options;
   options.initial_threshold = threshold_in;
   ThresholdScanStats stats;
+  // Bit-identical to the sequential scan; chunk size 0 or a store no
+  // larger than one chunk runs sequentially.
   *local = std::make_shared<const ResultList>(
-      SortedSkyline(store_, subspace, options, &stats));
+      ParallelSortedSkyline(store_, subspace, scan_chunk_size_, options,
+                            &stats));
   // The scan threshold only ever tightens; RT*M forwards this value.
   *threshold_out = stats.final_threshold;
   *scanned = stats.scanned;

@@ -98,6 +98,13 @@ class SuperPeer : public sim::Node {
   /// Invalidated by churn. The naive baseline never uses it.
   void set_enable_cache(bool enable) { cache_enabled_ = enable; }
 
+  /// Chunk size of the chunked parallel threshold scan (Algorithm 1 split
+  /// over the global thread pool; see `ParallelSortedSkyline`). 0 keeps
+  /// the scan sequential. Results, thresholds and scan counts are
+  /// identical at any thread count for a fixed chunk size; the scan count
+  /// can exceed the sequential scan's for the same store.
+  void set_scan_chunk_size(size_t chunk) { scan_chunk_size_ = chunk; }
+
   // --- query protocol ---------------------------------------------------
 
   /// Clears any in-flight query state; call between query executions.
@@ -243,6 +250,7 @@ class SuperPeer : public sim::Node {
   std::optional<StagedScan> staged_;
   bool measure_cpu_ = true;
   bool cache_enabled_ = false;
+  size_t scan_chunk_size_ = 0;
   std::map<uint32_t, std::shared_ptr<const ResultList>> cache_;
 };
 

@@ -18,6 +18,7 @@
 #include "skypeer/algo/sorted_skyline.h"
 #include "skypeer/common/dominance.h"
 #include "skypeer/common/rng.h"
+#include "skypeer/common/thread_pool.h"
 #include "skypeer/data/generator.h"
 
 namespace skypeer {
@@ -312,6 +313,28 @@ TEST(Merge, EmptyListsYieldEmptyResult) {
   EXPECT_TRUE(merged.empty());
 }
 
+TEST(Merge, ZeroListsWithExplicitDimsYieldEmptyResult) {
+  // A super-peer drained of every peer merges zero lists; there is no
+  // dims source among the inputs, so the explicit-dims overload must
+  // return an empty result instead of aborting.
+  ThresholdScanOptions options;
+  options.initial_threshold = 0.75;
+  ThresholdScanStats stats;
+  const ResultList merged = MergeSortedSkylines(
+      3, std::vector<const ResultList*>{}, Subspace::FullSpace(3), options,
+      &stats);
+  EXPECT_TRUE(merged.empty());
+  EXPECT_EQ(merged.points.dims(), 3);
+  EXPECT_EQ(stats.scanned, 0u);
+  EXPECT_EQ(stats.final_threshold, 0.75);
+
+  const ResultList ext_merged = MergeSortedSkylines(
+      2, std::vector<ResultList>{}, Subspace::FullSpace(2),
+      ThresholdScanOptions{.ext = true});
+  EXPECT_TRUE(ext_merged.empty());
+  EXPECT_EQ(ext_merged.points.dims(), 2);
+}
+
 TEST(Merge, InitialThresholdPrunes) {
   PointSet data(2, {{0.5, 0.5}, {0.7, 0.8}});
   std::vector<ResultList> lists;
@@ -323,6 +346,66 @@ TEST(Merge, InitialThresholdPrunes) {
       MergeSortedSkylines(lists, Subspace::FullSpace(2), options, &stats);
   EXPECT_TRUE(merged.empty());
   EXPECT_EQ(stats.scanned, 0u);
+}
+
+// --- window compaction --------------------------------------------------
+
+/// Eviction-heavy input: ascending f (driven by dimension 1) while
+/// dimension 0 descends, so on U={0} every offer strictly dominates and
+/// evicts all earlier points. Without compaction the window holds every
+/// point ever offered with a single survivor.
+PointSet EvictionHeavyData(size_t n) {
+  PointSet data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const double row[2] = {1.0 - 0.001 * static_cast<double>(i),
+                           0.001 * static_cast<double>(i)};
+    data.Append(row, static_cast<PointId>(i));
+  }
+  return data;
+}
+
+TEST(SkylineAccumulator, CompactionKeepsResultsUnchanged) {
+  const PointSet data = EvictionHeavyData(300);
+  const ResultList sorted = BuildSortedByF(data);
+  const Subspace u = Subspace::FromDims({0});
+  for (bool use_rtree : {false, true}) {
+    for (bool ext : {false, true}) {
+      ThresholdScanOptions options;
+      options.use_rtree = use_rtree;
+      options.ext = ext;
+      const ResultList result = SortedSkyline(sorted, u, options);
+      EXPECT_EQ(SortedIds(result.points), ReferenceSkyline(data, u, ext))
+          << "rtree=" << use_rtree << " ext=" << ext;
+    }
+  }
+}
+
+TEST(SkylineAccumulator, CompactionWithInterleavedSurvivors) {
+  // Mix the evicting sequence with incomparable survivors so compaction
+  // must preserve several alive entries, their f-order and the R-tree
+  // payload renumbering, not just a single point.
+  Rng rng(91);
+  PointSet data(3);
+  PointId id = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    const double t = 0.001 * static_cast<double>(i);
+    const double evict_row[3] = {0.9 - t, t, 0.95};
+    data.Append(evict_row, id++);
+    const double keep_row[3] = {rng.Uniform(), t, 0.1 + 0.5 * rng.Uniform()};
+    data.Append(keep_row, id++);
+  }
+  const ResultList sorted = BuildSortedByF(data);
+  for (Subspace u : {Subspace::FromDims({0}), Subspace::FromDims({0, 2}),
+                     Subspace::FullSpace(3)}) {
+    for (bool use_rtree : {false, true}) {
+      ThresholdScanOptions options;
+      options.use_rtree = use_rtree;
+      const ResultList result = SortedSkyline(sorted, u, options);
+      EXPECT_EQ(SortedIds(result.points), ReferenceSkyline(data, u, false))
+          << "u=" << u.ToString() << " rtree=" << use_rtree;
+      EXPECT_TRUE(result.IsSorted());
+    }
+  }
 }
 
 // --- cross-algorithm equivalence sweep ----------------------------------
@@ -376,6 +459,123 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param)) +
              (std::get<3>(info.param) ? "_ext" : "_sky");
     });
+
+// --- chunked parallel scan ----------------------------------------------
+
+/// Full-content equality: ids, f and coordinates in list order.
+void ExpectSameList(const ResultList& actual, const ResultList& expected,
+                    const std::string& context) {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual.points.id(i), expected.points.id(i)) << context;
+    EXPECT_EQ(actual.f[i], expected.f[i]) << context;
+    for (int d = 0; d < expected.points.dims(); ++d) {
+      EXPECT_EQ(actual.points[i][d], expected.points[i][d]) << context;
+    }
+  }
+}
+
+TEST(ParallelSortedSkyline, BitIdenticalToSequentialScan) {
+  ThreadPool pool(4);
+  for (Distribution distribution :
+       {Distribution::kUniform, Distribution::kAnticorrelated,
+        Distribution::kCorrelated}) {
+    for (int dims : {2, 4, 6}) {
+      const PointSet data =
+          MakeData(distribution, dims, 600, 131 * dims + 7);
+      const ResultList sorted = BuildSortedByF(data);
+      std::vector<Subspace> subspaces = {Subspace::FullSpace(dims),
+                                         Subspace::FromDims({0})};
+      if (dims >= 3) {
+        subspaces.push_back(Subspace::FromDims({1, 2}));
+      }
+      for (Subspace u : subspaces) {
+        for (bool ext : {false, true}) {
+          for (bool use_rtree : {false, true}) {
+            ThresholdScanOptions options;
+            options.ext = ext;
+            options.use_rtree = use_rtree;
+            ThresholdScanStats seq_stats;
+            const ResultList reference =
+                SortedSkyline(sorted, u, options, &seq_stats);
+            for (size_t chunk : {size_t{1}, size_t{7}, size_t{64},
+                                 size_t{599}, size_t{4096}}) {
+              const std::string context =
+                  std::string(DistributionName(distribution)) + " d" +
+                  std::to_string(dims) + " u=" + u.ToString() +
+                  (ext ? " ext" : "") + (use_rtree ? " rtree" : " linear") +
+                  " chunk=" + std::to_string(chunk);
+              ThresholdScanStats par_stats;
+              const ResultList chunked = ParallelSortedSkyline(
+                  sorted, u, chunk, options, &par_stats, &pool);
+              ExpectSameList(chunked, reference, context);
+              EXPECT_EQ(par_stats.final_threshold, seq_stats.final_threshold)
+                  << context;
+              // The sum of per-chunk scans can only see *more* of the
+              // input than the sequential scan's single prefix.
+              EXPECT_GE(par_stats.scanned, seq_stats.scanned) << context;
+              EXPECT_LE(par_stats.scanned, sorted.size()) << context;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelSortedSkyline, RespectsInitialThreshold) {
+  ThreadPool pool(3);
+  const PointSet data = MakeData(Distribution::kUniform, 4, 500, 77);
+  const ResultList sorted = BuildSortedByF(data);
+  const Subspace u = Subspace::FromDims({0, 2});
+  for (double threshold : {0.05, 0.3, 0.8}) {
+    ThresholdScanOptions options;
+    options.initial_threshold = threshold;
+    ThresholdScanStats seq_stats;
+    const ResultList reference = SortedSkyline(sorted, u, options, &seq_stats);
+    ThresholdScanStats par_stats;
+    const ResultList chunked =
+        ParallelSortedSkyline(sorted, u, 32, options, &par_stats, &pool);
+    ExpectSameList(chunked, reference,
+                   "threshold=" + std::to_string(threshold));
+    EXPECT_EQ(par_stats.final_threshold, seq_stats.final_threshold);
+  }
+}
+
+TEST(ParallelSortedSkyline, ScanCountIsThreadCountInvariant) {
+  // The chunk seeds depend only on the input, so `scanned` must be
+  // reproducible at any pool size for a fixed chunk size.
+  const PointSet data = MakeData(Distribution::kAnticorrelated, 5, 800, 13);
+  const ResultList sorted = BuildSortedByF(data);
+  const Subspace u = Subspace::FromDims({0, 1, 3});
+  std::vector<size_t> counts;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ThresholdScanStats stats;
+    const ResultList result =
+        ParallelSortedSkyline(sorted, u, 50, {}, &stats, &pool);
+    EXPECT_FALSE(result.empty());
+    counts.push_back(stats.scanned);
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[0], counts[2]);
+}
+
+TEST(ParallelSortedSkyline, EmptyAndTinyInputs) {
+  ThreadPool pool(2);
+  const ResultList empty(3);
+  const ResultList result =
+      ParallelSortedSkyline(empty, Subspace::FullSpace(3), 16, {}, nullptr,
+                            &pool);
+  EXPECT_TRUE(result.empty());
+
+  const PointSet one(2, {{0.4, 0.6}});
+  const ResultList single = BuildSortedByF(one);
+  ExpectSameList(
+      ParallelSortedSkyline(single, Subspace::FullSpace(2), 1, {}, nullptr,
+                            &pool),
+      SortedSkyline(single, Subspace::FullSpace(2)), "single point");
+}
 
 // Ties are where skyline algorithms usually break: duplicate coordinates
 // from a coarse grid.

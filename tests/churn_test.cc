@@ -159,6 +159,31 @@ TEST(Churn, DrainAllPeersOfOneSuperPeer) {
   ExpectAllVariantsExact(&network, Subspace::FromDims({0, 3}));
 }
 
+TEST(Churn, DrainedSuperPeerStillAnswersWithChunkedScans) {
+  // Regression: rebuilding a store from zero retained lists used to trip
+  // `SKYPEER_CHECK(dims > 0)` inside MergeSortedSkylines (no dims
+  // source). The drained super-peer must keep serving exact answers —
+  // here additionally with the chunked parallel scan path enabled at the
+  // surviving super-peers.
+  NetworkConfig config = DynamicConfig(11);
+  config.scan_chunk_size = 16;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  const std::vector<int> victims = network.overlay().super_peer_peers[3];
+  ASSERT_FALSE(victims.empty());
+  for (int peer : victims) {
+    ASSERT_TRUE(network.RemovePeer(peer).ok());
+  }
+  EXPECT_TRUE(network.super_peer(3).store().empty());
+  ExpectAllVariantsExact(&network, Subspace::FromDims({1, 2}));
+  ExpectAllVariantsExact(&network, Subspace::FullSpace(4));
+  // The drained super-peer can also initiate.
+  const QueryResult from_drained =
+      network.ExecuteQuery(Subspace::FromDims({0, 3}), 3, Variant::kRTPM);
+  EXPECT_EQ(SortedIds(from_drained.skyline.points),
+            SortedIds(network.GroundTruthSkyline(Subspace::FromDims({0, 3}))));
+}
+
 TEST(Churn, MixedJoinLeaveStress) {
   SkypeerNetwork network(DynamicConfig(10));
   network.Preprocess();

@@ -41,6 +41,15 @@ TEST(Subspace, FullSpaceMaxDims) {
   EXPECT_TRUE(s.Contains(31));
 }
 
+TEST(SubspaceDeathTest, FullSpaceRejectsOutOfRangeDims) {
+  // A 40-d config used to be silently truncated to a 32-d subspace; it
+  // must abort instead. dims == kMaxDims stays valid (tested above).
+  EXPECT_DEATH(Subspace::FullSpace(kMaxDims + 1), "dims <= kMaxDims");
+  EXPECT_DEATH(Subspace::FullSpace(40), "dims <= kMaxDims");
+  EXPECT_DEATH(Subspace::FullSpace(-1), "dims >= 0");
+  EXPECT_EQ(Subspace::FullSpace(0).Count(), 0);  // Empty-set sentinel.
+}
+
 TEST(Subspace, FromDims) {
   Subspace s = Subspace::FromDims({1, 4, 7});
   EXPECT_EQ(s.Count(), 3);

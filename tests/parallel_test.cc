@@ -229,6 +229,147 @@ TEST(ParallelDeterminism, WorkloadAggregatesMatchSequential) {
   ThreadPool::SetGlobalConcurrency(1);
 }
 
+// --- chunked threshold scans ------------------------------------------------
+
+/// Same as ExpectMetricsEqual minus store_points_scanned: chunked scans
+/// may scan extra points past per-chunk thresholds, so the scan count is
+/// comparable only between runs with the same chunk size.
+void ExpectMetricsEqualExceptScanned(const QueryMetrics& a,
+                                     const QueryMetrics& b,
+                                     const char* context) {
+  EXPECT_EQ(a.computational_time_s, b.computational_time_s) << context;
+  EXPECT_EQ(a.total_time_s, b.total_time_s) << context;
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << context;
+  EXPECT_EQ(a.messages, b.messages) << context;
+  EXPECT_EQ(a.result_size, b.result_size) << context;
+  EXPECT_EQ(a.local_result_points, b.local_result_points) << context;
+  EXPECT_EQ(a.super_peers_participated, b.super_peers_participated) << context;
+}
+
+TEST(ChunkedScanDeterminism, MatchesSequentialScanAtAnyThreadCount) {
+  // The tentpole guarantee: chunk_size > 0 must reproduce the sequential
+  // scan bit-for-bit — skylines, volume, messages, and (with
+  // measure_cpu=false) simulated times — at any thread count.
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(4, 2, 6, SmallConfig().num_super_peers, 19);
+  std::vector<Variant> variants(kAllVariants, kAllVariants + 5);
+  variants.push_back(Variant::kPipeline);
+
+  struct Reference {
+    std::vector<std::vector<double>> skyline;
+    QueryMetrics metrics;
+  };
+
+  ThreadPool::SetGlobalConcurrency(1);
+  SkypeerNetwork sequential(SmallConfig());
+  sequential.Preprocess();
+  std::vector<std::vector<Reference>> references;
+  for (Variant variant : variants) {
+    std::vector<Reference> per_task;
+    for (const QueryTask& task : tasks) {
+      const QueryResult result =
+          sequential.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      per_task.push_back({Signature(result.skyline), result.metrics});
+    }
+    references.push_back(std::move(per_task));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    NetworkConfig chunked_config = SmallConfig();
+    chunked_config.scan_chunk_size = 16;
+    SkypeerNetwork chunked(chunked_config);
+    chunked.Preprocess();
+    for (size_t v = 0; v < variants.size(); ++v) {
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        const QueryResult result = chunked.ExecuteQuery(
+            tasks[t].subspace, tasks[t].initiator_sp, variants[v]);
+        const std::string context = std::string(VariantName(variants[v])) +
+                                    " task " + std::to_string(t) +
+                                    " threads " + std::to_string(threads);
+        EXPECT_EQ(Signature(result.skyline), references[v][t].skyline)
+            << context;
+        ExpectMetricsEqualExceptScanned(result.metrics,
+                                        references[v][t].metrics,
+                                        context.c_str());
+      }
+    }
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
+TEST(ChunkedScanDeterminism, ScanCountsInvariantAcrossThreadCounts) {
+  // For a FIXED chunk size, every metric — including the scan count — is
+  // a pure function of the data, independent of scheduling.
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(4, 2, 5, SmallConfig().num_super_peers, 23);
+
+  std::vector<std::vector<std::vector<double>>> ref_skylines;
+  std::vector<QueryMetrics> ref_metrics;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    NetworkConfig config = SmallConfig();
+    config.scan_chunk_size = 16;
+    SkypeerNetwork network(config);
+    network.Preprocess();
+    size_t index = 0;
+    for (const QueryTask& task : tasks) {
+      for (Variant variant : kAllVariants) {
+        const QueryResult result =
+            network.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+        if (threads == 1) {
+          ref_skylines.push_back(Signature(result.skyline));
+          ref_metrics.push_back(result.metrics);
+        } else {
+          const std::string context = std::string(VariantName(variant)) +
+                                      " threads " + std::to_string(threads);
+          ASSERT_LT(index, ref_metrics.size());
+          EXPECT_EQ(Signature(result.skyline), ref_skylines[index])
+              << context;
+          ExpectMetricsEqual(result.metrics, ref_metrics[index],
+                             context.c_str());
+        }
+        ++index;
+      }
+    }
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
+TEST(ChunkedScanDeterminism, ChunkedWorkloadAggregatesMatchSequential) {
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(4, 3, 8, SmallConfig().num_super_peers, 31);
+
+  ThreadPool::SetGlobalConcurrency(1);
+  SkypeerNetwork sequential(SmallConfig());
+  sequential.Preprocess();
+
+  NetworkConfig chunked_config = SmallConfig();
+  chunked_config.scan_chunk_size = 64;
+  ThreadPool::SetGlobalConcurrency(4);
+  SkypeerNetwork chunked(chunked_config);
+  chunked.Preprocess();
+  EXPECT_TRUE(chunked.SupportsParallelWorkloads());
+
+  for (Variant variant : kAllVariants) {
+    ThreadPool::SetGlobalConcurrency(1);
+    const AggregateMetrics seq = RunWorkload(&sequential, tasks, variant);
+    ThreadPool::SetGlobalConcurrency(4);
+    const AggregateMetrics par = RunWorkload(&chunked, tasks, variant);
+    EXPECT_EQ(seq.queries, par.queries) << VariantName(variant);
+    EXPECT_EQ(seq.comp_s.samples(), par.comp_s.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.total_s.samples(), par.total_s.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.kb.samples(), par.kb.samples()) << VariantName(variant);
+    EXPECT_EQ(seq.messages.samples(), par.messages.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.result.samples(), par.result.samples())
+        << VariantName(variant);
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
 TEST(ParallelDeterminism, CloneForQueriesAnswersLikeTheOriginal) {
   ThreadPool::SetGlobalConcurrency(1);
   const NetworkConfig config = SmallConfig();

@@ -59,6 +59,10 @@ void PrintUsageAndExit(const char* binary, int code) {
       "  --no-measure-cpu charge zero CPU to the virtual clocks instead\n"
       "                   of measured host time; makes every reported\n"
       "                   metric bit-reproducible across runs\n"
+      "  --scan-chunk N   split super-peer threshold scans into chunks of\n"
+      "                   N points run on the thread pool (default 0 =\n"
+      "                   sequential scan). Results are identical either\n"
+      "                   way\n"
       "  --cache          enable the per-subspace result cache\n"
       "  --verbose        per-query output\n",
       binary);
@@ -130,6 +134,9 @@ CliOptions Parse(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be >= 0\n");
         PrintUsageAndExit(argv[0], 1);
       }
+    } else if (std::strcmp(arg, "--scan-chunk") == 0) {
+      options.network.scan_chunk_size =
+          std::strtoull(next_value(&i), nullptr, 10);
     } else if (std::strcmp(arg, "--no-measure-cpu") == 0) {
       options.network.measure_cpu = false;
     } else if (std::strcmp(arg, "--cache") == 0) {
