@@ -23,12 +23,16 @@ namespace skypeer::bench {
 ///   --scan-chunk N chunk size of the chunked parallel threshold scan at
 ///                  super-peers (default 0 = sequential scan); results
 ///                  are identical either way
+///   --speculative-rt stage RT*M/pipeline scans concurrently under the
+///                  initiator's fixed threshold and reconcile on arrival
+///                  of the refined value; results are identical
 ///   --full         paper-scale parameters (more queries, larger sweeps)
 struct BenchOptions {
   int queries = -1;  // -1: use the bench's default.
   uint64_t seed = 1;
   int threads = 0;  // 0: hardware_concurrency.
   size_t scan_chunk = 0;  // 0: sequential threshold scans.
+  bool speculative_rt = false;
   bool full = false;
 
   int QueriesOr(int fallback, int full_value = 100) const {
@@ -56,10 +60,12 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--scan-chunk") == 0 && i + 1 < argc) {
       options.scan_chunk = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--speculative-rt") == 0) {
+      options.speculative_rt = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--queries N] [--seed S] [--threads N] "
-          "[--scan-chunk N] [--full]\n",
+          "[--scan-chunk N] [--speculative-rt] [--full]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -133,10 +139,12 @@ inline std::string Fmt(double value, int precision = 3) {
 inline std::string FmtMs(double seconds) { return Fmt(seconds * 1e3, 3); }
 
 /// Builds + preprocesses a network, echoing the configuration. Applies
-/// the harness options that map onto the network config (`--scan-chunk`).
+/// the harness options that map onto the network config (`--scan-chunk`,
+/// `--speculative-rt`).
 inline SkypeerNetwork BuildNetwork(NetworkConfig config,
                                    const BenchOptions& options) {
   config.scan_chunk_size = options.scan_chunk;
+  config.speculative_rt = options.speculative_rt;
   std::printf(
       "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
       "scan_chunk=%zu\n",

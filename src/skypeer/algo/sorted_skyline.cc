@@ -78,7 +78,8 @@ bool SkylineAccumulator::IsDominatedLinear(const double* proj) const {
   return false;
 }
 
-void SkylineAccumulator::EvictDominatedLinear(const double* proj) {
+void SkylineAccumulator::EvictDominatedLinear(
+    const double* proj, std::vector<uint64_t>* evicted_tags) {
   const int k = u_.Count();
   for (size_t i = 0; i < window_points_.size(); ++i) {
     if (!alive_flags_[i]) {
@@ -99,11 +100,16 @@ void SkylineAccumulator::EvictDominatedLinear(const double* proj) {
     if (dominates && (strict_ || strictly)) {
       alive_flags_[i] = 0;
       --alive_;
+      if (evicted_tags != nullptr && window_tags_[i] != kNoTag) {
+        evicted_tags->push_back(window_tags_[i]);
+      }
     }
   }
 }
 
-bool SkylineAccumulator::Offer(const double* p, PointId id, double f) {
+bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
+                                     uint64_t tag,
+                                     std::vector<uint64_t>* evicted_tags) {
   // Project onto the query subspace once.
   const int k = u_.Count();
   double proj[kMaxDims];
@@ -128,12 +134,15 @@ bool SkylineAccumulator::Offer(const double* p, PointId id, double f) {
     for (uint64_t idx : scratch_payloads_) {
       alive_flags_[idx] = 0;
       --alive_;
+      if (evicted_tags != nullptr && window_tags_[idx] != kNoTag) {
+        evicted_tags->push_back(window_tags_[idx]);
+      }
     }
   } else {
     if (IsDominatedLinear(proj)) {
       return false;
     }
-    EvictDominatedLinear(proj);
+    EvictDominatedLinear(proj, evicted_tags);
   }
   MaybeCompact();
 
@@ -142,6 +151,7 @@ bool SkylineAccumulator::Offer(const double* p, PointId id, double f) {
   window_f_.push_back(f);
   alive_flags_.push_back(1);
   emit_flags_.push_back(1);
+  window_tags_.push_back(tag);
   window_proj_.insert(window_proj_.end(), proj, proj + k);
   ++alive_;
   if (use_rtree_) {
@@ -166,6 +176,8 @@ void SkylineAccumulator::MaybeCompact() {
   f.reserve(alive_);
   std::vector<char> emit;
   emit.reserve(alive_);
+  std::vector<uint64_t> tags;
+  tags.reserve(alive_);
   std::vector<double> proj;
   proj.reserve(alive_ * static_cast<size_t>(k));
   for (size_t i = 0; i < window_points_.size(); ++i) {
@@ -175,12 +187,14 @@ void SkylineAccumulator::MaybeCompact() {
     points.AppendFrom(window_points_, i);
     f.push_back(window_f_[i]);
     emit.push_back(emit_flags_[i]);
+    tags.push_back(window_tags_[i]);
     const double* row = window_proj_.data() + i * static_cast<size_t>(k);
     proj.insert(proj.end(), row, row + k);
   }
   window_points_ = std::move(points);
   window_f_ = std::move(f);
   emit_flags_ = std::move(emit);
+  window_tags_ = std::move(tags);
   window_proj_ = std::move(proj);
   alive_flags_.assign(alive_, 1);
   if (use_rtree_) {
@@ -206,6 +220,7 @@ ResultList SkylineAccumulator::TakeResult() {
   window_f_.clear();
   alive_flags_.clear();
   emit_flags_.clear();
+  window_tags_.clear();
   window_proj_.clear();
   alive_ = 0;
   if (use_rtree_) {
@@ -231,6 +246,7 @@ void SkylineAccumulator::SeedWindow(const ResultList& seed) {
   }
   alive_flags_.assign(n, 1);
   emit_flags_.assign(n, 0);
+  window_tags_.assign(n, kNoTag);
   alive_ = n;
   if (use_rtree_ && n > 0) {
     // Seeds arrive all at once on an empty window: bulk loading beats n
@@ -259,6 +275,73 @@ ResultList SortedSkyline(const ResultList& input, Subspace u,
     stats->final_threshold = accumulator.threshold();
   }
   return accumulator.TakeResult();
+}
+
+ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
+                               const ThresholdScanOptions& options,
+                               ThresholdScanStats* stats, ScanTrace* trace) {
+  SKYPEER_DCHECK(input.IsSorted());
+  SKYPEER_CHECK(trace != nullptr);
+  trace->threshold_in = options.initial_threshold;
+  trace->accepted.clear();
+  trace->dist_u.clear();
+  trace->evicted_at.clear();
+
+  SkylineAccumulator accumulator(input.points.dims(), u, options);
+  std::vector<uint64_t> evicted;
+  size_t scanned = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input.f[i] > accumulator.threshold()) {
+      break;
+    }
+    evicted.clear();
+    const bool accepted = accumulator.OfferTagged(
+        input.points[i], input.points.id(i), input.f[i], i, &evicted);
+    trace->accepted.push_back(accepted ? 1 : 0);
+    trace->dist_u.push_back(accepted ? DistU(input.points[i], u) : 0.0);
+    trace->evicted_at.push_back(ScanTrace::kNeverEvicted);
+    for (uint64_t victim : evicted) {
+      trace->evicted_at[victim] = i;
+    }
+    ++scanned;
+  }
+  if (stats != nullptr) {
+    stats->scanned = scanned;
+    stats->final_threshold = accumulator.threshold();
+  }
+  return accumulator.TakeResult();
+}
+
+ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
+                           double threshold_in, ThresholdScanStats* stats) {
+  SKYPEER_CHECK(threshold_in <= trace.threshold_in);
+  // The running threshold under the tighter start is min(threshold_in,
+  // running threshold of the recorded scan) at every position, so the
+  // replayed scan stops within the recorded prefix: past its cut the
+  // recorded scan's own threshold already rejected the next point.
+  double threshold = threshold_in;
+  size_t cut = 0;
+  while (cut < trace.size() && input.f[cut] <= threshold) {
+    if (trace.accepted[cut]) {
+      threshold = std::min(threshold, trace.dist_u[cut]);
+    }
+    ++cut;
+  }
+  // Survivors: accepted before the cut and not evicted before it. An
+  // eviction at position >= cut never happens in the replayed scan (its
+  // evictor is past the stopping point), so the point stays alive.
+  ResultList result(input.points.dims());
+  for (size_t i = 0; i < cut; ++i) {
+    if (trace.accepted[i] && trace.evicted_at[i] >= cut) {
+      result.points.AppendFrom(input.points, i);
+      result.f.push_back(input.f[i]);
+    }
+  }
+  if (stats != nullptr) {
+    stats->scanned = cut;
+    stats->final_threshold = threshold;
+  }
+  return result;
 }
 
 ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,

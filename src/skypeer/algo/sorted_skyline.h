@@ -2,6 +2,7 @@
 #define SKYPEER_ALGO_SORTED_SKYLINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -40,6 +41,41 @@ struct ThresholdScanStats {
   double final_threshold = std::numeric_limits<double>::infinity();
 };
 
+/// \brief Recorded event log of one sequential threshold scan, sufficient
+/// to replay the same scan under any *tighter* initial threshold without
+/// re-running a single dominance test.
+///
+/// A threshold scan's dominance outcomes on a shared prefix do not depend
+/// on the initial threshold — only the stopping point does (the running
+/// threshold under `t' <= t` is `min(t', running threshold under t)` at
+/// every position). So a scan executed under an upper-bound threshold,
+/// recording per scanned point whether it entered the window, its
+/// `dist_U` (the threshold contribution of accepted points, kept even
+/// when the point is later evicted) and the scan position of its evictor,
+/// determines the result, scan count and final threshold of the scan
+/// under any refined `t' <= t`: survivors are the accepted points before
+/// the refined cut whose evictor lies at or past the cut. This is what
+/// lets the engine scan speculatively under the initiator's fixed
+/// threshold and reconcile exactly when the refined threshold arrives.
+struct ScanTrace {
+  /// `kNeverEvicted` in `evicted_at` marks points alive at trace end.
+  static constexpr size_t kNeverEvicted = static_cast<size_t>(-1);
+
+  /// Initial threshold the recorded scan ran under; replays require a
+  /// threshold no larger than this.
+  double threshold_in = std::numeric_limits<double>::infinity();
+  /// Per scanned position: 1 if the point entered the running skyline.
+  std::vector<char> accepted;
+  /// Per scanned position: `dist_U` of accepted points (0 otherwise).
+  std::vector<double> dist_u;
+  /// Per scanned position: scan position of the offer that evicted the
+  /// point, or `kNeverEvicted`. Rejected points are `kNeverEvicted` too
+  /// (the `accepted` flag already excludes them from replays).
+  std::vector<size_t> evicted_at;
+
+  size_t size() const { return accepted.size(); }
+};
+
 /// \brief Incrementally maintains a (extended) subspace skyline under
 /// ascending-`f` insertion order. The shared core of Algorithms 1 and 2.
 ///
@@ -60,7 +96,20 @@ class SkylineAccumulator {
   /// Considers point `p` (full-dimensional row) with the given id and
   /// `f`-value. Returns true if `p` entered the running skyline.
   /// Pre: `f` values are offered in non-decreasing order.
-  bool Offer(const double* p, PointId id, double f);
+  bool Offer(const double* p, PointId id, double f) {
+    return OfferTagged(p, id, f, kNoTag, nullptr);
+  }
+
+  /// Tag value of points offered without one (and of `SeedWindow` seeds);
+  /// never reported through `evicted_tags`.
+  static constexpr uint64_t kNoTag = static_cast<uint64_t>(-1);
+
+  /// `Offer` that additionally attaches a caller tag to the point and,
+  /// when `evicted_tags` is non-null, appends the tags of the window
+  /// entries this offer evicted. Used by the traced scan to record which
+  /// scan position evicted which: the tag is the offer's scan position.
+  bool OfferTagged(const double* p, PointId id, double f, uint64_t tag,
+                   std::vector<uint64_t>* evicted_tags);
 
   /// Current pruning threshold: points with `f > threshold()` can never
   /// enter the skyline (Observation 5); with `f == threshold()` ties are
@@ -85,7 +134,8 @@ class SkylineAccumulator {
 
  private:
   bool IsDominatedLinear(const double* proj) const;
-  void EvictDominatedLinear(const double* proj);
+  void EvictDominatedLinear(const double* proj,
+                            std::vector<uint64_t>* evicted_tags);
 
   /// Drops evicted window slots once fewer than half the entries are
   /// alive, so the linear dominance tests and `window_proj_` stay
@@ -107,6 +157,7 @@ class SkylineAccumulator {
   std::vector<double> window_f_;
   std::vector<char> alive_flags_;
   std::vector<char> emit_flags_;
+  std::vector<uint64_t> window_tags_;  // caller tags; kNoTag when untagged
   std::vector<double> window_proj_;  // u-projected coords, row-major k-dim
   size_t alive_ = 0;
 
@@ -125,6 +176,24 @@ class SkylineAccumulator {
 ResultList SortedSkyline(const ResultList& input, Subspace u,
                          const ThresholdScanOptions& options = {},
                          ThresholdScanStats* stats = nullptr);
+
+/// \brief Algorithm 1 with event recording: identical result, threshold
+/// and scan count as `SortedSkyline(input, u, options)`, but additionally
+/// fills `trace` so the scan can later be replayed under any tighter
+/// initial threshold via `ReplayScanTrace`.
+ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
+                               const ThresholdScanOptions& options,
+                               ThresholdScanStats* stats, ScanTrace* trace);
+
+/// \brief Replays a recorded scan of `input` under `threshold_in`, which
+/// must satisfy `threshold_in <= trace.threshold_in`. Returns exactly what
+/// `SortedSkyline(input, u, {.initial_threshold = threshold_in})` would
+/// — same points in the same order, same `stats->scanned` and
+/// `stats->final_threshold` — in O(recorded scan length) with no
+/// dominance tests. `input` must be the list the trace was recorded over.
+ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
+                           double threshold_in,
+                           ThresholdScanStats* stats = nullptr);
 
 /// \brief Chunked parallel form of Algorithm 1: splits the f-sorted input
 /// into contiguous chunks of `chunk_size` points, scans them concurrently

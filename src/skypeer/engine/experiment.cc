@@ -36,7 +36,7 @@ AggregateMetrics RunWorkload(SkypeerNetwork* network,
                              const std::vector<QueryTask>& tasks,
                              Variant variant) {
   AggregateMetrics aggregate;
-  ThreadPool* pool = ThreadPool::Global();
+  ThreadPool* pool = network->pool();
   const size_t workers =
       std::min<size_t>(static_cast<size_t>(pool->num_threads()), tasks.size());
   if (workers <= 1 || !network->SupportsParallelWorkloads()) {
@@ -48,10 +48,12 @@ AggregateMetrics RunWorkload(SkypeerNetwork* network,
     return aggregate;
   }
 
-  // Queries of a workload are independent (no cache, read-only stores),
-  // so each worker executes a round-robin slice of the tasks against its
-  // own store replica. Metrics are aggregated in task order afterwards,
-  // making the result identical to the sequential loop.
+  // Queries of a workload are independent (read-only stores; with the
+  // cache enabled the replicas share one thread-safe cache whose entries
+  // and scan counters are order-independent), so each worker executes a
+  // round-robin slice of the tasks against its own store replica.
+  // Metrics are aggregated in task order afterwards, making the result
+  // identical to the sequential loop.
   std::vector<std::unique_ptr<SkypeerNetwork>> replicas;
   replicas.reserve(workers - 1);
   for (size_t w = 1; w < workers; ++w) {

@@ -28,6 +28,9 @@ Status SkypeerNetwork::Validate(const NetworkConfig& config) {
   if (config.latency < 0.0) {
     return Status::InvalidArgument("latency must be >= 0");
   }
+  if (config.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
   OverlayConfig overlay_config;
   overlay_config.num_peers = config.num_peers;
   overlay_config.num_super_peers = config.num_super_peers;
@@ -49,11 +52,23 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
   overlay_config.seed = rng.Fork();
   overlay_ = BuildOverlay(overlay_config);
 
+  if (config_.threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+    pool_ = owned_pool_.get();
+  }
+  if (config_.enable_cache) {
+    result_cache_ = std::make_shared<SubspaceScanTraceCache>();
+  }
+
   const int num_sp = overlay_.num_super_peers();
   super_peers_.reserve(num_sp);
   for (int i = 0; i < num_sp; ++i) {
     super_peers_.push_back(
         std::make_unique<SuperPeer>(i, config_.dims, config_.wire));
+    super_peers_.back()->set_thread_pool(pool_);
+    if (result_cache_ != nullptr) {
+      super_peers_.back()->SetResultCache(result_cache_);
+    }
     const int sim_id = simulator_.AddNode(super_peers_.back().get());
     SKYPEER_CHECK(sim_id == i);
   }
@@ -67,6 +82,12 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
       }
     }
   }
+}
+
+SkypeerNetwork::~SkypeerNetwork() = default;
+
+ThreadPool* SkypeerNetwork::pool() const {
+  return pool_ != nullptr ? pool_ : ThreadPool::Global();
 }
 
 PreprocessStats SkypeerNetwork::Preprocess() {
@@ -116,7 +137,7 @@ PreprocessStats SkypeerNetwork::Preprocess() {
   // Phase 2 (parallel): every peer generates its partition and computes
   // its extended skyline independently — the embarrassingly parallel
   // bulk of pre-processing.
-  ThreadPool::Global()->ParallelFor(jobs.size(), [&](size_t i) {
+  pool()->ParallelFor(jobs.size(), [&](size_t i) {
     PeerJob& job = jobs[i];
     Rng peer_rng(job.seed);
     PointSet data(config_.dims);
@@ -168,10 +189,9 @@ PreprocessStats SkypeerNetwork::Preprocess() {
 
   // Phase 4 (parallel): each super-peer merges its uploaded lists.
   std::vector<double> merge_cpu_s(overlay_.num_super_peers(), 0.0);
-  ThreadPool::Global()->ParallelFor(
-      overlay_.num_super_peers(), [&](size_t sp) {
-        merge_cpu_s[sp] = super_peers_[sp]->FinalizePreprocessing();
-      });
+  pool()->ParallelFor(overlay_.num_super_peers(), [&](size_t sp) {
+    merge_cpu_s[sp] = super_peers_[sp]->FinalizePreprocessing();
+  });
   for (int sp = 0; sp < overlay_.num_super_peers(); ++sp) {
     stats.super_peer_cpu_s += merge_cpu_s[sp];
     stats.super_peer_ext_points += super_peers_[sp]->store().size();
@@ -308,21 +328,40 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
   // other node then scans under the initiator's flooded value. The
   // simulator consumes the staged results when it replays the protocol,
   // so results and simulated metrics match the sequential run exactly.
-  ThreadPool* pool = ThreadPool::Global();
+  ThreadPool* staging_pool = pool();
   const int num_sp = num_super_peers();
-  if (pool->num_threads() > 1 && num_sp > 1 &&
-      SupportsParallelLocalScan(variant)) {
-    double threshold = std::numeric_limits<double>::infinity();
-    if (variant != Variant::kNaive) {
-      super_peers_[initiator_sp]->StageLocalScan(subspace, variant, threshold);
-      threshold = super_peers_[initiator_sp]->StagedThreshold();
-    }
-    pool->ParallelFor(num_sp, [&](size_t sp) {
-      if (variant != Variant::kNaive && static_cast<int>(sp) == initiator_sp) {
-        return;  // Already staged above (under threshold infinity).
+  if (staging_pool->num_threads() > 1 && num_sp > 1) {
+    if (SupportsParallelLocalScan(variant)) {
+      double threshold = std::numeric_limits<double>::infinity();
+      if (variant != Variant::kNaive) {
+        super_peers_[initiator_sp]->StageLocalScan(subspace, variant,
+                                                   threshold);
+        threshold = super_peers_[initiator_sp]->StagedThreshold();
       }
-      super_peers_[sp]->StageLocalScan(subspace, variant, threshold);
-    });
+      staging_pool->ParallelFor(num_sp, [&](size_t sp) {
+        if (variant != Variant::kNaive &&
+            static_cast<int>(sp) == initiator_sp) {
+          return;  // Already staged above (under threshold infinity).
+        }
+        super_peers_[sp]->StageLocalScan(subspace, variant, threshold);
+      });
+    } else if (config_.speculative_rt && RefinesThresholdOnPath(variant)) {
+      // Speculative wave for the threshold-refining variants: the
+      // initiator scans under infinity exactly as the protocol will, and
+      // every other node pre-scans under the initiator's fixed threshold
+      // — provably an upper bound on whatever refined value reaches it,
+      // so `ComputeLocal` can reconcile the staged scan into the exact
+      // sequential result when the true threshold arrives.
+      super_peers_[initiator_sp]->StageLocalScan(
+          subspace, variant, std::numeric_limits<double>::infinity());
+      const double fixed = super_peers_[initiator_sp]->StagedThreshold();
+      staging_pool->ParallelFor(num_sp, [&](size_t sp) {
+        if (static_cast<int>(sp) == initiator_sp) {
+          return;
+        }
+        super_peers_[sp]->StageSpeculativeScan(subspace, variant, fixed);
+      });
+    }
   }
 
   auto start = std::make_shared<StartQueryMessage>();
@@ -388,16 +427,33 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
 std::unique_ptr<SkypeerNetwork> SkypeerNetwork::CloneForQueries() const {
   SKYPEER_CHECK(preprocessed_);
   NetworkConfig config = config_;
-  // Replicas only serve queries: no raw data, no churn bookkeeping.
+  // Replicas only serve queries: no raw data, no churn bookkeeping, and
+  // no private pool of their own — they share the parent's (below), so a
+  // workload's nested ParallelFor calls stay re-entrant on one pool.
   config.retain_peer_data = false;
   config.dynamic_membership = false;
+  config.threads = 0;
   auto clone = std::make_unique<SkypeerNetwork>(config);
+  clone->pool_ = pool_;
+  for (auto& sp : clone->super_peers_) {
+    sp->set_thread_pool(pool_);
+  }
   std::vector<ResultList> stores;
   stores.reserve(super_peers_.size());
   for (const auto& sp : super_peers_) {
     stores.push_back(sp->store());
   }
   SKYPEER_CHECK(clone->AdoptStores(std::move(stores)).ok());
+  // Share the result cache *after* AdoptStores: a replica's stores are
+  // copies of the parent's, so the parent's warm entries stay valid —
+  // installing the shared cache after the SetStore invalidations (which
+  // only touched the clone's empty private cache) preserves them.
+  if (result_cache_ != nullptr) {
+    clone->result_cache_ = result_cache_;
+    for (auto& sp : clone->super_peers_) {
+      sp->SetResultCache(result_cache_);
+    }
+  }
   clone->total_points_ = total_points_;
   return clone;
 }

@@ -14,11 +14,14 @@
 #include "skypeer/data/generator.h"
 #include "skypeer/engine/metrics.h"
 #include "skypeer/engine/query.h"
+#include "skypeer/engine/subspace_cache.h"
 #include "skypeer/engine/super_peer.h"
 #include "skypeer/sim/simulator.h"
 #include "skypeer/topology/overlay.h"
 
 namespace skypeer {
+
+class ThreadPool;
 
 /// Configuration of a simulated SKYPEER deployment. Defaults are the
 /// paper's (§6): 4000 peers, N_sp = 5% (1% from 20000 peers on), 250
@@ -47,8 +50,10 @@ struct NetworkConfig {
   /// super-peers retain the uploaded per-peer lists (memory ~ SEL_p of
   /// the dataset).
   bool dynamic_membership = false;
-  /// Cache each super-peer's unconstrained local skyline per query
-  /// subspace; repeated queries on a subspace only filter by threshold.
+  /// Cache each super-peer's unconstrained local scan trace per query
+  /// subspace; repeated queries on a subspace replay the trace under the
+  /// incoming threshold — the exact truncated-scan result with zero
+  /// dominance tests.
   bool enable_cache = false;
   /// Chunk size of the chunked parallel threshold scan at super-peers
   /// (`ParallelSortedSkyline`): local scans over stores larger than one
@@ -58,6 +63,24 @@ struct NetworkConfig {
   /// `store_points_scanned` may differ from the sequential scan's count
   /// (deterministically, for a fixed chunk size).
   size_t scan_chunk_size = 0;
+  /// Speculative staged parallelism for the threshold-refining variants
+  /// (RT*M and the pipeline), whose local scans otherwise execute
+  /// strictly sequentially along the routing path: every non-initiator
+  /// super-peer pre-scans concurrently under the initiator's fixed
+  /// threshold (an upper bound on any refined value) and the result is
+  /// reconciled exactly when the true refined threshold arrives. Results,
+  /// volume, messages and simulated times (measure_cpu=false) are
+  /// bit-identical to the sequential execution at any thread count; only
+  /// host wall-clock time changes. No effect on naive/FT*M (which PR 1's
+  /// non-speculative staging already parallelizes) or below 2 threads.
+  bool speculative_rt = false;
+  /// Worker threads scoped to this network: staging waves, preprocessing
+  /// and chunked scans of this instance run on a private pool of this
+  /// size instead of the process-wide `ThreadPool::Global()`. 0 (default)
+  /// keeps using the global pool; 1 forces this network sequential
+  /// regardless of the global setting. Replica clones share the parent's
+  /// pool.
+  int threads = 0;
   WireModel wire;
 };
 
@@ -84,6 +107,10 @@ class SkypeerNetwork {
 
   /// Builds topology and nodes. `config` must validate.
   explicit SkypeerNetwork(const NetworkConfig& config);
+
+  /// Out-of-line so `owned_pool_` can destroy the forward-declared
+  /// `ThreadPool`.
+  ~SkypeerNetwork();
 
   /// Runs the pre-processing phase (§5.3). Call exactly once.
   PreprocessStats Preprocess();
@@ -113,13 +140,19 @@ class SkypeerNetwork {
   /// concurrently; churn and ground truth stay with the original.
   std::unique_ptr<SkypeerNetwork> CloneForQueries() const;
 
-  /// True when the queries of a workload are order-independent — the
-  /// per-subspace cache is off (its hit pattern, and thus the scan
-  /// counters, depend on query order) — so a batch may be distributed
-  /// over `CloneForQueries` replicas with bit-identical aggregates.
-  bool SupportsParallelWorkloads() const {
-    return preprocessed_ && !config_.enable_cache;
-  }
+  /// True once a workload batch may be distributed over
+  /// `CloneForQueries` replicas with bit-identical aggregates — i.e. the
+  /// network is preprocessed. The per-subspace cache no longer restricts
+  /// this: replicas share one thread-safe cache whose entries (scan
+  /// traces) are pure functions of (store, subspace), and the trace
+  /// replay answering a query is identical on hit and miss, so
+  /// aggregates do not depend on query order.
+  bool SupportsParallelWorkloads() const { return preprocessed_; }
+
+  /// The pool this network schedules parallel work on: the private pool
+  /// when `config.threads > 0` (or the parent's, for replica clones),
+  /// else `ThreadPool::Global()`. Never null.
+  ThreadPool* pool() const;
 
   /// Centralized skyline over the union of all peer data; requires
   /// `retain_peer_data`. The oracle for exactness tests.
@@ -167,6 +200,13 @@ class SkypeerNetwork {
   Overlay overlay_;
   sim::Simulator simulator_;
   std::vector<std::unique_ptr<SuperPeer>> super_peers_;
+  /// Private pool when `config_.threads > 0`; replica clones point
+  /// `pool_` at the parent's pool instead of owning one.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // nullptr resolves the global pool.
+  /// Shared with every super-peer (and replica clones) when the cache is
+  /// enabled, so one workload warms one structure.
+  std::shared_ptr<SubspaceScanTraceCache> result_cache_;
   PointSet all_data_;
   size_t total_points_ = 0;
   bool preprocessed_ = false;

@@ -33,4 +33,8 @@ bool SupportsParallelLocalScan(Variant variant) {
          variant == Variant::kFTPM;
 }
 
+bool RefinesThresholdOnPath(Variant variant) {
+  return UsesRefinedThreshold(variant) || variant == Variant::kPipeline;
+}
+
 }  // namespace skypeer

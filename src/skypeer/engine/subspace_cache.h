@@ -1,0 +1,73 @@
+#ifndef SKYPEER_ENGINE_SUBSPACE_CACHE_H_
+#define SKYPEER_ENGINE_SUBSPACE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "skypeer/algo/sorted_skyline.h"
+
+namespace skypeer {
+
+/// \brief Thread-safe cache of unconstrained per-subspace scan traces,
+/// keyed by (super-peer id, subspace mask).
+///
+/// The cached value is the event trace of the sequential threshold scan
+/// over the owning super-peer's store with no threshold (see
+/// `TracedSortedSkyline`); `ReplayScanTrace` then reproduces the exact
+/// scan result — survivors, consumed-point count, final threshold — for
+/// *any* incoming threshold without a single dominance test. A trace is
+/// a pure function of (store, mask), so any filler — the query path, a
+/// speculative staging worker, or a `CloneForQueries` replica whose
+/// store is a copy of the original's — produces bit-identical traces.
+/// That makes a single shared instance safe to attach to a whole replica
+/// group: whichever thread fills an entry first, every reader replays
+/// the same trace, and workload aggregates stay independent of query
+/// order. Entries are immutable once published; churn invalidates per
+/// super-peer.
+class SubspaceScanTraceCache {
+ public:
+  /// The cached unconstrained scan trace of `super_peer` for `mask`, or
+  /// null.
+  std::shared_ptr<const ScanTrace> Lookup(int super_peer,
+                                          uint32_t mask) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find({super_peer, mask});
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  /// Publishes `trace` for (super_peer, mask) and returns the entry.
+  /// If another thread published first, its (identical) trace wins and is
+  /// returned instead, so concurrent fillers converge on one object.
+  std::shared_ptr<const ScanTrace> Insert(
+      int super_peer, uint32_t mask, std::shared_ptr<const ScanTrace> trace) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        entries_.emplace(std::make_pair(super_peer, mask), std::move(trace));
+    return it->second;
+  }
+
+  /// Drops every entry of `super_peer` — call when its store changes
+  /// (churn, snapshot restore).
+  void Invalidate(int super_peer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(entries_.lower_bound({super_peer, 0}),
+                   entries_.upper_bound({super_peer, UINT32_MAX}));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, uint32_t>, std::shared_ptr<const ScanTrace>>
+      entries_;
+};
+
+}  // namespace skypeer
+
+#endif  // SKYPEER_ENGINE_SUBSPACE_CACHE_H_

@@ -62,7 +62,9 @@ void SuperPeer::RebuildStore() {
   // Zero inputs (every peer departed) merge to the empty store.
   store_ =
       MergeSortedSkylines(dims_, inputs, Subspace::FullSpace(dims_), options);
-  cache_.clear();
+  if (cache_ != nullptr) {
+    cache_->Invalidate(id_);
+  }
 }
 
 double SuperPeer::FinalizePreprocessing() {
@@ -82,7 +84,9 @@ void SuperPeer::SetStore(ResultList store) {
   SKYPEER_CHECK(store.IsSorted());
   store_ = std::move(store);
   peer_lists_.clear();
-  cache_.clear();
+  if (cache_ != nullptr) {
+    cache_->Invalidate(id_);
+  }
   preprocessed_ = true;
 }
 
@@ -109,7 +113,9 @@ Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
   if (retain_peer_lists_) {
     peer_lists_.emplace(peer_id, std::move(list));
   }
-  cache_.clear();
+  if (cache_ != nullptr) {
+    cache_->Invalidate(id_);
+  }
   return Status::OK();
 }
 
@@ -180,35 +186,38 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
   }
 
   if (cache_enabled_) {
-    // Serve from the per-subspace cache: the unconstrained local skyline
-    // is computed once; the incoming threshold then only *filters* it in
-    // f-order. Every point the filter drops is dominated by a real data
-    // point (Observation 5 applied to the evolving threshold), so the
-    // reply stays exact after the final merge.
-    auto it = cache_.find(subspace.mask());
-    if (it == cache_.end()) {
-      it = cache_
-               .emplace(subspace.mask(),
-                        std::make_shared<const ResultList>(ParallelSortedSkyline(
-                            store_, subspace, scan_chunk_size_)))
-               .first;
+    // Serve from the per-subspace cache: the event trace of the
+    // *unconstrained* sequential scan is recorded once; every incoming
+    // threshold then replays it into the exact truncated-scan result —
+    // same survivors, same consumed-point count, same final threshold as
+    // a fresh Algorithm 1 pass — without a single dominance test.
+    // (Filtering a cached skyline *list* is not enough: the store is
+    // f-sorted in full space while dominance is tested in the query
+    // subspace, so a point's dominator can lie beyond the threshold
+    // cutoff — the truncated scan keeps such a point, the unconstrained
+    // skyline has already dropped it.) The cache is thread-safe and may
+    // be shared across replica clones: the trace is a pure function of
+    // (store, mask), so whichever filler publishes first, every reader
+    // replays the same trace, and the replay is identical on hit and
+    // miss, which keeps workload aggregates independent of query order.
+    // The fill must be the sequential scan — a chunked scan cannot
+    // produce the sequential event order — so `scan_chunk_size_` does
+    // not apply here.
+    if (cache_ == nullptr) {
+      cache_ = std::make_shared<SubspaceScanTraceCache>();
     }
-    const ResultList& full = *it->second;
-    auto filtered = std::make_shared<ResultList>(dims_);
-    double threshold = threshold_in;
-    size_t consumed = 0;
-    for (size_t i = 0; i < full.size(); ++i) {
-      if (full.f[i] > threshold) {
-        break;
-      }
-      ++consumed;
-      filtered->points.AppendFrom(full.points, i);
-      filtered->f.push_back(full.f[i]);
-      threshold = std::min(threshold, DistU(full.points[i], subspace));
+    std::shared_ptr<const ScanTrace> entry =
+        cache_->Lookup(id_, subspace.mask());
+    if (entry == nullptr) {
+      auto trace = std::make_shared<ScanTrace>();
+      TracedSortedSkyline(store_, subspace, {}, nullptr, trace.get());
+      entry = cache_->Insert(id_, subspace.mask(), std::move(trace));
     }
-    *local = std::move(filtered);
-    *threshold_out = threshold;
-    *scanned = consumed;
+    ThresholdScanStats stats;
+    *local = std::make_shared<const ResultList>(
+        ReplayScanTrace(store_, *entry, threshold_in, &stats));
+    *threshold_out = stats.final_threshold;
+    *scanned = stats.scanned;
     return;
   }
 
@@ -219,7 +228,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
   // larger than one chunk runs sequentially.
   *local = std::make_shared<const ResultList>(
       ParallelSortedSkyline(store_, subspace, scan_chunk_size_, options,
-                            &stats));
+                            &stats, pool_));
   // The scan threshold only ever tightens; RT*M forwards this value.
   *threshold_out = stats.final_threshold;
   *scanned = stats.scanned;
@@ -245,6 +254,44 @@ double SuperPeer::StagedThreshold() const {
   return staged_->threshold_out;
 }
 
+void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
+                                     double fixed_threshold) {
+  SKYPEER_CHECK(RefinesThresholdOnPath(variant));
+  StagedScan staged;
+  staged.mask = subspace.mask();
+  staged.variant = variant;
+  staged.threshold_in = fixed_threshold;
+  staged.speculative = true;
+  const auto start = std::chrono::steady_clock::now();
+  if (variant != Variant::kNaive && !cache_enabled_ &&
+      (scan_chunk_size_ == 0 || store_.size() <= scan_chunk_size_)) {
+    // Sequential scan: record the event trace so the reconcile can replay
+    // the scan under the refined threshold without any dominance test.
+    ThresholdScanOptions options;
+    options.initial_threshold = fixed_threshold;
+    ThresholdScanStats stats;
+    staged.local = std::make_shared<const ResultList>(TracedSortedSkyline(
+        store_, subspace, options, &stats, &staged.trace));
+    staged.threshold_out = stats.final_threshold;
+    staged.scanned = stats.scanned;
+    staged.has_trace = true;
+  } else {
+    // Cache path: the scan warms the shared trace cache (a pure function
+    // of the store, so identical to what the protocol run would insert)
+    // and the reconcile replays it at the refined value. Chunked path:
+    // per-chunk threshold seeds depend on the initial threshold, so the
+    // staged result is only valid on an exact match (hop-1 RT*M nodes,
+    // which receive precisely the initiator's threshold); deeper nodes
+    // rerun inline.
+    RunLocalScan(subspace, variant, fixed_threshold, &staged.local,
+                 &staged.threshold_out, &staged.scanned);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  staged.cpu_s = std::max(0.0, elapsed.count());
+  staged_ = std::move(staged);
+}
+
 void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
   if (staged_.has_value() && staged_->mask == state->subspace.mask() &&
       staged_->variant == state->variant &&
@@ -257,6 +304,41 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
     state->scanned = staged_->scanned;
     staged_.reset();
     return;
+  }
+  if (staged_.has_value() && staged_->speculative &&
+      staged_->mask == state->subspace.mask() &&
+      staged_->variant == state->variant &&
+      state->threshold < staged_->threshold_in) {
+    // Reconcile a speculative scan against the refined threshold the
+    // protocol actually delivered. The node really did run the fixed scan
+    // (off-thread) plus the reconcile below, so both are charged.
+    if (staged_->has_trace) {
+      if (measure_cpu_) {
+        simulator->ChargeCpu(staged_->cpu_s);
+      }
+      ScopedCpuCharge charge(simulator, measure_cpu_);
+      ThresholdScanStats stats;
+      state->local = std::make_shared<const ResultList>(ReplayScanTrace(
+          store_, staged_->trace, state->threshold, &stats));
+      state->threshold = stats.final_threshold;
+      state->scanned = stats.scanned;
+      staged_.reset();
+      return;
+    }
+    if (cache_enabled_ && state->variant != Variant::kNaive) {
+      // The speculative scan warmed the trace cache; replaying it under
+      // the refined threshold is exactly the sequential cache-hit path.
+      if (measure_cpu_) {
+        simulator->ChargeCpu(staged_->cpu_s);
+      }
+      staged_.reset();
+      ScopedCpuCharge charge(simulator, measure_cpu_);
+      RunLocalScan(state->subspace, state->variant, state->threshold,
+                   &state->local, &state->threshold, &state->scanned);
+      return;
+    }
+    // Chunked speculative scan under a strictly looser threshold: the
+    // per-chunk seeds would differ, so fall through to the inline rerun.
   }
   staged_.reset();
   ScopedCpuCharge charge(simulator, measure_cpu_);
@@ -272,6 +354,7 @@ SuperPeer::LastQueryStats SuperPeer::last_query_stats() const {
   stats.participated = true;
   stats.scanned = query_->scanned;
   stats.local_result = query_->local != nullptr ? query_->local->size() : 0;
+  stats.final_threshold = query_->threshold;
   return stats;
 }
 

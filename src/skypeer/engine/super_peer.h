@@ -2,18 +2,23 @@
 #define SKYPEER_ENGINE_SUPER_PEER_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "skypeer/algo/result_list.h"
+#include "skypeer/algo/sorted_skyline.h"
 #include "skypeer/common/status.h"
 #include "skypeer/common/subspace.h"
 #include "skypeer/engine/query.h"
+#include "skypeer/engine/subspace_cache.h"
 #include "skypeer/sim/simulator.h"
 
 namespace skypeer {
+
+class ThreadPool;
 
 /// \brief A super-peer node: stores the merged extended skyline of its
 /// associated peers and executes the SKYPEER protocol (paper Algorithm 3)
@@ -92,11 +97,26 @@ class SuperPeer : public sim::Node {
 
   // --- per-subspace result cache ----------------------------------------
 
-  /// Caches the unconstrained local subspace skyline per query mask;
-  /// repeated queries on the same subspace then only filter the cached
-  /// list by the incoming threshold instead of rescanning the store.
+  /// Caches the unconstrained local scan trace per query mask; repeated
+  /// queries on the same subspace then replay the trace under the
+  /// incoming threshold (exact result, scan count and final threshold,
+  /// zero dominance tests) instead of rescanning the store.
   /// Invalidated by churn. The naive baseline never uses it.
   void set_enable_cache(bool enable) { cache_enabled_ = enable; }
+
+  /// Installs a shared result cache (see `SubspaceScanTraceCache`): replica
+  /// clones of a network attach the original's cache so a workload warms
+  /// one structure regardless of which replica serves a query. Entries of
+  /// this node live under its id. Without this call an enabled cache is
+  /// created privately on first use.
+  void SetResultCache(std::shared_ptr<SubspaceScanTraceCache> cache) {
+    cache_ = std::move(cache);
+  }
+
+  /// Thread pool the chunked parallel scan uses; nullptr (the default)
+  /// resolves `ThreadPool::Global()` at call time (so replacing the
+  /// global pool never leaves a dangling pointer here).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Chunk size of the chunked parallel threshold scan (Algorithm 1 split
   /// over the global thread pool; see `ParallelSortedSkyline`). 0 keeps
@@ -126,6 +146,27 @@ class SuperPeer : public sim::Node {
   void StageLocalScan(const Subspace& subspace, Variant variant,
                       double threshold);
 
+  /// Speculative variant of `StageLocalScan` for the threshold-refining
+  /// strategies (RT*M, pipeline): pre-executes the local scan under
+  /// `fixed_threshold` — the initiator's threshold, an upper bound on
+  /// whatever refined value the protocol will actually deliver — and
+  /// records enough state to *reconcile* exactly when the true threshold
+  /// arrives. `ComputeLocal` then reproduces the result, final threshold
+  /// and scan count the sequential execution under the refined threshold
+  /// would have produced, bit-identically:
+  ///  - sequential scans record a `ScanTrace` replayed in O(scan length);
+  ///  - with the cache enabled the speculative scan warms the shared
+  ///    trace cache and the reconcile replays it at the refined value;
+  ///  - chunked scans (`set_scan_chunk_size` > 0 and a store larger than
+  ///    one chunk) are only consumed on an exact threshold match — their
+  ///    per-chunk seeds depend on the initial threshold, so a trace
+  ///    replay would diverge — and otherwise rerun inline.
+  /// Like `StageLocalScan` this never changes results or simulated
+  /// metrics (measure_cpu=false); it only moves host CPU off the
+  /// simulator thread.
+  void StageSpeculativeScan(const Subspace& subspace, Variant variant,
+                            double fixed_threshold);
+
   /// Threshold the staged scan ended with — for FT*M the value the
   /// initiator floods. Requires a preceding `StageLocalScan`.
   double StagedThreshold() const;
@@ -151,6 +192,9 @@ class SuperPeer : public sim::Node {
     size_t scanned = 0;
     /// Size of the local subspace skyline shipped/merged.
     size_t local_result = 0;
+    /// Threshold this node's local scan ended with (the value RT*M
+    /// forwards); infinity until the node computed.
+    double final_threshold = std::numeric_limits<double>::infinity();
   };
   LastQueryStats last_query_stats() const;
 
@@ -183,7 +227,8 @@ class SuperPeer : public sim::Node {
     size_t scanned = 0;
   };
 
-  /// A local scan computed ahead of message delivery by `StageLocalScan`.
+  /// A local scan computed ahead of message delivery by `StageLocalScan`
+  /// or `StageSpeculativeScan`.
   struct StagedScan {
     uint32_t mask = 0;
     Variant variant = Variant::kFTPM;
@@ -193,6 +238,14 @@ class SuperPeer : public sim::Node {
     size_t scanned = 0;
     /// Host CPU seconds the scan took on the staging thread.
     double cpu_s = 0.0;
+    /// Staged under an upper-bound threshold; `ComputeLocal` may
+    /// reconcile it against any arriving threshold <= `threshold_in`.
+    bool speculative = false;
+    /// Event log of the speculative sequential scan, replayable under
+    /// tighter thresholds. Unset (`has_trace` false) on the cache and
+    /// chunked-scan paths.
+    bool has_trace = false;
+    ScanTrace trace;
   };
 
   void HandleStart(sim::Simulator* simulator, const StartQueryMessage& start);
@@ -251,7 +304,11 @@ class SuperPeer : public sim::Node {
   bool measure_cpu_ = true;
   bool cache_enabled_ = false;
   size_t scan_chunk_size_ = 0;
-  std::map<uint32_t, std::shared_ptr<const ResultList>> cache_;
+  ThreadPool* pool_ = nullptr;  // nullptr resolves the global pool.
+  /// Unconstrained per-subspace skylines under this node's id; possibly
+  /// shared with replica clones (see SetResultCache). Created on first
+  /// use when `cache_enabled_` and none was installed.
+  std::shared_ptr<SubspaceScanTraceCache> cache_;
 };
 
 }  // namespace skypeer

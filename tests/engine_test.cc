@@ -361,15 +361,17 @@ std::vector<std::vector<double>> FullSignature(const ResultList& list) {
 }
 
 TEST(CacheEquivalence, FilterPathRepliesMatchFreshScansForAllVariants) {
-  // The cache path answers a query by filtering the cached unconstrained
-  // subspace skyline by the incoming threshold; the reply — and hence
+  // The cache path answers a query by replaying the cached unconstrained
+  // scan trace under the incoming threshold; the reply — and hence
   // every transfer-derived metric — must match the fresh threshold scan
-  // for the same (subspace, threshold_in) at every super-peer. RT*M
-  // tightens thresholds mid-stream along the flood, so repeating each
-  // subspace from several initiators exercises cache hits under
-  // different (and progressively tighter) incoming thresholds. The
-  // cached network also runs chunked scans on its cache-miss fills,
-  // covering the parallel fill path.
+  // for the same (subspace, threshold_in) at every super-peer. (A cached
+  // skyline *list* would not suffice: the store is f-sorted in full
+  // space while dominance is tested in the query subspace, so the
+  // truncated scan can keep a point whose dominator lies beyond the
+  // threshold cutoff — the unconstrained skyline has already dropped
+  // it.) RT*M tightens thresholds mid-stream along the flood, so
+  // repeating each subspace from several initiators exercises cache hits
+  // under different (and progressively tighter) incoming thresholds.
   NetworkConfig scan_config = SmallConfig(19);
   scan_config.measure_cpu = false;  // Virtual clocks must be exact.
   NetworkConfig cache_config = scan_config;

@@ -370,6 +370,289 @@ TEST(ChunkedScanDeterminism, ChunkedWorkloadAggregatesMatchSequential) {
   ThreadPool::SetGlobalConcurrency(1);
 }
 
+// --- speculative RT*M / pipeline staging -------------------------------------
+
+const std::vector<Variant> kRefinedVariants = {
+    Variant::kRTFM, Variant::kRTPM, Variant::kPipeline};
+
+struct Reference {
+  std::vector<std::vector<double>> skyline;
+  QueryMetrics metrics;
+  std::vector<double> final_thresholds;  // Per super-peer.
+};
+
+std::vector<double> CollectFinalThresholds(const SkypeerNetwork& network) {
+  std::vector<double> thresholds;
+  thresholds.reserve(network.num_super_peers());
+  for (int sp = 0; sp < network.num_super_peers(); ++sp) {
+    thresholds.push_back(network.super_peer(sp).last_query_stats()
+                             .final_threshold);
+  }
+  return thresholds;
+}
+
+/// Sequential (threads=1, speculation off) per-variant/per-task
+/// references for `config`.
+std::vector<std::vector<Reference>> SequentialReferences(
+    NetworkConfig config, const std::vector<QueryTask>& tasks) {
+  config.speculative_rt = false;
+  ThreadPool::SetGlobalConcurrency(1);
+  SkypeerNetwork sequential(config);
+  sequential.Preprocess();
+  std::vector<std::vector<Reference>> references;
+  for (Variant variant : kRefinedVariants) {
+    std::vector<Reference> per_task;
+    for (const QueryTask& task : tasks) {
+      const QueryResult result =
+          sequential.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      per_task.push_back({Signature(result.skyline), result.metrics,
+                          CollectFinalThresholds(sequential)});
+    }
+    references.push_back(std::move(per_task));
+  }
+  return references;
+}
+
+void ExpectSpeculativeMatchesReferences(
+    NetworkConfig config, const std::vector<QueryTask>& tasks,
+    const std::vector<std::vector<Reference>>& references,
+    bool compare_scanned) {
+  config.speculative_rt = true;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    SkypeerNetwork speculative(config);
+    speculative.Preprocess();
+    for (size_t v = 0; v < kRefinedVariants.size(); ++v) {
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        const QueryResult result = speculative.ExecuteQuery(
+            tasks[t].subspace, tasks[t].initiator_sp, kRefinedVariants[v]);
+        const std::string context =
+            std::string(VariantName(kRefinedVariants[v])) + " task " +
+            std::to_string(t) + " threads " + std::to_string(threads);
+        EXPECT_EQ(Signature(result.skyline), references[v][t].skyline)
+            << context;
+        if (compare_scanned) {
+          ExpectMetricsEqual(result.metrics, references[v][t].metrics,
+                             context.c_str());
+        } else {
+          ExpectMetricsEqualExceptScanned(result.metrics,
+                                          references[v][t].metrics,
+                                          context.c_str());
+        }
+        // The refined thresholds every node ended with — the values RT*M
+        // forwards — must survive the reconcile bit-identically.
+        EXPECT_EQ(CollectFinalThresholds(speculative),
+                  references[v][t].final_thresholds)
+            << context;
+      }
+    }
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
+TEST(SpeculativeRtDeterminism, MatchesSequentialAtAnyThreadCount) {
+  // The tentpole guarantee: with --speculative-rt the refined-threshold
+  // variants (RTFM, RTPM) and the pipeline produce bit-identical
+  // skylines, volume, messages, scan counts, per-node final thresholds
+  // and simulated times (measure_cpu=false) at 1, 2 and 8 threads.
+  const NetworkConfig config = SmallConfig();
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(config.dims, 2, 6, config.num_super_peers, 47);
+  const auto references = SequentialReferences(config, tasks);
+  ExpectSpeculativeMatchesReferences(config, tasks, references,
+                                     /*compare_scanned=*/true);
+}
+
+TEST(SpeculativeRtDeterminism, ComposesWithChunkedScans) {
+  // Speculation + --scan-chunk: hop-1 nodes consume the staged chunked
+  // scan on the exact-threshold match, deeper nodes rerun inline — both
+  // reproduce the non-speculative chunked execution exactly (including
+  // the chunked scan counters, which are compared against a chunked
+  // sequential reference of the same chunk size).
+  NetworkConfig config = SmallConfig();
+  config.scan_chunk_size = 16;
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(config.dims, 2, 5, config.num_super_peers, 53);
+  const auto references = SequentialReferences(config, tasks);
+  ExpectSpeculativeMatchesReferences(config, tasks, references,
+                                     /*compare_scanned=*/true);
+}
+
+TEST(SpeculativeRtDeterminism, ComposesWithResultCache) {
+  // Speculation + --cache: the speculative wave warms the shared trace
+  // cache (same pure function of the store the protocol run would
+  // insert) and the reconcile replays it at the refined threshold; the
+  // replay is identical on hit and miss, so all metrics match the
+  // sequential cache-enabled run.
+  NetworkConfig config = SmallConfig();
+  config.enable_cache = true;
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(config.dims, 2, 5, config.num_super_peers, 59);
+  const auto references = SequentialReferences(config, tasks);
+  ExpectSpeculativeMatchesReferences(config, tasks, references,
+                                     /*compare_scanned=*/true);
+}
+
+TEST(SpeculativeRtDeterminism, SpeculativeWorkloadAggregatesMatch) {
+  // Speculation inside the parallel workload driver: replicas stage
+  // speculatively per query while the batch fans out over clones.
+  const NetworkConfig config = SmallConfig();
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(config.dims, 3, 8, config.num_super_peers, 61);
+
+  ThreadPool::SetGlobalConcurrency(1);
+  SkypeerNetwork sequential(config);
+  sequential.Preprocess();
+
+  NetworkConfig spec_config = config;
+  spec_config.speculative_rt = true;
+  ThreadPool::SetGlobalConcurrency(4);
+  SkypeerNetwork speculative(spec_config);
+  speculative.Preprocess();
+
+  for (Variant variant : kRefinedVariants) {
+    ThreadPool::SetGlobalConcurrency(1);
+    const AggregateMetrics seq = RunWorkload(&sequential, tasks, variant);
+    ThreadPool::SetGlobalConcurrency(4);
+    const AggregateMetrics par = RunWorkload(&speculative, tasks, variant);
+    EXPECT_EQ(seq.queries, par.queries) << VariantName(variant);
+    EXPECT_EQ(seq.comp_s.samples(), par.comp_s.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.total_s.samples(), par.total_s.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.kb.samples(), par.kb.samples()) << VariantName(variant);
+    EXPECT_EQ(seq.messages.samples(), par.messages.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.result.samples(), par.result.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.scanned.samples(), par.scanned.samples())
+        << VariantName(variant);
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
+// --- shared result cache -----------------------------------------------------
+
+TEST(SharedCacheWorkloads, CacheEnabledAggregatesMatchSequential) {
+  // The lifted SupportsParallelWorkloads restriction: with the cache on,
+  // replicas share one thread-safe cache whose entries are pure
+  // functions of (store, subspace) and whose scan counters are identical
+  // on hit and miss — so parallel workload aggregates match the
+  // sequential ones sample for sample.
+  NetworkConfig config = SmallConfig();
+  config.enable_cache = true;
+  // Repeat subspaces so the workload actually exercises cache hits.
+  std::vector<QueryTask> tasks =
+      GenerateWorkload(config.dims, 3, 4, config.num_super_peers, 67);
+  const std::vector<QueryTask> base = tasks;
+  tasks.insert(tasks.end(), base.begin(), base.end());
+  tasks.insert(tasks.end(), base.begin(), base.end());
+
+  ThreadPool::SetGlobalConcurrency(1);
+  SkypeerNetwork sequential(config);
+  sequential.Preprocess();
+  ThreadPool::SetGlobalConcurrency(4);
+  SkypeerNetwork parallel(config);
+  parallel.Preprocess();
+  EXPECT_TRUE(parallel.SupportsParallelWorkloads());
+
+  std::vector<Variant> variants(kAllVariants, kAllVariants + 5);
+  variants.push_back(Variant::kPipeline);
+  for (Variant variant : variants) {
+    ThreadPool::SetGlobalConcurrency(1);
+    const AggregateMetrics seq = RunWorkload(&sequential, tasks, variant);
+    ThreadPool::SetGlobalConcurrency(4);
+    const AggregateMetrics par = RunWorkload(&parallel, tasks, variant);
+    EXPECT_EQ(seq.queries, par.queries) << VariantName(variant);
+    EXPECT_EQ(seq.comp_s.samples(), par.comp_s.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.total_s.samples(), par.total_s.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.kb.samples(), par.kb.samples()) << VariantName(variant);
+    EXPECT_EQ(seq.messages.samples(), par.messages.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.result.samples(), par.result.samples())
+        << VariantName(variant);
+    EXPECT_EQ(seq.scanned.samples(), par.scanned.samples())
+        << VariantName(variant);
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
+TEST(SharedCacheWorkloads, CloneSharesWarmCacheEntries) {
+  ThreadPool::SetGlobalConcurrency(1);
+  NetworkConfig config = SmallConfig();
+  config.enable_cache = true;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+
+  // Warm the cache on the original, then query the clone: results and
+  // metrics must match a fresh sequential execution exactly (cached
+  // entries are pure functions of the stores the clone copied).
+  const Subspace u = Subspace::FromDims({1, 2});
+  const QueryResult original = network.ExecuteQuery(u, 3, Variant::kRTPM);
+  const auto clone = network.CloneForQueries();
+  const QueryResult replica = clone->ExecuteQuery(u, 3, Variant::kRTPM);
+  EXPECT_EQ(Signature(original.skyline), Signature(replica.skyline));
+  ExpectMetricsEqual(original.metrics, replica.metrics, "warm clone RTPM");
+}
+
+// --- per-network pool --------------------------------------------------------
+
+TEST(PerNetworkPool, ScopedPoolMatchesGlobalSequential) {
+  // NetworkConfig::threads scopes concurrency to the instance: with the
+  // process-global pool pinned to 1 thread, a network configured with 4
+  // private threads must still produce the sequential results.
+  ThreadPool::SetGlobalConcurrency(1);
+  const NetworkConfig config = SmallConfig();
+  SkypeerNetwork sequential(config);
+  sequential.Preprocess();
+
+  NetworkConfig pooled_config = config;
+  pooled_config.threads = 4;
+  pooled_config.speculative_rt = true;
+  pooled_config.scan_chunk_size = 16;
+  SkypeerNetwork pooled(pooled_config);
+  EXPECT_EQ(pooled.pool()->num_threads(), 4);
+  EXPECT_EQ(ThreadPool::Global()->num_threads(), 1);
+  pooled.Preprocess();
+
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(config.dims, 2, 5, config.num_super_peers, 71);
+  std::vector<Variant> variants(kAllVariants, kAllVariants + 5);
+  variants.push_back(Variant::kPipeline);
+  for (Variant variant : variants) {
+    for (const QueryTask& task : tasks) {
+      const QueryResult seq =
+          sequential.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      const QueryResult par =
+          pooled.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      const std::string context = std::string(VariantName(variant));
+      EXPECT_EQ(Signature(seq.skyline), Signature(par.skyline)) << context;
+      // Chunked scans may consume more points than sequential ones.
+      ExpectMetricsEqualExceptScanned(par.metrics, seq.metrics,
+                                      context.c_str());
+    }
+  }
+}
+
+TEST(PerNetworkPool, CloneSharesTheParentPool) {
+  ThreadPool::SetGlobalConcurrency(1);
+  NetworkConfig config = SmallConfig();
+  config.threads = 3;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  const auto clone = network.CloneForQueries();
+  EXPECT_EQ(clone->pool(), network.pool());
+  EXPECT_EQ(clone->pool()->num_threads(), 3);
+
+  const Subspace u = Subspace::FromDims({0, 2});
+  const QueryResult original = network.ExecuteQuery(u, 1, Variant::kFTPM);
+  const QueryResult replica = clone->ExecuteQuery(u, 1, Variant::kFTPM);
+  EXPECT_EQ(Signature(original.skyline), Signature(replica.skyline));
+  ExpectMetricsEqual(original.metrics, replica.metrics, "pooled clone FTPM");
+}
+
 TEST(ParallelDeterminism, CloneForQueriesAnswersLikeTheOriginal) {
   ThreadPool::SetGlobalConcurrency(1);
   const NetworkConfig config = SmallConfig();

@@ -63,6 +63,12 @@ void PrintUsageAndExit(const char* binary, int code) {
       "                   N points run on the thread pool (default 0 =\n"
       "                   sequential scan). Results are identical either\n"
       "                   way\n"
+      "  --speculative-rt stage RT*M/pipeline local scans concurrently\n"
+      "                   under the initiator's fixed threshold and\n"
+      "                   reconcile when the refined threshold arrives;\n"
+      "                   results and simulated metrics are identical\n"
+      "  --net-threads N  scope the worker pool to the network instead of\n"
+      "                   the process-wide pool (default 0 = global pool)\n"
       "  --cache          enable the per-subspace result cache\n"
       "  --verbose        per-query output\n",
       binary);
@@ -137,6 +143,14 @@ CliOptions Parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--scan-chunk") == 0) {
       options.network.scan_chunk_size =
           std::strtoull(next_value(&i), nullptr, 10);
+    } else if (std::strcmp(arg, "--speculative-rt") == 0) {
+      options.network.speculative_rt = true;
+    } else if (std::strcmp(arg, "--net-threads") == 0) {
+      options.network.threads = std::atoi(next_value(&i));
+      if (options.network.threads < 0) {
+        std::fprintf(stderr, "--net-threads must be >= 0\n");
+        PrintUsageAndExit(argv[0], 1);
+      }
     } else if (std::strcmp(arg, "--no-measure-cpu") == 0) {
       options.network.measure_cpu = false;
     } else if (std::strcmp(arg, "--cache") == 0) {
