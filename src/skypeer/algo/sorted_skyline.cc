@@ -4,25 +4,16 @@
 #include <numeric>
 #include <vector>
 
-#include "skypeer/common/dominance.h"
+#include "skypeer/common/dominance_batch.h"
 #include "skypeer/common/mapping.h"
 #include "skypeer/common/thread_pool.h"
 
 namespace skypeer {
 
-namespace {
-
-/// Below this window size compaction is not worth the copy.
-constexpr size_t kCompactMinWindow = 64;
-
-}  // namespace
-
 ResultList BuildSortedByF(const PointSet& input) {
   const int dims = input.dims();
   std::vector<double> f(input.size());
-  for (size_t i = 0; i < input.size(); ++i) {
-    f[i] = MinCoord(input[i], dims);
-  }
+  BatchMinCoord(input.values().data(), input.size(), dims, f.data());
   std::vector<size_t> order(input.size());
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(),
@@ -43,8 +34,11 @@ SkylineAccumulator::SkylineAccumulator(int dims, Subspace u,
       u_(u),
       strict_(options.ext),
       use_rtree_(options.use_rtree),
+      compact_min_window_(options.compact_min_window),
+      compact_live_fraction_(options.compact_live_fraction),
       threshold_(options.initial_threshold),
-      window_points_(dims) {
+      window_points_(dims),
+      window_proj_(u.Count()) {
   SKYPEER_CHECK(!u.empty());
   if (use_rtree_) {
     rtree_ = std::make_unique<RTree>(u.Count());
@@ -53,52 +47,26 @@ SkylineAccumulator::SkylineAccumulator(int dims, Subspace u,
 
 SkylineAccumulator::~SkylineAccumulator() = default;
 
-bool SkylineAccumulator::IsDominatedLinear(const double* proj) const {
-  const int k = u_.Count();
-  for (size_t i = 0; i < window_points_.size(); ++i) {
-    if (!alive_flags_[i]) {
-      continue;
-    }
-    const double* q = window_proj_.data() + i * static_cast<size_t>(k);
-    bool strictly = false;
-    bool dominated = true;
-    for (int d = 0; d < k; ++d) {
-      if (strict_ ? q[d] >= proj[d] : q[d] > proj[d]) {
-        dominated = false;
-        break;
-      }
-      if (q[d] < proj[d]) {
-        strictly = true;
-      }
-    }
-    if (dominated && (strict_ || strictly)) {
-      return true;
-    }
-  }
-  return false;
-}
-
 void SkylineAccumulator::EvictDominatedLinear(
     const double* proj, std::vector<uint64_t>* evicted_tags) {
-  const int k = u_.Count();
-  for (size_t i = 0; i < window_points_.size(); ++i) {
-    if (!alive_flags_[i]) {
-      continue;
-    }
-    const double* q = window_proj_.data() + i * static_cast<size_t>(k);
-    bool strictly = false;
-    bool dominates = true;
-    for (int d = 0; d < k; ++d) {
-      if (strict_ ? proj[d] >= q[d] : proj[d] > q[d]) {
-        dominates = false;
-        break;
+  // One reverse-dominance bit mask per block, then evictions applied in
+  // ascending index order (blocks ascending, bits via ctz) so the
+  // `evicted_tags` order matches the historical per-point loop. Killed
+  // lanes are +inf and come back flagged as "dominated"; `alive_flags_`
+  // filters them out.
+  scratch_masks_.resize(window_proj_.num_blocks());
+  DominatedMask(window_proj_, proj, strict_, scratch_masks_.data());
+  for (size_t b = 0; b < scratch_masks_.size(); ++b) {
+    unsigned mask = scratch_masks_[b];
+    while (mask != 0) {
+      const size_t lane = static_cast<size_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const size_t i = b * kDomBlockWidth + lane;
+      if (!alive_flags_[i]) {
+        continue;
       }
-      if (proj[d] < q[d]) {
-        strictly = true;
-      }
-    }
-    if (dominates && (strict_ || strictly)) {
       alive_flags_[i] = 0;
+      window_proj_.Kill(i);
       --alive_;
       if (evicted_tags != nullptr && window_tags_[i] != kNoTag) {
         evicted_tags->push_back(window_tags_[i]);
@@ -111,7 +79,6 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
                                      uint64_t tag,
                                      std::vector<uint64_t>* evicted_tags) {
   // Project onto the query subspace once.
-  const int k = u_.Count();
   double proj[kMaxDims];
   {
     int j = 0;
@@ -133,13 +100,16 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
     scratch_payloads_ = rtree_->EraseDominated(proj, strict_);
     for (uint64_t idx : scratch_payloads_) {
       alive_flags_[idx] = 0;
+      window_proj_.Kill(idx);
       --alive_;
       if (evicted_tags != nullptr && window_tags_[idx] != kNoTag) {
         evicted_tags->push_back(window_tags_[idx]);
       }
     }
   } else {
-    if (IsDominatedLinear(proj)) {
+    // Killed lanes are +inf and never dominate, so the batched test needs
+    // no liveness filtering.
+    if (AnyDominates(window_proj_, proj, strict_)) {
       return false;
     }
     EvictDominatedLinear(proj, evicted_tags);
@@ -152,7 +122,7 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
   alive_flags_.push_back(1);
   emit_flags_.push_back(1);
   window_tags_.push_back(tag);
-  window_proj_.insert(window_proj_.end(), proj, proj + k);
+  window_proj_.Append(proj);
   ++alive_;
   if (use_rtree_) {
     rtree_->Insert(proj, index);
@@ -165,8 +135,9 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
 }
 
 void SkylineAccumulator::MaybeCompact() {
-  if (window_points_.size() < kCompactMinWindow ||
-      alive_ * 2 >= window_points_.size()) {
+  if (window_points_.size() < compact_min_window_ ||
+      !(static_cast<double>(alive_) <
+        compact_live_fraction_ * static_cast<double>(window_points_.size()))) {
     return;
   }
   const int k = u_.Count();
@@ -178,8 +149,11 @@ void SkylineAccumulator::MaybeCompact() {
   emit.reserve(alive_);
   std::vector<uint64_t> tags;
   tags.reserve(alive_);
-  std::vector<double> proj;
-  proj.reserve(alive_ * static_cast<size_t>(k));
+  // Gather alive projections into a row-major scratch (also the bulk-load
+  // input when `use_rtree_`), then re-block.
+  std::vector<double> proj_rows;
+  proj_rows.reserve(alive_ * static_cast<size_t>(k));
+  double row[kMaxDims];
   for (size_t i = 0; i < window_points_.size(); ++i) {
     if (!alive_flags_[i]) {
       continue;
@@ -188,21 +162,25 @@ void SkylineAccumulator::MaybeCompact() {
     f.push_back(window_f_[i]);
     emit.push_back(emit_flags_[i]);
     tags.push_back(window_tags_[i]);
-    const double* row = window_proj_.data() + i * static_cast<size_t>(k);
-    proj.insert(proj.end(), row, row + k);
+    window_proj_.Row(i, row);
+    proj_rows.insert(proj_rows.end(), row, row + k);
   }
   window_points_ = std::move(points);
   window_f_ = std::move(f);
   emit_flags_ = std::move(emit);
   window_tags_ = std::move(tags);
-  window_proj_ = std::move(proj);
+  window_proj_.Clear();
+  window_proj_.Reserve(alive_);
+  for (size_t i = 0; i < alive_; ++i) {
+    window_proj_.Append(proj_rows.data() + i * static_cast<size_t>(k));
+  }
   alive_flags_.assign(alive_, 1);
   if (use_rtree_) {
     // The payloads are window indices; renumber them 0..alive-1 to match
     // the compacted arrays.
     std::vector<uint64_t> payloads(alive_);
     std::iota(payloads.begin(), payloads.end(), uint64_t{0});
-    *rtree_ = RTree::BulkLoad(k, window_proj_.data(), payloads.data(), alive_);
+    *rtree_ = RTree::BulkLoad(k, proj_rows.data(), payloads.data(), alive_);
   }
 }
 
@@ -221,7 +199,7 @@ ResultList SkylineAccumulator::TakeResult() {
   alive_flags_.clear();
   emit_flags_.clear();
   window_tags_.clear();
-  window_proj_.clear();
+  window_proj_.Clear();
   alive_ = 0;
   if (use_rtree_) {
     rtree_->Clear();
@@ -235,14 +213,18 @@ void SkylineAccumulator::SeedWindow(const ResultList& seed) {
   const size_t n = seed.size();
   window_points_.Reserve(n);
   window_f_.reserve(n);
-  window_proj_.reserve(n * static_cast<size_t>(k));
+  window_proj_.Reserve(n);
+  // Row-major copy of the seed projections, kept as bulk-load input.
+  std::vector<double> proj_rows;
+  proj_rows.reserve(n * static_cast<size_t>(k));
   for (size_t i = 0; i < n; ++i) {
     window_points_.AppendFrom(seed.points, i);
     window_f_.push_back(seed.f[i]);
     const double* p = seed.points[i];
     for (int dim : u_) {
-      window_proj_.push_back(p[dim]);
+      proj_rows.push_back(p[dim]);
     }
+    window_proj_.Append(proj_rows.data() + i * static_cast<size_t>(k));
   }
   alive_flags_.assign(n, 1);
   emit_flags_.assign(n, 0);
@@ -253,7 +235,7 @@ void SkylineAccumulator::SeedWindow(const ResultList& seed) {
     // incremental inserts.
     std::vector<uint64_t> payloads(n);
     std::iota(payloads.begin(), payloads.end(), uint64_t{0});
-    *rtree_ = RTree::BulkLoad(k, window_proj_.data(), payloads.data(), n);
+    *rtree_ = RTree::BulkLoad(k, proj_rows.data(), payloads.data(), n);
   }
 }
 

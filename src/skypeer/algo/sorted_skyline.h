@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "skypeer/algo/result_list.h"
+#include "skypeer/common/dominance_batch.h"
 #include "skypeer/common/point_set.h"
 #include "skypeer/common/subspace.h"
 #include "skypeer/rtree/rtree.h"
@@ -31,6 +32,15 @@ struct ThresholdScanOptions {
   /// (§5.2.1). When false a linear scan over the window is used, which is
   /// faster for small inputs and serves as a differential-testing twin.
   bool use_rtree = true;
+
+  /// Window compaction policy of `SkylineAccumulator`: evicted slots are
+  /// dropped once the window holds at least `compact_min_window` entries
+  /// and fewer than `compact_live_fraction` of them are alive. The
+  /// defaults reproduce the historical `alive * 2 < size && size >= 64`
+  /// rule exactly; raising the fraction bounds the window more tightly on
+  /// evict-heavy streams at the cost of more frequent copies.
+  size_t compact_min_window = 64;
+  double compact_live_fraction = 0.5;
 };
 
 /// Counters reported by the scan algorithms.
@@ -119,6 +129,10 @@ class SkylineAccumulator {
   /// Number of points currently in the running skyline.
   size_t alive() const { return alive_; }
 
+  /// Number of window slots (alive + not-yet-compacted evicted entries);
+  /// bounded by the compaction policy in `ThresholdScanOptions`.
+  size_t window_size() const { return window_points_.size(); }
+
   /// Extracts the result, sorted ascending by `f` (insertion order with
   /// evicted points dropped and seed points excluded). The accumulator is
   /// left empty.
@@ -133,20 +147,23 @@ class SkylineAccumulator {
   void SeedWindow(const ResultList& seed);
 
  private:
-  bool IsDominatedLinear(const double* proj) const;
   void EvictDominatedLinear(const double* proj,
                             std::vector<uint64_t>* evicted_tags);
 
-  /// Drops evicted window slots once fewer than half the entries are
-  /// alive, so the linear dominance tests and `window_proj_` stay
-  /// proportional to the running skyline instead of every point ever
-  /// offered. Rebuilds the R-tree payload indices when `use_rtree_`.
+  /// Drops evicted window slots once fewer than `compact_live_fraction_`
+  /// of the entries are alive (and the window holds at least
+  /// `compact_min_window_`), so the batched dominance tests and
+  /// `window_proj_` stay proportional to the running skyline instead of
+  /// every point ever offered. Rebuilds the R-tree payload indices when
+  /// `use_rtree_`.
   void MaybeCompact();
 
   int dims_;
   Subspace u_;
   bool strict_;
   bool use_rtree_;
+  size_t compact_min_window_;
+  double compact_live_fraction_;
   double threshold_;
 
   // Candidate window: points appended in offer order; `alive_flags_[i]`
@@ -158,11 +175,15 @@ class SkylineAccumulator {
   std::vector<char> alive_flags_;
   std::vector<char> emit_flags_;
   std::vector<uint64_t> window_tags_;  // caller tags; kNoTag when untagged
-  std::vector<double> window_proj_;  // u-projected coords, row-major k-dim
+  // u-projected coords, blocked SoA; evicted slots are Kill()ed to +inf so
+  // the batched "does any window point dominate q" kernel needs no
+  // liveness mask.
+  BlockedProjection window_proj_;
   size_t alive_ = 0;
 
   std::unique_ptr<RTree> rtree_;  // over u-projections, when use_rtree_
   std::vector<uint64_t> scratch_payloads_;
+  std::vector<uint8_t> scratch_masks_;  // per-block eviction bit masks
 };
 
 /// \brief Paper Algorithm 1: local subspace skyline computation over a

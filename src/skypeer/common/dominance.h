@@ -1,6 +1,9 @@
 #ifndef SKYPEER_COMMON_DOMINANCE_H_
 #define SKYPEER_COMMON_DOMINANCE_H_
 
+#include <cmath>
+
+#include "skypeer/common/macros.h"
 #include "skypeer/common/subspace.h"
 
 namespace skypeer {
@@ -8,13 +11,17 @@ namespace skypeer {
 /// \file
 /// Dominance tests on raw coordinate rows. Skylines are computed under min
 /// conditions on every dimension (paper §3.1): smaller is better, values
-/// are assumed non-negative.
+/// are assumed non-negative. The domain is NaN-free: a NaN coordinate
+/// makes every comparison false, which silently breaks the transitivity
+/// every algorithm here relies on (and the early-exit in
+/// `CompareDominance`), so debug builds assert against it.
 
 /// True if `p` dominates `q` on subspace `u`: `p[i] <= q[i]` on every
 /// dimension of `u`, strictly smaller on at least one.
 inline bool Dominates(const double* p, const double* q, Subspace u) {
   bool strictly_smaller = false;
   for (int dim : u) {
+    SKYPEER_DCHECK(!std::isnan(p[dim]) && !std::isnan(q[dim]));
     if (p[dim] > q[dim]) {
       return false;
     }
@@ -31,6 +38,7 @@ inline bool Dominates(const double* p, const double* q, Subspace u) {
 /// skyline — and (Observation 4) a superset of every subspace skyline.
 inline bool ExtDominates(const double* p, const double* q, Subspace u) {
   for (int dim : u) {
+    SKYPEER_DCHECK(!std::isnan(p[dim]) && !std::isnan(q[dim]));
     if (p[dim] >= q[dim]) {
       return false;
     }
@@ -52,6 +60,7 @@ inline DomRelation CompareDominance(const double* p, const double* q,
   bool p_smaller = false;
   bool q_smaller = false;
   for (int dim : u) {
+    SKYPEER_DCHECK(!std::isnan(p[dim]) && !std::isnan(q[dim]));
     if (p[dim] < q[dim]) {
       p_smaller = true;
     } else if (q[dim] < p[dim]) {

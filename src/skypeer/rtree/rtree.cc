@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "skypeer/common/dominance_batch.h"
+
 namespace skypeer {
 
 /// Tree node. Entry `i` occupies `bounds[i*2*dims, (i+1)*2*dims)` as
@@ -102,19 +104,6 @@ bool BoxMayBeDominated(const double* hi, const double* p, bool strict,
     }
   }
   return true;
-}
-
-bool PointDominates(const double* p, const double* q, bool strict, int dims) {
-  bool strictly = false;
-  for (int d = 0; d < dims; ++d) {
-    if (strict ? p[d] >= q[d] : p[d] > q[d]) {
-      return false;
-    }
-    if (p[d] < q[d]) {
-      strictly = true;
-    }
-  }
-  return strict || strictly;
 }
 
 }  // namespace
@@ -483,8 +472,23 @@ void RTree::RemoveDominatedRec(Node* node, const double* p, bool strict,
                                std::vector<uint64_t>* payloads,
                                std::vector<Orphan>* orphans) {
   if (node->leaf) {
-    for (int i = node->count - 1; i >= 0; --i) {
-      if (PointDominates(p, node->Lo(i, dims_), strict, dims_)) {
+    // Batch the dominance tests over the leaf's point rows (stride
+    // 2*dims: lo == hi boxes) before mutating. The descending
+    // swap-remove walk only ever swaps already-visited, kept entries
+    // into lower slots, so precomputed flags at original positions see
+    // exactly the entries the one-at-a-time loop tested.
+    uint8_t flags[64];
+    const int count = node->count;
+    std::vector<uint8_t> heap_flags;
+    uint8_t* flag_ptr = flags;
+    if (count > 64) {
+      heap_flags.resize(static_cast<size_t>(count));
+      flag_ptr = heap_flags.data();
+    }
+    DominatedFlagsRows(node->Lo(0, dims_), 2 * static_cast<size_t>(dims_),
+                       static_cast<size_t>(count), dims_, p, strict, flag_ptr);
+    for (int i = count - 1; i >= 0; --i) {
+      if (flag_ptr[i]) {
         payloads->push_back(node->payloads[i]);
         SwapRemoveEntry(node, i, dims_);
       }
@@ -647,12 +651,10 @@ namespace {
 bool AnyDominatesRec(const RTree::Node* node, const double* q, bool strict,
                      int dims) {
   if (node->leaf) {
-    for (int i = 0; i < node->count; ++i) {
-      if (PointDominates(node->Lo(i, dims), q, strict, dims)) {
-        return true;
-      }
-    }
-    return false;
+    // Leaf entries are degenerate boxes: the point rows sit at stride
+    // 2*dims starting from the first entry's lower corner.
+    return AnyDominatesRows(node->Lo(0, dims), 2 * static_cast<size_t>(dims),
+                            static_cast<size_t>(node->count), dims, q, strict);
   }
   for (int i = 0; i < node->count; ++i) {
     if (BoxMayDominate(node->Lo(i, dims), q, strict, dims) &&
@@ -666,8 +668,18 @@ bool AnyDominatesRec(const RTree::Node* node, const double* q, bool strict,
 void CollectDominatedRec(const RTree::Node* node, const double* p, bool strict,
                          int dims, std::vector<uint64_t>* payloads) {
   if (node->leaf) {
-    for (int i = 0; i < node->count; ++i) {
-      if (PointDominates(p, node->Lo(i, dims), strict, dims)) {
+    uint8_t flags[64];
+    const int count = node->count;
+    std::vector<uint8_t> heap_flags;
+    uint8_t* flag_ptr = flags;
+    if (count > 64) {
+      heap_flags.resize(static_cast<size_t>(count));
+      flag_ptr = heap_flags.data();
+    }
+    DominatedFlagsRows(node->Lo(0, dims), 2 * static_cast<size_t>(dims),
+                       static_cast<size_t>(count), dims, p, strict, flag_ptr);
+    for (int i = 0; i < count; ++i) {
+      if (flag_ptr[i]) {
         payloads->push_back(node->payloads[i]);
       }
     }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "skypeer/common/dominance_batch.h"
 #include "skypeer/common/thread_pool.h"
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
@@ -651,6 +652,85 @@ TEST(PerNetworkPool, CloneSharesTheParentPool) {
   const QueryResult replica = clone->ExecuteQuery(u, 1, Variant::kFTPM);
   EXPECT_EQ(Signature(original.skyline), Signature(replica.skyline));
   ExpectMetricsEqual(original.metrics, replica.metrics, "pooled clone FTPM");
+}
+
+// --- kernel dispatch bit-identity --------------------------------------------
+
+TEST(KernelDispatchDeterminism, ForcedScalarMatchesDispatchedAcrossVariants) {
+  // The SIMD tentpole guarantee: the dispatched (AVX2/NEON) dominance
+  // kernels reproduce the forced-scalar execution bit-identically —
+  // skylines, scan counts, volume, messages and simulated times
+  // (measure_cpu=false) — across all five variants plus the pipeline, at
+  // 1/2/8 threads, composed with --scan-chunk, --speculative-rt and
+  // --cache.
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(4, 2, 4, SmallConfig().num_super_peers, 83);
+  std::vector<Variant> variants(kAllVariants, kAllVariants + 5);
+  variants.push_back(Variant::kPipeline);
+
+  std::vector<NetworkConfig> compositions;
+  compositions.push_back(SmallConfig());  // plain
+  {
+    NetworkConfig chunked = SmallConfig();
+    chunked.scan_chunk_size = 16;
+    compositions.push_back(chunked);
+  }
+  {
+    NetworkConfig speculative = SmallConfig();
+    speculative.speculative_rt = true;
+    compositions.push_back(speculative);
+  }
+  {
+    NetworkConfig cached = SmallConfig();
+    cached.enable_cache = true;
+    compositions.push_back(cached);
+  }
+
+  for (size_t composition = 0; composition < compositions.size();
+       ++composition) {
+    const NetworkConfig& config = compositions[composition];
+
+    SetForceScalarKernels(true);
+    ThreadPool::SetGlobalConcurrency(1);
+    SkypeerNetwork scalar_net(config);
+    scalar_net.Preprocess();
+    std::vector<std::vector<Reference>> references;
+    for (Variant variant : variants) {
+      std::vector<Reference> per_task;
+      for (const QueryTask& task : tasks) {
+        const QueryResult result =
+            scalar_net.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+        per_task.push_back({Signature(result.skyline), result.metrics,
+                            CollectFinalThresholds(scalar_net)});
+      }
+      references.push_back(std::move(per_task));
+    }
+
+    SetForceScalarKernels(false);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalConcurrency(threads);
+      SkypeerNetwork dispatched(config);
+      dispatched.Preprocess();
+      for (size_t v = 0; v < variants.size(); ++v) {
+        for (size_t t = 0; t < tasks.size(); ++t) {
+          const QueryResult result = dispatched.ExecuteQuery(
+              tasks[t].subspace, tasks[t].initiator_sp, variants[v]);
+          const std::string context =
+              "composition " + std::to_string(composition) + " " +
+              VariantName(variants[v]) + " task " + std::to_string(t) +
+              " threads " + std::to_string(threads);
+          EXPECT_EQ(Signature(result.skyline), references[v][t].skyline)
+              << context;
+          ExpectMetricsEqual(result.metrics, references[v][t].metrics,
+                             context.c_str());
+          EXPECT_EQ(CollectFinalThresholds(dispatched),
+                    references[v][t].final_thresholds)
+              << context;
+        }
+      }
+    }
+  }
+  ThreadPool::SetGlobalConcurrency(1);
 }
 
 TEST(ParallelDeterminism, CloneForQueriesAnswersLikeTheOriginal) {

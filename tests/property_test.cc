@@ -13,6 +13,7 @@
 #include "skypeer/algo/merge.h"
 #include "skypeer/algo/sfs.h"
 #include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/dominance.h"
 #include "skypeer/common/mapping.h"
 #include "skypeer/common/rng.h"
 #include "skypeer/data/generator.h"
@@ -184,6 +185,98 @@ TEST_P(PropertyTest, FinalThresholdIsTight) {
       expected = std::min(expected, DistU(result.points[i], u));
     }
     EXPECT_DOUBLE_EQ(stats.final_threshold, expected);
+  }
+}
+
+// Exhaustive two-point dominance orderings: for every per-dimension
+// relation pattern in {p<q, p==q, p>q}^k (k up to 4, so 3^4 = 81 patterns)
+// embedded at random dimension positions of a larger space,
+// Dominates/ExtDominates/CompareDominance must agree with the
+// ground truth derived from the pattern and with each other — pinning the
+// early-exit in CompareDominance against the two boolean predicates.
+// Equal-coordinate patterns are included (a point never dominates itself).
+TEST(CompareDominanceTest, ExhaustiveTwoPointOrderings) {
+  Rng rng(41);
+  for (int k = 1; k <= 4; ++k) {
+    int combos = 1;
+    for (int i = 0; i < k; ++i) {
+      combos *= 3;
+    }
+    for (int combo = 0; combo < combos; ++combo) {
+      // Random embedding: k relation-carrying dimensions inside a larger
+      // space; the remaining dimensions get random values that must not
+      // affect any subspace-u outcome.
+      const int dims = k + static_cast<int>(rng.UniformInt(0, 4));
+      std::vector<int> all_dims(dims);
+      for (int d = 0; d < dims; ++d) {
+        all_dims[d] = d;
+      }
+      std::shuffle(all_dims.begin(), all_dims.end(), rng.engine());
+      std::vector<int> u_dims(all_dims.begin(), all_dims.begin() + k);
+      const Subspace u = Subspace::FromDims(u_dims);
+
+      double p[kMaxDims];
+      double q[kMaxDims];
+      for (int d = 0; d < dims; ++d) {
+        p[d] = rng.Uniform();
+        q[d] = rng.Uniform();
+      }
+      bool any_lt = false;
+      bool any_gt = false;
+      bool all_lt = true;
+      bool all_gt = true;
+      int digits = combo;
+      for (int j = 0; j < k; ++j) {
+        const int rel = digits % 3;
+        digits /= 3;
+        const int d = u_dims[j];
+        const double base = rng.Uniform();
+        if (rel == 0) {  // p < q on d
+          p[d] = base;
+          q[d] = base + 0.5;
+          any_lt = true;
+          all_gt = false;
+        } else if (rel == 1) {  // p == q on d
+          p[d] = base;
+          q[d] = base;
+          all_lt = false;
+          all_gt = false;
+        } else {  // p > q on d
+          p[d] = base + 0.5;
+          q[d] = base;
+          any_gt = true;
+          all_lt = false;
+        }
+      }
+      const bool expect_p_dom = any_lt && !any_gt;
+      const bool expect_q_dom = any_gt && !any_lt;
+      EXPECT_EQ(Dominates(p, q, u), expect_p_dom) << u.ToString();
+      EXPECT_EQ(Dominates(q, p, u), expect_q_dom) << u.ToString();
+      EXPECT_EQ(ExtDominates(p, q, u), all_lt) << u.ToString();
+      EXPECT_EQ(ExtDominates(q, p, u), all_gt) << u.ToString();
+
+      const DomRelation rel = CompareDominance(p, q, u);
+      const DomRelation rev = CompareDominance(q, p, u);
+      const DomRelation expect_rel =
+          expect_p_dom ? DomRelation::kPDominatesQ
+                       : (expect_q_dom ? DomRelation::kQDominatesP
+                                       : DomRelation::kIncomparable);
+      const DomRelation expect_rev =
+          expect_q_dom ? DomRelation::kPDominatesQ
+                       : (expect_p_dom ? DomRelation::kQDominatesP
+                                       : DomRelation::kIncomparable);
+      EXPECT_EQ(rel, expect_rel) << u.ToString();
+      EXPECT_EQ(rev, expect_rev) << u.ToString();
+
+      // Ext-dominance implies dominance (on non-equal points), and each
+      // point trivially never dominates itself.
+      if (all_lt) {
+        EXPECT_TRUE(Dominates(p, q, u));
+      }
+      EXPECT_FALSE(Dominates(p, p, u));
+      EXPECT_FALSE(ExtDominates(p, p, u));
+      EXPECT_EQ(CompareDominance(p, p, u), DomRelation::kIncomparable);
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "skypeer/common/dominance_batch.h"
 #include "skypeer/common/thread_pool.h"
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
@@ -70,6 +71,10 @@ void PrintUsageAndExit(const char* binary, int code) {
       "  --net-threads N  scope the worker pool to the network instead of\n"
       "                   the process-wide pool (default 0 = global pool)\n"
       "  --cache          enable the per-subspace result cache\n"
+      "  --force-scalar   pin the dominance kernels to the scalar path\n"
+      "                   instead of runtime SIMD dispatch (same effect as\n"
+      "                   SKYPEER_FORCE_SCALAR=1). Results and metrics are\n"
+      "                   bit-identical either way\n"
       "  --verbose        per-query output\n",
       binary);
   std::exit(code);
@@ -155,6 +160,8 @@ CliOptions Parse(int argc, char** argv) {
       options.network.measure_cpu = false;
     } else if (std::strcmp(arg, "--cache") == 0) {
       options.network.enable_cache = true;
+    } else if (std::strcmp(arg, "--force-scalar") == 0) {
+      SetForceScalarKernels(true);
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -208,6 +215,8 @@ int main(int argc, char** argv) {
               network.num_peers(), network.num_super_peers(),
               DistributionName(options.network.distribution),
               options.network.dims);
+  std::printf("dominance kernels: %s\n",
+              DomKernelModeName(ActiveDomKernelMode()));
   const PreprocessStats stats = network.Preprocess();
   std::printf(
       "pre-processing: n=%zu  SEL_p=%.1f%%  SEL_sp=%.1f%%  "
