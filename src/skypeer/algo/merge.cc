@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,7 @@ ResultList MergeSortedSkylines(int dims,
     }
   }
 
+  std::unordered_set<PointId> offered_ids;
   size_t scanned = 0;
   while (!heap.empty()) {
     const Head head = heap.top();
@@ -61,8 +63,16 @@ ResultList MergeSortedSkylines(int dims,
     }
     heap.pop();
     const ResultList& list = *lists[head.list];
-    accumulator.Offer(list.points[head.pos], list.points.id(head.pos), head.f);
-    ++scanned;
+    // Copies of one point (overlapping inputs) never dominate each other;
+    // offering both would duplicate the skyline entry.
+    const bool duplicate_id =
+        options.dedup_ids &&
+        !offered_ids.insert(list.points.id(head.pos)).second;
+    if (!duplicate_id) {
+      accumulator.Offer(list.points[head.pos], list.points.id(head.pos),
+                        head.f);
+      ++scanned;
+    }
     if (head.pos + 1 < list.size()) {
       heap.push(Head{list.f[head.pos + 1], head.list, head.pos + 1});
     }

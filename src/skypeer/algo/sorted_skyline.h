@@ -41,6 +41,15 @@ struct ThresholdScanOptions {
   /// evict-heavy streams at the cost of more frequent copies.
   size_t compact_min_window = 64;
   double compact_live_fraction = 0.5;
+
+  /// `MergeSortedSkylines` only: skip points whose id was already offered
+  /// by an earlier list position. Copies of the same point never dominate
+  /// each other, so merging inputs that overlap (e.g. a reply that
+  /// travelled both the spanning tree and a reroute detour in the
+  /// reliable protocol) would otherwise duplicate skyline points. A no-op
+  /// on disjoint inputs — fault-free runs are bit-identical with or
+  /// without it.
+  bool dedup_ids = false;
 };
 
 /// Counters reported by the scan algorithms.

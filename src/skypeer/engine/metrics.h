@@ -37,7 +37,40 @@ struct QueryMetrics {
   /// backbone).
   int super_peers_participated = 0;
 
+  // --- reliability / fault-injection (reliable protocol only) ----------
+
+  /// True when the answer is a *partial* result: the coverage report
+  /// shows unreached super-peers (crashes, give-ups) or the query
+  /// deadline fired before every subtree replied. A partial answer is
+  /// still the exact skyline of the covered stores — degradation is
+  /// reported, never silent.
+  bool partial = false;
+  /// Super-peers whose local results the answer covers (initiator
+  /// included). Equals `super_peers_total` on a fault-free run.
+  int super_peers_reached = 0;
+  /// Backbone size the coverage is measured against; 0 when the reliable
+  /// protocol is disabled.
+  int super_peers_total = 0;
+  /// Envelope retransmissions across all super-peers (run 1, configured
+  /// links).
+  uint64_t retransmits = 0;
+  /// Hops abandoned after `max_retries` retransmissions.
+  uint64_t hops_gave_up = 0;
+  /// Messages the fault plan lost in flight (run 1).
+  uint64_t messages_dropped = 0;
+  /// The coverage report: sorted ids of the super-peers whose local
+  /// results the answer covers (empty when the reliable protocol is
+  /// disabled). `super_peers_reached` is its size.
+  std::vector<int> covered;
+
   double volume_kb() const { return bytes_transferred / 1024.0; }
+
+  /// Fraction of super-peers the answer covers, in [0, 1].
+  double coverage() const {
+    return super_peers_total == 0
+               ? 1.0
+               : static_cast<double>(super_peers_reached) / super_peers_total;
+  }
 };
 
 /// Statistics of the pre-processing phase (§5.3), reported in Fig. 3(a).
@@ -134,6 +167,11 @@ struct AggregateMetrics {
   MetricSeries messages;
   MetricSeries result;
   MetricSeries scanned;
+  /// Reliability series (all zero when the reliable protocol is off).
+  MetricSeries retransmits;
+  MetricSeries gave_up;
+  MetricSeries coverage;
+  size_t partial_queries = 0;
 
   void Add(const QueryMetrics& metrics) {
     ++queries;
@@ -143,6 +181,12 @@ struct AggregateMetrics {
     messages.Add(static_cast<double>(metrics.messages));
     result.Add(static_cast<double>(metrics.result_size));
     scanned.Add(static_cast<double>(metrics.store_points_scanned));
+    retransmits.Add(static_cast<double>(metrics.retransmits));
+    gave_up.Add(static_cast<double>(metrics.hops_gave_up));
+    coverage.Add(metrics.coverage());
+    if (metrics.partial) {
+      ++partial_queries;
+    }
   }
 
   double avg_comp_s() const { return comp_s.mean(); }
@@ -150,6 +194,9 @@ struct AggregateMetrics {
   double avg_kb() const { return kb.mean(); }
   double avg_messages() const { return messages.mean(); }
   double avg_result() const { return result.mean(); }
+  double avg_retransmits() const { return retransmits.mean(); }
+  double avg_gave_up() const { return gave_up.mean(); }
+  double avg_coverage() const { return coverage.mean(); }
 };
 
 }  // namespace skypeer

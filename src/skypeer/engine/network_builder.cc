@@ -31,6 +31,33 @@ Status SkypeerNetwork::Validate(const NetworkConfig& config) {
   if (config.threads < 0) {
     return Status::InvalidArgument("threads must be >= 0");
   }
+  if (config.drop_prob < 0.0 || config.drop_prob >= 1.0) {
+    return Status::InvalidArgument("drop_prob must be in [0, 1)");
+  }
+  if (config.delay_jitter < 0.0) {
+    return Status::InvalidArgument("delay_jitter must be >= 0");
+  }
+  if (config.ack_timeout <= 0.0) {
+    return Status::InvalidArgument("ack_timeout must be positive");
+  }
+  if (config.max_retries < 0) {
+    return Status::InvalidArgument("max_retries must be >= 0");
+  }
+  if (config.query_deadline < 0.0) {
+    return Status::InvalidArgument("query_deadline must be >= 0");
+  }
+  if (!config.reliable &&
+      (config.drop_prob > 0.0 || !config.crashed_sps.empty())) {
+    // The legacy transport deadlocks on lost messages; only delay jitter
+    // (reordering) is tolerable without the reliable protocol.
+    return Status::InvalidArgument(
+        "message loss (drop_prob, crashed_sps) requires reliable=true");
+  }
+  for (int sp : config.crashed_sps) {
+    if (sp < 0) {
+      return Status::InvalidArgument("crashed_sps ids must be >= 0");
+    }
+  }
   OverlayConfig overlay_config;
   overlay_config.num_peers = config.num_peers;
   overlay_config.num_super_peers = config.num_super_peers;
@@ -81,6 +108,43 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
         simulator_.Connect(a, b, params);
       }
     }
+  }
+
+  if (config_.reliable) {
+    ReliableParams reliable;
+    reliable.enabled = true;
+    reliable.ack_timeout = config_.ack_timeout;
+    reliable.max_retries = config_.max_retries;
+    reliable.query_deadline = config_.query_deadline;
+    reliable.bandwidth_hint = config_.bandwidth;
+    for (auto& sp : super_peers_) {
+      sp->SetReliableParams(reliable);
+      sp->set_num_super_peers(num_sp);
+    }
+  }
+  sim::FaultPlan plan;
+  plan.seed = config_.fault_seed != 0
+                  ? config_.fault_seed
+                  : config_.seed ^ 0xfa0171fa0171fa01ULL;
+  plan.drop_prob = config_.drop_prob;
+  plan.delay_jitter = config_.delay_jitter;
+  for (int sp : config_.crashed_sps) {
+    SKYPEER_CHECK(sp < num_sp);
+    plan.CrashNode(sp);
+  }
+  if (plan.HasFaults()) {
+    simulator_.SetFaultPlan(std::move(plan));
+  }
+}
+
+void SkypeerNetwork::SetFaultPlan(sim::FaultPlan plan) {
+  simulator_.SetFaultPlan(std::move(plan));
+}
+
+void SkypeerNetwork::ResetProtocolState() {
+  simulator_.Reset();
+  for (auto& sp : super_peers_) {
+    sp->ResetProtocolState();
   }
 }
 
@@ -318,7 +382,7 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
   simulator_.Reset();
   simulator_.SetAllLinkParams(params);
   for (auto& sp : super_peers_) {
-    sp->ResetQueryState();
+    sp->ResetProtocolState();
     sp->set_measure_cpu(config_.measure_cpu);
   }
 
@@ -372,16 +436,52 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
     start->route = overlay_.backbone.EulerTourWalk(initiator_sp);
   }
   simulator_.Post(initiator_sp, std::move(start));
-  simulator_.Run();
+  // Retransmission give-up bounds make faulty runs terminate on their
+  // own; the event budget is a safety valve that turns any residual
+  // livelock into a crash instead of a hang.
+  sim::RunBudget budget;
+  if (config_.reliable) {
+    budget.max_events = 200'000'000;
+  }
+  const sim::RunStatus status = simulator_.Run(budget);
+  SKYPEER_CHECK(status == sim::RunStatus::kCompleted);
 
   SuperPeer* initiator = super_peers_[initiator_sp].get();
-  SKYPEER_CHECK(initiator->finished());
-  *result = initiator->final_result();
-
   RunOutcome outcome;
-  outcome.completion_s = initiator->finish_time();
+  outcome.finished = initiator->finished();
+  if (!config_.reliable) {
+    SKYPEER_CHECK(outcome.finished);
+  }
+  if (outcome.finished) {
+    *result = initiator->final_result();
+    outcome.completion_s = initiator->finish_time();
+    if (config_.reliable) {
+      outcome.partial = initiator->partial();
+      outcome.coverage = initiator->coverage();
+    }
+  } else {
+    // The initiator itself was crashed (or the walk stranded with no
+    // deadline set): a graceful empty partial answer instead of a CHECK.
+    *result = ResultList(config_.dims);
+    outcome.completion_s = simulator_.now();
+    outcome.partial = true;
+  }
   outcome.bytes = simulator_.total_bytes();
   outcome.messages = simulator_.num_messages();
+  if (config_.reliable) {
+    outcome.dropped = simulator_.dropped_messages();
+    for (const auto& sp : super_peers_) {
+      const SuperPeer::ReliabilityStats& rstats = sp->reliability_stats();
+      outcome.retransmits += rstats.retransmits;
+      outcome.gave_up += rstats.gave_up;
+      const SuperPeer::LastQueryStats stats = sp->last_query_stats();
+      if (stats.participated) {
+        ++outcome.participated;
+        outcome.scanned += stats.scanned;
+        outcome.local_points += stats.local_result;
+      }
+    }
+  }
   return outcome;
 }
 
@@ -404,13 +504,32 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
   ResultList compute_result(config_.dims);
   const RunOutcome compute = RunOnce(subspace, initiator_sp, variant,
                                      compute_params, &compute_result);
-  SKYPEER_DCHECK(compute_result.size() == query_result.skyline.size());
+  if (!config_.reliable) {
+    SKYPEER_DCHECK(compute_result.size() == query_result.skyline.size());
+  }
 
   query_result.metrics.total_time_s = total.completion_s;
   query_result.metrics.computational_time_s = compute.completion_s;
   query_result.metrics.bytes_transferred = total.bytes;
   query_result.metrics.messages = total.messages;
   query_result.metrics.result_size = query_result.skyline.size();
+  if (config_.reliable) {
+    // Reliable mode reports run 1 (configured links): under faults the
+    // two runs realize different timings and thus potentially different
+    // fault patterns, and run 1 is the measurement the answer came from.
+    query_result.metrics.partial = total.partial;
+    query_result.metrics.super_peers_reached =
+        static_cast<int>(total.coverage.size());
+    query_result.metrics.covered = total.coverage;
+    query_result.metrics.super_peers_total = num_super_peers();
+    query_result.metrics.retransmits = total.retransmits;
+    query_result.metrics.hops_gave_up = total.gave_up;
+    query_result.metrics.messages_dropped = total.dropped;
+    query_result.metrics.super_peers_participated = total.participated;
+    query_result.metrics.store_points_scanned = total.scanned;
+    query_result.metrics.local_result_points = total.local_points;
+    return query_result;
+  }
   // Per-node counters of the compute run (identical protocol trace; the
   // states are still live after RunOnce).
   for (const auto& sp : super_peers_) {

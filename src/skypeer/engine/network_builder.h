@@ -82,6 +82,37 @@ struct NetworkConfig {
   /// pool.
   int threads = 0;
   WireModel wire;
+
+  // --- fault injection + reliable query protocol ------------------------
+
+  /// Run the query protocol over the reliable per-hop transport:
+  /// envelopes with per-hop acknowledgements, timer-driven retransmission
+  /// with exponential backoff, duplicate suppression, rerouting around
+  /// unreachable neighbors and graceful partial results with a coverage
+  /// report. Required whenever faults below can lose messages.
+  bool reliable = false;
+  /// Seed of the fault plan's dedicated RNG stream; 0 derives it from
+  /// `seed`. Identical seeds reproduce identical fault patterns.
+  uint64_t fault_seed = 0;
+  /// Probability that any transmission is lost in flight. Requires
+  /// `reliable`.
+  double drop_prob = 0.0;
+  /// Uniform extra delay in [0, delay_jitter) seconds added to every
+  /// arrival (may reorder deliveries across links).
+  double delay_jitter = 0.0;
+  /// Reliable transport: base acknowledgement timeout (seconds) before a
+  /// hop retransmits; backs off exponentially per attempt.
+  double ack_timeout = 0.25;
+  /// Reliable transport: retransmissions before a hop is abandoned and
+  /// recovery (child write-off / reply reroute / pipeline skip) kicks in.
+  int max_retries = 8;
+  /// Reliable transport: initiator deadline (seconds of virtual time per
+  /// run); when it fires the initiator answers with whatever subtree
+  /// results arrived, flagged partial. 0 disables the deadline.
+  double query_deadline = 0.0;
+  /// Super-peers crashed from time 0 for every query (never deliver,
+  /// never reply). Requires `reliable`.
+  std::vector<int> crashed_sps;
 };
 
 /// Outcome of one distributed query: the exact global subspace skyline
@@ -158,6 +189,19 @@ class SkypeerNetwork {
   /// `retain_peer_data`. The oracle for exactness tests.
   PointSet GroundTruthSkyline(Subspace subspace) const;
 
+  /// Installs (or replaces) the simulator's fault plan, overriding the
+  /// one derived from the configuration — the hook tests and drivers use
+  /// for time-windowed crashes, link outages and per-link loss. The
+  /// plan's RNG is reseeded on every query run, so the same plan yields
+  /// the same fault pattern on every execution.
+  void SetFaultPlan(sim::FaultPlan plan);
+
+  /// Clears all per-query protocol state — simulator events, timers and
+  /// statistics plus every super-peer's query and reliable-transport
+  /// state. Query execution does this implicitly before each run; call it
+  /// when driving the simulator directly between executions.
+  void ResetProtocolState();
+
   // --- churn (requires `dynamic_membership`) ----------------------------
 
   /// A new peer joins under `super_peer` with the given raw dataset
@@ -191,6 +235,18 @@ class SkypeerNetwork {
     double completion_s = 0.0;
     uint64_t bytes = 0;
     uint64_t messages = 0;
+    /// Reliable mode only (legacy runs always finish completely).
+    bool finished = false;
+    bool partial = false;
+    std::vector<int> coverage;
+    uint64_t retransmits = 0;
+    uint64_t gave_up = 0;
+    uint64_t dropped = 0;
+    /// Per-node counters of *this* run (reliable mode reports run 1;
+    /// under faults the two runs can realize different fault patterns).
+    int participated = 0;
+    size_t scanned = 0;
+    size_t local_points = 0;
   };
 
   RunOutcome RunOnce(Subspace subspace, int initiator_sp, Variant variant,

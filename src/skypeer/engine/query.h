@@ -72,6 +72,11 @@ struct WireModel {
   size_t query_bytes = 64;        ///< Query message (mask, threshold, ids).
   size_t reply_header_bytes = 32; ///< Fixed reply overhead.
   size_t list_header_bytes = 16;  ///< Per-list framing inside a reply.
+  /// Reliable-transport framing (query id, sequence number) wrapped
+  /// around every payload when the reliable protocol is enabled.
+  size_t envelope_bytes = 16;
+  /// One per-hop acknowledgement (query id, sequence number, headers).
+  size_t ack_bytes = 24;
 
   /// Wire size of one result point for query dimensionality `k`.
   size_t PointBytes(int k) const {
@@ -83,6 +88,12 @@ struct WireModel {
   size_t ReplyBytes(int k, size_t lists, size_t points) const {
     return reply_header_bytes + lists * list_header_bytes +
            points * PointBytes(k);
+  }
+
+  /// Wire size of a contributor id vector attached to reliable-mode
+  /// replies for the coverage report.
+  size_t ContributorBytes(size_t contributors) const {
+    return contributors * id_bytes;
   }
 };
 
@@ -107,6 +118,9 @@ struct PipelineMessage : sim::MessageBody {
   size_t position = 0;
   /// Skyline of everything merged so far along the walk.
   std::shared_ptr<const ResultList> accumulated;
+  /// Reliable mode: super-peers whose local results `accumulated`
+  /// includes (coverage report; hops skipped around crashes are absent).
+  std::vector<int> contributors;
 };
 
 /// The flooded query `q(U, t)` of Algorithm 3.
@@ -129,6 +143,16 @@ struct ReplyMessage : sim::MessageBody {
   /// another neighbor (flood duplicate); carries no lists.
   bool duplicate = false;
   std::vector<std::shared_ptr<const ResultList>> lists;
+  /// Reliable mode: super-peers whose local results `lists` covers (the
+  /// sender's own subtree); the coverage report is the union of these at
+  /// the initiator. Empty for flood duplicates.
+  std::vector<int> contributors;
+  /// Reliable mode: >= 0 when this reply could not reach its spanning
+  /// tree parent and was rerouted via another backbone edge; holds the id
+  /// of the node whose parent was unreachable. Receivers fold such
+  /// replies in as extra data (or relay them further towards the
+  /// initiator) instead of consuming a child-reply slot.
+  int reroute_origin = -1;
 
   size_t TotalPoints() const {
     size_t total = 0;

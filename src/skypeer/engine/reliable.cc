@@ -1,0 +1,19 @@
+#include "skypeer/engine/reliable.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skypeer {
+
+double RetryTimeout(const ReliableParams& params, int attempt, size_t bytes) {
+  double transfer = 0.0;
+  if (params.bandwidth_hint > 0.0 && std::isfinite(params.bandwidth_hint)) {
+    transfer = 2.0 * static_cast<double>(bytes) / params.bandwidth_hint;
+  }
+  // Cap the shift: past ~2^20 the timeout is far beyond any simulated
+  // deadline anyway and further doubling would only risk overflow.
+  const int shift = std::min(attempt, 20);
+  return transfer + params.ack_timeout * static_cast<double>(1ULL << shift);
+}
+
+}  // namespace skypeer

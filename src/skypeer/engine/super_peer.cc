@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 
 #include "skypeer/algo/bnl.h"
@@ -152,24 +153,371 @@ double SuperPeer::finish_time() const {
   return query_->finish_time;
 }
 
+bool SuperPeer::partial() const {
+  SKYPEER_CHECK(finished());
+  return query_->partial;
+}
+
+std::vector<int> SuperPeer::coverage() const {
+  SKYPEER_CHECK(finished());
+  return std::vector<int>(query_->contributors.begin(),
+                          query_->contributors.end());
+}
+
+void SuperPeer::ResetProtocolState() {
+  ResetQueryState();
+  outbound_.clear();
+  seen_.clear();
+  next_hop_seq_ = 1;
+  deadline_timer_id_ = 0;
+  rstats_ = ReliabilityStats{};
+}
+
 void SuperPeer::HandleMessage(sim::Simulator* simulator,
                               const sim::Message& message) {
-  if (const auto* start =
-          dynamic_cast<const StartQueryMessage*>(message.body.get())) {
+  if (const auto* envelope =
+          dynamic_cast<const ReliableEnvelope*>(message.body.get())) {
+    HandleEnvelope(simulator, message, *envelope);
+  } else if (const auto* ack =
+                 dynamic_cast<const AckMessage*>(message.body.get())) {
+    HandleAck(simulator, *ack);
+  } else if (const auto* retransmit =
+                 dynamic_cast<const RetransmitTimer*>(message.body.get())) {
+    HandleRetransmit(simulator, *retransmit);
+  } else if (const auto* deadline =
+                 dynamic_cast<const DeadlineTimer*>(message.body.get())) {
+    HandleDeadline(simulator, *deadline);
+  } else if (const auto* start =
+                 dynamic_cast<const StartQueryMessage*>(message.body.get())) {
     HandleStart(simulator, *start);
   } else if (const auto* query =
                  dynamic_cast<const QueryMessage*>(message.body.get())) {
     HandleQuery(simulator, message, *query);
   } else if (const auto* reply =
                  dynamic_cast<const ReplyMessage*>(message.body.get())) {
-    HandleReply(simulator, *reply);
+    HandleReply(simulator, message.src, *reply);
   } else if (const auto* pipeline =
                  dynamic_cast<const PipelineMessage*>(message.body.get())) {
-    HandlePipeline(simulator, *pipeline);
+    HandlePipeline(simulator, message.src, *pipeline);
+  } else if (reliable_.enabled) {
+    ++rstats_.stale_ignored;  // Unknown payloads are tolerated, not fatal.
   } else {
     SKYPEER_CHECK(false);  // Unknown message type.
   }
 }
+
+// --- reliable transport --------------------------------------------------
+
+void SuperPeer::SendEnvelope(sim::Simulator* simulator, int dst,
+                             size_t payload_bytes,
+                             std::shared_ptr<const sim::MessageBody> payload,
+                             Outbound hop) {
+  SKYPEER_CHECK(reliable_.enabled);
+  SKYPEER_CHECK(query_.has_value());
+  auto envelope = std::make_shared<ReliableEnvelope>();
+  envelope->query_id = query_->query_id;
+  envelope->seq = next_hop_seq_++;
+  envelope->payload = std::move(payload);
+
+  hop.dst = dst;
+  hop.bytes = payload_bytes + wire_.envelope_bytes;
+  hop.envelope = envelope;
+  hop.attempts = 0;
+  simulator->Send(id_, dst, hop.bytes, envelope);
+
+  auto timer = std::make_shared<RetransmitTimer>();
+  timer->seq = envelope->seq;
+  hop.timer_id = simulator->ScheduleTimer(
+      id_, RetryTimeout(reliable_, 0, hop.bytes), std::move(timer));
+  outbound_[envelope->seq] = std::move(hop);
+}
+
+void SuperPeer::HandleEnvelope(sim::Simulator* simulator,
+                               const sim::Message& message,
+                               const ReliableEnvelope& envelope) {
+  if (!reliable_.enabled || message.src < 0) {
+    ++rstats_.stale_ignored;
+    return;
+  }
+  // Always acknowledge — the sender may be retransmitting because our
+  // previous acknowledgement was lost, not because the payload was.
+  auto ack = std::make_shared<AckMessage>();
+  ack->query_id = envelope.query_id;
+  ack->seq = envelope.seq;
+  simulator->Send(id_, message.src, wire_.ack_bytes, std::move(ack));
+
+  // Effectively-once: at-least-once delivery plus (src, query, seq)
+  // suppression. A retransmitted hop never re-triggers scans, merges or
+  // metric counting.
+  if (!seen_.insert({message.src, envelope.query_id, envelope.seq}).second) {
+    ++rstats_.duplicates_suppressed;
+    return;
+  }
+  // Stale traffic from an earlier query is acknowledged (to quiesce the
+  // sender) but its payload is discarded.
+  if (query_.has_value() && envelope.query_id != query_->query_id) {
+    ++rstats_.stale_ignored;
+    return;
+  }
+  const sim::MessageBody* payload = envelope.payload.get();
+  if (const auto* query = dynamic_cast<const QueryMessage*>(payload)) {
+    sim::Message inner = message;
+    inner.body = envelope.payload;
+    HandleQuery(simulator, inner, *query);
+  } else if (const auto* reply = dynamic_cast<const ReplyMessage*>(payload)) {
+    if (reply->reroute_origin >= 0) {
+      HandleReroutedReply(simulator, *reply);
+    } else {
+      HandleReply(simulator, message.src, *reply);
+    }
+  } else if (const auto* pipeline =
+                 dynamic_cast<const PipelineMessage*>(payload)) {
+    HandlePipeline(simulator, message.src, *pipeline);
+  } else {
+    ++rstats_.stale_ignored;
+  }
+}
+
+void SuperPeer::HandleAck(sim::Simulator* simulator, const AckMessage& ack) {
+  const auto it = outbound_.find(ack.seq);
+  if (it == outbound_.end() ||
+      it->second.envelope->query_id != ack.query_id) {
+    return;  // Already resolved (or a stale stray) — nothing to do.
+  }
+  simulator->CancelTimer(it->second.timer_id);
+  outbound_.erase(it);
+}
+
+void SuperPeer::HandleRetransmit(sim::Simulator* simulator,
+                                 const RetransmitTimer& timer) {
+  const auto it = outbound_.find(timer.seq);
+  if (it == outbound_.end()) {
+    return;  // Acknowledged after the timer was already in flight.
+  }
+  Outbound& hop = it->second;
+  ++hop.attempts;
+  if (hop.attempts > reliable_.max_retries) {
+    ++rstats_.gave_up;
+    Outbound failed = std::move(hop);
+    outbound_.erase(it);
+    switch (failed.kind) {
+      case HopKind::kQuery:
+        OnChildUnreachable(simulator, failed.dst);
+        break;
+      case HopKind::kReply:
+        RerouteReply(simulator, std::move(failed));
+        break;
+      case HopKind::kPipeline:
+        SkipPipelineHop(simulator, failed);
+        break;
+    }
+    return;
+  }
+  ++rstats_.retransmits;
+  simulator->Send(id_, hop.dst, hop.bytes, hop.envelope);
+  auto next_timer = std::make_shared<RetransmitTimer>();
+  next_timer->seq = timer.seq;
+  hop.timer_id = simulator->ScheduleTimer(
+      id_, RetryTimeout(reliable_, hop.attempts, hop.bytes),
+      std::move(next_timer));
+}
+
+void SuperPeer::HandleDeadline(sim::Simulator* simulator,
+                               const DeadlineTimer& timer) {
+  if (!query_.has_value() || query_->query_id != timer.query_id ||
+      query_->finished || !query_->is_initiator) {
+    return;
+  }
+  QueryState* state = &*query_;
+  state->deadline_fired = true;
+  // Quiesce the transport: outstanding hops will never improve this
+  // answer.
+  for (auto& [seq, hop] : outbound_) {
+    simulator->CancelTimer(hop.timer_id);
+  }
+  outbound_.clear();
+  FinishInitiator(simulator, state);
+}
+
+void SuperPeer::OnChildUnreachable(sim::Simulator* simulator, int child) {
+  if (!query_.has_value() || query_->finished) {
+    return;
+  }
+  QueryState* state = &*query_;
+  const auto it = state->child_done.find(child);
+  if (it == state->child_done.end() || it->second) {
+    return;
+  }
+  it->second = true;
+  --state->pending;
+  if (state->pending == 0) {
+    Complete(simulator, state);
+  }
+}
+
+void SuperPeer::RerouteReply(sim::Simulator* simulator, Outbound hop) {
+  if (!query_.has_value() || hop.reply == nullptr) {
+    return;
+  }
+  hop.tried.push_back(hop.dst);
+  for (int neighbor : neighbors_) {
+    if (std::find(hop.tried.begin(), hop.tried.end(), neighbor) !=
+        hop.tried.end()) {
+      continue;
+    }
+    auto rerouted = std::make_shared<ReplyMessage>(*hop.reply);
+    if (rerouted->reroute_origin < 0) {
+      rerouted->reroute_origin = id_;
+    }
+    ++rstats_.rerouted;
+    SendReplyReliable(simulator, neighbor, std::move(rerouted),
+                      query_->subspace.Count(), std::move(hop.tried));
+    return;
+  }
+  // Every backbone edge is exhausted: the data is stranded; the
+  // initiator's deadline (or give-up accounting) surfaces the loss as a
+  // partial result instead of a hang.
+}
+
+void SuperPeer::SkipPipelineHop(sim::Simulator* simulator,
+                                const Outbound& hop) {
+  if (!query_.has_value() || query_->finished || hop.pipeline == nullptr) {
+    return;
+  }
+  const PipelineMessage& failed = *hop.pipeline;
+  const std::vector<int>& route = *failed.route;
+  const auto resume = [&](size_t position, int dst) {
+    auto next = std::make_shared<PipelineMessage>(failed);
+    next->position = position;
+    const size_t bytes =
+        wire_.query_bytes +
+        wire_.ReplyBytes(next->subspace.Count(), 1,
+                         next->accumulated->size()) +
+        wire_.ContributorBytes(next->contributors.size());
+    Outbound skip;
+    skip.kind = HopKind::kPipeline;
+    skip.pipeline = next;
+    SendEnvelope(simulator, dst, bytes, next, std::move(skip));
+  };
+  // Resume the walk at the earliest later route position this node can
+  // legally hand the message to: right after a later occurrence of itself
+  // (the tour's own continuation), or directly at a later occurrence of a
+  // backbone neighbor — adjacency keeps the hop sendable, non-tree edges
+  // route around crashed subtrees, and a revisited receiver passes the
+  // walk through unchanged. Taking the *earliest* such position keeps the
+  // skipped gap (and thus the coverage loss) minimal. Occurrences of the
+  // node that just failed are avoided; other crashed nodes are discovered
+  // by their own retry cycles.
+  const int failed_dst = route[failed.position];
+  for (size_t p = failed.position + 1; p < route.size(); ++p) {
+    if (route[p] == id_) {
+      if (p + 1 < route.size() && route[p + 1] != failed_dst) {
+        resume(p + 1, route[p + 1]);
+        return;
+      }
+      continue;
+    }
+    if (route[p] == failed_dst) {
+      continue;
+    }
+    if (std::find(neighbors_.begin(), neighbors_.end(), route[p]) !=
+        neighbors_.end()) {
+      resume(p, route[p]);
+      return;
+    }
+  }
+  // No later route position is reachable from here (typically the final
+  // return hop to an initiator that is not our backbone neighbor). The
+  // walk itself is over, but the accumulated result is not lost: convert
+  // it into a rerouted reply and send it home along the tour-predecessor
+  // chain, whose hops all delivered at least once.
+  QueryState* state = &*query_;
+  if (state->is_initiator) {
+    state->contributors.insert(failed.contributors.begin(),
+                               failed.contributors.end());
+    state->extras[id_].push_back(failed.accumulated);
+    FinishInitiator(simulator, state);
+    return;
+  }
+  auto stranded = std::make_shared<ReplyMessage>();
+  stranded->query_id = failed.query_id;
+  stranded->duplicate = false;
+  stranded->lists.push_back(failed.accumulated);
+  stranded->contributors = failed.contributors;
+  stranded->reroute_origin = id_;
+  ++rstats_.rerouted;
+  SendReplyReliable(simulator, state->parent, std::move(stranded),
+                    state->subspace.Count(), {});
+}
+
+void SuperPeer::HandleReroutedReply(sim::Simulator* simulator,
+                                    const ReplyMessage& reply) {
+  if (!query_.has_value() || reply.query_id != query_->query_id ||
+      reply.reroute_origin == id_) {
+    // Unknown query, or our own rerouted data echoed back through a
+    // cycle: drop it (the cycle guard below handles repeats).
+    ++rstats_.stale_ignored;
+    return;
+  }
+  QueryState* state = &*query_;
+  if (state->finished) {
+    ++rstats_.stale_ignored;
+    return;
+  }
+  const int origin = reply.reroute_origin;
+  if (!state->reroutes_handled.insert(origin).second) {
+    ++rstats_.duplicates_suppressed;  // Already folded or relayed.
+    return;
+  }
+  if (!state->is_initiator &&
+      (state->replied || state->variant == Variant::kPipeline)) {
+    // Our answer already left (or, on the pipeline, we never answer
+    // upstream at all): relay the stray towards the initiator. Pipeline
+    // parents are the tour predecessors, so the chain terminates there.
+    SendReplyReliable(simulator, state->parent,
+                      std::make_shared<ReplyMessage>(reply),
+                      state->subspace.Count(), {});
+    return;
+  }
+  // Fold the detoured subtree in as extra data — unless everything it
+  // covers already arrived through the spanning tree.
+  bool fresh = false;
+  for (int contributor : reply.contributors) {
+    if (state->contributors.count(contributor) == 0) {
+      fresh = true;
+      break;
+    }
+  }
+  if (fresh) {
+    auto& bucket = state->extras[origin];
+    bucket.insert(bucket.end(), reply.lists.begin(), reply.lists.end());
+    state->contributors.insert(reply.contributors.begin(),
+                               reply.contributors.end());
+  } else {
+    ++rstats_.duplicates_suppressed;
+  }
+  if (state->is_initiator && state->variant == Variant::kPipeline &&
+      !state->finished) {
+    // The walk's token was converted into this reply when it stranded —
+    // nothing further is in flight, so answer with what came home.
+    FinishInitiator(simulator, state);
+  }
+}
+
+void SuperPeer::SendReplyReliable(sim::Simulator* simulator, int dst,
+                                  std::shared_ptr<const ReplyMessage> reply,
+                                  int query_dims, std::vector<int> tried) {
+  const size_t bytes =
+      wire_.ReplyBytes(query_dims, reply->lists.size(), reply->TotalPoints()) +
+      wire_.ContributorBytes(reply->contributors.size());
+  Outbound hop;
+  hop.kind = HopKind::kReply;
+  hop.reply = reply;
+  hop.tried = std::move(tried);
+  SendEnvelope(simulator, dst, bytes, std::move(reply), std::move(hop));
+}
+
+// --- local computation ---------------------------------------------------
 
 void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
                              double threshold_in,
@@ -358,6 +706,8 @@ SuperPeer::LastQueryStats SuperPeer::last_query_stats() const {
   return stats;
 }
 
+// --- flood / reply protocol ----------------------------------------------
+
 void SuperPeer::ForwardQuery(sim::Simulator* simulator, QueryState* state) {
   auto query = std::make_shared<QueryMessage>();
   query->query_id = state->query_id;
@@ -369,7 +719,15 @@ void SuperPeer::ForwardQuery(sim::Simulator* simulator, QueryState* state) {
     if (neighbor == state->parent) {
       continue;
     }
-    simulator->Send(id_, neighbor, wire_.query_bytes, query);
+    if (reliable_.enabled) {
+      state->child_done[neighbor] = false;
+      Outbound hop;
+      hop.kind = HopKind::kQuery;
+      SendEnvelope(simulator, neighbor, wire_.query_bytes, query,
+                   std::move(hop));
+    } else {
+      simulator->Send(id_, neighbor, wire_.query_bytes, query);
+    }
     ++state->pending;
   }
 }
@@ -398,6 +756,15 @@ void SuperPeer::HandleStart(sim::Simulator* simulator,
   state->parent = -1;
   state->is_initiator = true;
   state->threshold = std::numeric_limits<double>::infinity();
+  if (reliable_.enabled) {
+    state->contributors.insert(id_);
+    if (reliable_.query_deadline > 0.0) {
+      auto deadline = std::make_shared<DeadlineTimer>();
+      deadline->query_id = state->query_id;
+      deadline_timer_id_ = simulator->ScheduleTimer(
+          id_, reliable_.query_deadline, std::move(deadline));
+    }
+  }
 
   if (state->variant == Variant::kPipeline) {
     // The initiator seeds the accumulated result with its local skyline
@@ -407,6 +774,14 @@ void SuperPeer::HandleStart(sim::Simulator* simulator,
       state->final = *state->local;
       state->finished = true;
       state->finish_time = simulator->CurrentNodeClock();
+      if (reliable_.enabled) {
+        state->partial =
+            static_cast<int>(state->contributors.size()) < num_super_peers_;
+        if (deadline_timer_id_ != 0) {
+          simulator->CancelTimer(deadline_timer_id_);
+          deadline_timer_id_ = 0;
+        }
+      }
       return;
     }
     PipelineMessage seed;
@@ -414,7 +789,12 @@ void SuperPeer::HandleStart(sim::Simulator* simulator,
     seed.subspace = state->subspace;
     seed.route = std::make_shared<const std::vector<int>>(start.route);
     seed.position = 0;
-    ForwardPipeline(simulator, seed, state->threshold, state->local);
+    std::vector<int> contributors;
+    if (reliable_.enabled) {
+      contributors.push_back(id_);
+    }
+    ForwardPipeline(simulator, seed, state->threshold, state->local,
+                    std::move(contributors));
     return;
   }
 
@@ -439,11 +819,28 @@ void SuperPeer::HandleQuery(sim::Simulator* simulator,
                             const QueryMessage& query) {
   if (query_.has_value() && query_->query_id == query.query_id) {
     // Flood duplicate: the sender still awaits one reply from us.
-    SendReply(simulator, message.src, query.query_id, /*duplicate=*/true, {},
-              query.subspace.Count());
+    if (reliable_.enabled) {
+      auto reply = std::make_shared<ReplyMessage>();
+      reply->query_id = query.query_id;
+      reply->duplicate = true;
+      SendReplyReliable(simulator, message.src, std::move(reply),
+                        query.subspace.Count(), {});
+    } else {
+      SendReply(simulator, message.src, query.query_id, /*duplicate=*/true,
+                {}, query.subspace.Count());
+    }
     return;
   }
-  SKYPEER_CHECK(!query_.has_value());
+  if (reliable_.enabled) {
+    if (query_.has_value()) {
+      // A different query while one is active: tolerated (stale), the
+      // legacy invariant of one query at a time still holds per run.
+      ++rstats_.stale_ignored;
+      return;
+    }
+  } else {
+    SKYPEER_CHECK(!query_.has_value());
+  }
   query_.emplace();
   QueryState* state = &*query_;
   state->query_id = query.query_id;
@@ -452,6 +849,9 @@ void SuperPeer::HandleQuery(sim::Simulator* simulator,
   state->threshold = query.threshold;
   state->parent = message.src;
   state->is_initiator = false;
+  if (reliable_.enabled) {
+    state->contributors.insert(id_);
+  }
 
   if (UsesRefinedThreshold(state->variant)) {
     // RT*M: compute first; the refined (lower) threshold is attached to
@@ -468,26 +868,67 @@ void SuperPeer::HandleQuery(sim::Simulator* simulator,
   }
 }
 
-void SuperPeer::HandleReply(sim::Simulator* simulator,
+void SuperPeer::HandleReply(sim::Simulator* simulator, int src,
                             const ReplyMessage& reply) {
-  SKYPEER_CHECK(query_.has_value());
+  if (!reliable_.enabled) {
+    SKYPEER_CHECK(query_.has_value());
+    QueryState* state = &*query_;
+    SKYPEER_CHECK(state->query_id == reply.query_id);
+    SKYPEER_CHECK(state->pending > 0);
+    --state->pending;
+    if (!reply.duplicate) {
+      state->collected.insert(state->collected.end(), reply.lists.begin(),
+                              reply.lists.end());
+    }
+    if (state->pending == 0) {
+      Complete(simulator, state);
+    }
+    return;
+  }
+
+  if (!query_.has_value() || reply.query_id != query_->query_id ||
+      query_->finished) {
+    ++rstats_.stale_ignored;
+    return;
+  }
   QueryState* state = &*query_;
-  SKYPEER_CHECK(state->query_id == reply.query_id);
-  SKYPEER_CHECK(state->pending > 0);
+  const auto it = state->child_done.find(src);
+  if (it == state->child_done.end()) {
+    ++rstats_.stale_ignored;  // Not one of our forwarded neighbors.
+    return;
+  }
+  if (it->second) {
+    // The hop to this child was given up (its acks were lost but the
+    // deliveries were not) and its real answer arrived late: recover the
+    // data through the reroute path instead of corrupting `pending`.
+    if (!reply.duplicate) {
+      auto recovered = std::make_shared<ReplyMessage>(reply);
+      recovered->reroute_origin = src;
+      HandleReroutedReply(simulator, *recovered);
+    } else {
+      ++rstats_.stale_ignored;
+    }
+    return;
+  }
+  it->second = true;
   --state->pending;
   if (!reply.duplicate) {
-    state->collected.insert(state->collected.end(), reply.lists.begin(),
-                            reply.lists.end());
+    state->collected_by_child[src] = reply.lists;
+    state->contributors.insert(reply.contributors.begin(),
+                               reply.contributors.end());
   }
   if (state->pending == 0) {
     Complete(simulator, state);
   }
 }
 
+// --- pipeline variant ----------------------------------------------------
+
 void SuperPeer::ForwardPipeline(sim::Simulator* simulator,
                                 const PipelineMessage& previous,
                                 double threshold,
-                                std::shared_ptr<const ResultList> accumulated) {
+                                std::shared_ptr<const ResultList> accumulated,
+                                std::vector<int> contributors) {
   auto next = std::make_shared<PipelineMessage>();
   next->query_id = previous.query_id;
   next->subspace = previous.subspace;
@@ -495,25 +936,60 @@ void SuperPeer::ForwardPipeline(sim::Simulator* simulator,
   next->route = previous.route;
   next->position = previous.position + 1;
   next->accumulated = std::move(accumulated);
+  next->contributors = std::move(contributors);
   const int dst = (*next->route)[next->position];
   const size_t bytes =
       wire_.query_bytes +
-      wire_.ReplyBytes(next->subspace.Count(), 1, next->accumulated->size());
-  simulator->Send(id_, dst, bytes, std::move(next));
+      wire_.ReplyBytes(next->subspace.Count(), 1, next->accumulated->size()) +
+      wire_.ContributorBytes(next->contributors.size());
+  if (reliable_.enabled) {
+    Outbound hop;
+    hop.kind = HopKind::kPipeline;
+    hop.pipeline = next;
+    SendEnvelope(simulator, dst, bytes, next, std::move(hop));
+  } else {
+    simulator->Send(id_, dst, bytes, std::move(next));
+  }
 }
 
-void SuperPeer::HandlePipeline(sim::Simulator* simulator,
+void SuperPeer::HandlePipeline(sim::Simulator* simulator, int src,
                                const PipelineMessage& message) {
-  SKYPEER_CHECK((*message.route)[message.position] == id_);
+  if (reliable_.enabled) {
+    if ((*message.route)[message.position] != id_) {
+      ++rstats_.stale_ignored;  // Mis-addressed hop — tolerate.
+      return;
+    }
+  } else {
+    SKYPEER_CHECK((*message.route)[message.position] == id_);
+  }
 
   if (message.position + 1 == message.route->size()) {
     // The walk has returned to the initiator: the accumulated list is the
     // global subspace skyline.
-    SKYPEER_CHECK(query_.has_value());
+    if (reliable_.enabled) {
+      if (!query_.has_value() || !query_->is_initiator ||
+          query_->query_id != message.query_id || query_->finished) {
+        ++rstats_.stale_ignored;
+        return;
+      }
+    } else {
+      SKYPEER_CHECK(query_.has_value());
+      SKYPEER_CHECK(query_->is_initiator);
+      SKYPEER_CHECK(query_->query_id == message.query_id);
+    }
     QueryState* state = &*query_;
-    SKYPEER_CHECK(state->is_initiator);
-    SKYPEER_CHECK(state->query_id == message.query_id);
     state->final = *message.accumulated;
+    if (reliable_.enabled) {
+      state->contributors.insert(message.contributors.begin(),
+                                 message.contributors.end());
+      state->partial =
+          static_cast<int>(state->contributors.size()) < num_super_peers_ ||
+          state->deadline_fired;
+      if (deadline_timer_id_ != 0) {
+        simulator->CancelTimer(deadline_timer_id_);
+        deadline_timer_id_ = 0;
+      }
+    }
     state->finished = true;
     state->finish_time = simulator->CurrentNodeClock();
     return;
@@ -522,20 +998,30 @@ void SuperPeer::HandlePipeline(sim::Simulator* simulator,
   if (query_.has_value() && query_->query_id == message.query_id) {
     // Revisit on the Euler tour: pass the query through unchanged.
     ForwardPipeline(simulator, message, message.threshold,
-                    message.accumulated);
+                    message.accumulated, message.contributors);
     return;
   }
 
   // First visit: compute the local skyline under the travelling threshold
   // and fold it into the accumulated result.
-  SKYPEER_CHECK(!query_.has_value());
+  if (reliable_.enabled) {
+    if (query_.has_value()) {
+      ++rstats_.stale_ignored;
+      return;
+    }
+  } else {
+    SKYPEER_CHECK(!query_.has_value());
+  }
   query_.emplace();
   QueryState* state = &*query_;
   state->query_id = message.query_id;
   state->subspace = message.subspace;
   state->variant = Variant::kPipeline;
   state->threshold = message.threshold;
-  state->parent = -1;
+  // Reliable mode remembers the tour predecessor: the chain of first-visit
+  // senders always leads back to the initiator over hops that worked at
+  // least once, which is the escape route when the walk strands.
+  state->parent = reliable_.enabled ? src : -1;
   state->is_initiator = false;
   ComputeLocal(simulator, state);
 
@@ -547,16 +1033,137 @@ void SuperPeer::HandlePipeline(sim::Simulator* simulator,
                                              state->local.get()};
     ThresholdScanOptions options;
     options.initial_threshold = message.threshold;
+    options.dedup_ids = reliable_.enabled;
     ThresholdScanStats stats;
     merged = std::make_shared<const ResultList>(
         MergeSortedSkylines(inputs, state->subspace, options, &stats));
     threshold = std::min(threshold, stats.final_threshold);
   }
-  ForwardPipeline(simulator, message, threshold, std::move(merged));
+  std::vector<int> contributors = message.contributors;
+  if (reliable_.enabled) {
+    contributors.push_back(id_);
+  }
+  ForwardPipeline(simulator, message, threshold, std::move(merged),
+                  std::move(contributors));
+}
+
+// --- completion ----------------------------------------------------------
+
+void SuperPeer::FinishInitiator(sim::Simulator* simulator,
+                                QueryState* state) {
+  SKYPEER_CHECK(reliable_.enabled);
+  SKYPEER_CHECK(state->is_initiator);
+  SKYPEER_CHECK(state->local != nullptr);
+  {
+    ScopedCpuCharge charge(simulator, measure_cpu_);
+    if (state->variant == Variant::kNaive) {
+      // Central dominance-based merge; overlapping inputs (reroute
+      // detours) are deduplicated by point id — copies of a point never
+      // dominate each other, so BNL alone would keep both.
+      PointSet all(dims_);
+      std::unordered_set<PointId> seen_points;
+      const auto append = [&](const ResultList& list) {
+        for (size_t i = 0; i < list.size(); ++i) {
+          if (seen_points.insert(list.points.id(i)).second) {
+            all.Append(list.points[i], list.points.id(i));
+          }
+        }
+      };
+      for (const auto& [child, lists] : state->collected_by_child) {
+        for (const auto& list : lists) {
+          append(*list);
+        }
+      }
+      for (const auto& [origin, lists] : state->extras) {
+        for (const auto& list : lists) {
+          append(*list);
+        }
+      }
+      append(*state->local);
+      state->final = BuildSortedByF(BnlSkyline(all, state->subspace));
+    } else {
+      std::vector<const ResultList*> inputs;
+      for (const auto& [child, lists] : state->collected_by_child) {
+        for (const auto& list : lists) {
+          inputs.push_back(list.get());
+        }
+      }
+      for (const auto& [origin, lists] : state->extras) {
+        for (const auto& list : lists) {
+          inputs.push_back(list.get());
+        }
+      }
+      inputs.push_back(state->local.get());
+      ThresholdScanOptions options;
+      options.initial_threshold = state->threshold;
+      options.dedup_ids = true;
+      state->final = MergeSortedSkylines(dims_, inputs, state->subspace,
+                                         options);
+    }
+  }
+  state->partial =
+      static_cast<int>(state->contributors.size()) < num_super_peers_ ||
+      state->deadline_fired;
+  state->finished = true;
+  state->finish_time = simulator->CurrentNodeClock();
+  if (deadline_timer_id_ != 0) {
+    simulator->CancelTimer(deadline_timer_id_);
+    deadline_timer_id_ = 0;
+  }
 }
 
 void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
   SKYPEER_CHECK(state->local != nullptr);
+
+  if (reliable_.enabled) {
+    if (state->finished) {
+      return;  // The deadline already resolved this query.
+    }
+    if (!state->is_initiator) {
+      auto reply = std::make_shared<ReplyMessage>();
+      reply->query_id = state->query_id;
+      reply->duplicate = false;
+      if (UsesProgressiveMerging(state->variant)) {
+        ScopedCpuCharge charge(simulator, measure_cpu_);
+        // Canonical input order — children by id, then detoured extras
+        // by origin id, own list last — so lossy runs merge exactly like
+        // fault-free ones regardless of reply arrival order.
+        std::vector<const ResultList*> inputs;
+        for (const auto& [child, lists] : state->collected_by_child) {
+          for (const auto& list : lists) {
+            inputs.push_back(list.get());
+          }
+        }
+        for (const auto& [origin, lists] : state->extras) {
+          for (const auto& list : lists) {
+            inputs.push_back(list.get());
+          }
+        }
+        inputs.push_back(state->local.get());
+        ThresholdScanOptions options;
+        options.initial_threshold = state->threshold;
+        options.dedup_ids = true;
+        reply->lists.push_back(std::make_shared<const ResultList>(
+            MergeSortedSkylines(dims_, inputs, state->subspace, options)));
+      } else {
+        for (const auto& [child, lists] : state->collected_by_child) {
+          reply->lists.insert(reply->lists.end(), lists.begin(), lists.end());
+        }
+        for (const auto& [origin, lists] : state->extras) {
+          reply->lists.insert(reply->lists.end(), lists.begin(), lists.end());
+        }
+        reply->lists.push_back(state->local);
+      }
+      reply->contributors.assign(state->contributors.begin(),
+                                 state->contributors.end());
+      state->replied = true;
+      SendReplyReliable(simulator, state->parent, std::move(reply),
+                        state->subspace.Count(), {});
+      return;
+    }
+    FinishInitiator(simulator, state);
+    return;
+  }
 
   if (!state->is_initiator) {
     std::vector<std::shared_ptr<const ResultList>> lists;

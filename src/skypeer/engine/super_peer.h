@@ -6,6 +6,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "skypeer/algo/result_list.h"
@@ -13,6 +15,7 @@
 #include "skypeer/common/status.h"
 #include "skypeer/common/subspace.h"
 #include "skypeer/engine/query.h"
+#include "skypeer/engine/reliable.h"
 #include "skypeer/engine/subspace_cache.h"
 #include "skypeer/sim/simulator.h"
 
@@ -127,11 +130,46 @@ class SuperPeer : public sim::Node {
 
   // --- query protocol ---------------------------------------------------
 
+  /// Enables the reliable per-hop transport (envelopes, ACKs,
+  /// retransmission, rerouting, deadline) for this node's protocol
+  /// traffic; all nodes of a network must agree on the setting.
+  void SetReliableParams(const ReliableParams& params) { reliable_ = params; }
+  const ReliableParams& reliable_params() const { return reliable_; }
+
+  /// Backbone size the initiator measures coverage against (reliable
+  /// mode).
+  void set_num_super_peers(int n) { num_super_peers_ = n; }
+
   /// Clears any in-flight query state; call between query executions.
   void ResetQueryState() {
     query_.reset();
     staged_.reset();
   }
+
+  /// Clears *all* per-query protocol state: the query state proper
+  /// (`ResetQueryState`), plus the reliable transport's in-flight
+  /// envelopes, acknowledgement bookkeeping, duplicate-suppression sets
+  /// and counters. `Simulator::Reset` discards pending events and timers;
+  /// this is the matching node-side reset the simulator docs require —
+  /// call both before re-running a query on the same network.
+  void ResetProtocolState();
+
+  /// Counters of the reliable transport since the last
+  /// `ResetProtocolState`.
+  struct ReliabilityStats {
+    /// Envelopes retransmitted after an acknowledgement timeout.
+    uint64_t retransmits = 0;
+    /// Hops abandoned after `max_retries` retransmissions.
+    uint64_t gave_up = 0;
+    /// Envelope payloads suppressed as duplicates (retransmit overlap).
+    uint64_t duplicates_suppressed = 0;
+    /// Deliveries ignored as stale (wrong query id, late reply, post-
+    /// completion traffic).
+    uint64_t stale_ignored = 0;
+    /// Replies rerouted around an unreachable parent.
+    uint64_t rerouted = 0;
+  };
+  const ReliabilityStats& reliability_stats() const { return rstats_; }
 
   /// Pre-executes the local scan this node would run for a query on
   /// `subspace` under `variant` arriving with `threshold`, measuring its
@@ -183,6 +221,15 @@ class SuperPeer : public sim::Node {
   /// Virtual time at which the final answer was complete.
   double finish_time() const;
 
+  /// Reliable mode, initiator, after finished: true when the answer does
+  /// not cover every super-peer (crashes / give-ups / deadline) — the
+  /// result is the exact skyline of the covered stores only.
+  bool partial() const;
+
+  /// Reliable mode, initiator, after finished: ids of the super-peers
+  /// whose local results the answer covers (this node included), sorted.
+  std::vector<int> coverage() const;
+
   /// Per-node counters of the last executed query.
   struct LastQueryStats {
     /// True if this node processed the query (received at least one
@@ -216,7 +263,9 @@ class SuperPeer : public sim::Node {
     bool is_initiator = false;
     /// Replies still outstanding from forwarded neighbors.
     int pending = 0;
-    /// Result lists received from children (unmerged).
+    /// Result lists received from children (unmerged). Legacy (non-
+    /// reliable) transport only; the reliable path tracks children in
+    /// `child_done` / `collected_by_child` instead.
     std::vector<std::shared_ptr<const ResultList>> collected;
     /// This node's local subspace skyline.
     std::shared_ptr<const ResultList> local;
@@ -225,6 +274,31 @@ class SuperPeer : public sim::Node {
     double finish_time = 0.0;
     /// Store points consumed by the local scan.
     size_t scanned = 0;
+
+    // --- reliable transport ---------------------------------------------
+    /// Per forwarded neighbor: false while its reply is outstanding, true
+    /// once it replied or its hop was given up. Makes late replies after
+    /// a spurious give-up detectable instead of corrupting `pending`.
+    std::map<int, bool> child_done;
+    /// Non-duplicate child replies keyed by child id — a canonical merge
+    /// input order independent of arrival order, so lossy runs merge the
+    /// same lists in the same order as fault-free ones.
+    std::map<int, std::vector<std::shared_ptr<const ResultList>>>
+        collected_by_child;
+    /// Rerouted replies folded in as extra data, keyed by origin id.
+    std::map<int, std::vector<std::shared_ptr<const ResultList>>> extras;
+    /// Super-peers whose local results this node's upward reply covers.
+    std::set<int> contributors;
+    /// Non-initiator: upward reply already sent (later rerouted arrivals
+    /// are relayed to the parent instead of folded locally).
+    bool replied = false;
+    /// Reroute origins already folded or relayed — each detoured subtree
+    /// is processed once per node, which also breaks relay cycles.
+    std::set<int> reroutes_handled;
+    /// Initiator: the per-query deadline fired before completion.
+    bool deadline_fired = false;
+    /// Initiator: coverage is short or the deadline fired.
+    bool partial = false;
   };
 
   /// A local scan computed ahead of message delivery by `StageLocalScan`
@@ -248,15 +322,72 @@ class SuperPeer : public sim::Node {
     ScanTrace trace;
   };
 
+  /// One reliably sent envelope awaiting its acknowledgement.
+  enum class HopKind { kQuery, kReply, kPipeline };
+  struct Outbound {
+    HopKind kind = HopKind::kQuery;
+    int dst = -1;
+    size_t bytes = 0;
+    std::shared_ptr<const ReliableEnvelope> envelope;
+    int attempts = 0;
+    uint64_t timer_id = 0;
+    /// Reply hops: the payload (for reroute resends) and the neighbors
+    /// already given up on.
+    std::shared_ptr<const ReplyMessage> reply;
+    std::vector<int> tried;
+    /// Pipeline hops: the payload (for Euler-tour skips on give-up).
+    std::shared_ptr<const PipelineMessage> pipeline;
+  };
+
   void HandleStart(sim::Simulator* simulator, const StartQueryMessage& start);
   void HandleQuery(sim::Simulator* simulator, const sim::Message& message,
                    const QueryMessage& query);
-  void HandleReply(sim::Simulator* simulator, const ReplyMessage& reply);
-  void HandlePipeline(sim::Simulator* simulator,
+  void HandleReply(sim::Simulator* simulator, int src,
+                   const ReplyMessage& reply);
+  void HandlePipeline(sim::Simulator* simulator, int src,
                       const PipelineMessage& message);
+
+  // --- reliable transport ----------------------------------------------
+
+  /// Wraps `payload` in an envelope, sends it to `dst`, and arms the
+  /// retransmission timer. `payload_bytes` excludes the envelope framing.
+  void SendEnvelope(sim::Simulator* simulator, int dst, size_t payload_bytes,
+                    std::shared_ptr<const sim::MessageBody> payload,
+                    Outbound hop);
+  void HandleEnvelope(sim::Simulator* simulator, const sim::Message& message,
+                      const ReliableEnvelope& envelope);
+  void HandleAck(sim::Simulator* simulator, const AckMessage& ack);
+  void HandleRetransmit(sim::Simulator* simulator,
+                        const RetransmitTimer& timer);
+  void HandleDeadline(sim::Simulator* simulator, const DeadlineTimer& timer);
+
+  /// A forwarded query's target exhausted its retries: count the child as
+  /// done without a contribution (a crashed neighbor never replies).
+  void OnChildUnreachable(sim::Simulator* simulator, int child);
+  /// A reply's parent hop exhausted its retries: resend via another
+  /// backbone edge (the flood is idempotent, alternate paths are safe).
+  void RerouteReply(sim::Simulator* simulator, Outbound hop);
+  /// A pipeline hop exhausted its retries: skip the crashed branch by
+  /// jumping to the next occurrence of this node on the Euler tour.
+  void SkipPipelineHop(sim::Simulator* simulator, const Outbound& hop);
+  /// A reply that could not travel the spanning tree edge (reroute):
+  /// fold it in as extra data or relay it onward.
+  void HandleReroutedReply(sim::Simulator* simulator,
+                           const ReplyMessage& reply);
+  /// Reliable sends of the two protocol reply flavors.
+  void SendReplyReliable(sim::Simulator* simulator, int dst,
+                         std::shared_ptr<const ReplyMessage> reply,
+                         int query_dims, std::vector<int> tried);
+  /// Initiator resolution shared by the normal completion path and the
+  /// deadline: merges whatever is collected, sets coverage and the
+  /// partial flag.
+  void FinishInitiator(sim::Simulator* simulator, QueryState* state);
+  /// `contributors` is the covered-super-peer list the forwarded message
+  /// carries (reliable mode; empty and unused otherwise).
   void ForwardPipeline(sim::Simulator* simulator,
                        const PipelineMessage& previous, double threshold,
-                       std::shared_ptr<const ResultList> accumulated);
+                       std::shared_ptr<const ResultList> accumulated,
+                       std::vector<int> contributors);
 
   /// Computes the local subspace skyline under `state->threshold` and
   /// stores it in `state->local`, charging measured CPU. Updates
@@ -301,6 +432,15 @@ class SuperPeer : public sim::Node {
   std::vector<int> neighbors_;
   std::optional<QueryState> query_;
   std::optional<StagedScan> staged_;
+  // Reliable transport state (unused while `reliable_.enabled` is off).
+  ReliableParams reliable_;
+  int num_super_peers_ = 0;
+  uint64_t next_hop_seq_ = 1;
+  std::map<uint64_t, Outbound> outbound_;
+  /// Envelope deliveries already processed: (src, query id, seq).
+  std::set<std::tuple<int, uint64_t, uint64_t>> seen_;
+  uint64_t deadline_timer_id_ = 0;
+  ReliabilityStats rstats_;
   bool measure_cpu_ = true;
   bool cache_enabled_ = false;
   size_t scan_chunk_size_ = 0;

@@ -1,0 +1,55 @@
+#include "skypeer/sim/fault_plan.h"
+
+namespace skypeer::sim {
+
+double FaultPlan::DropProbFor(int src, int dst) const {
+  const auto it = link_drop_prob.find({src, dst});
+  return it != link_drop_prob.end() ? it->second : drop_prob;
+}
+
+bool FaultPlan::LinkDownAt(int src, int dst, double t) const {
+  const auto it = link_down.find({src, dst});
+  if (it == link_down.end()) {
+    return false;
+  }
+  for (const DownInterval& interval : it->second) {
+    if (interval.Contains(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::NodeDownAt(int node, double t) const {
+  const auto it = node_down.find(node);
+  if (it == node_down.end()) {
+    return false;
+  }
+  for (const DownInterval& interval : it->second) {
+    if (interval.Contains(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::HasFaults() const {
+  return drop_prob > 0.0 || delay_jitter > 0.0 || !link_drop_prob.empty() ||
+         !link_down.empty() || !node_down.empty();
+}
+
+void FaultPlan::CrashNode(int node, double begin, double end) {
+  node_down[node].push_back(DownInterval{begin, end});
+}
+
+void FaultPlan::TakeLinkDown(int a, int b, double begin, double end) {
+  link_down[{a, b}].push_back(DownInterval{begin, end});
+  link_down[{b, a}].push_back(DownInterval{begin, end});
+}
+
+void FaultPlan::SetLinkDropProb(int a, int b, double prob) {
+  link_drop_prob[{a, b}] = prob;
+  link_drop_prob[{b, a}] = prob;
+}
+
+}  // namespace skypeer::sim

@@ -1,0 +1,81 @@
+#ifndef SKYPEER_SIM_FAULT_PLAN_H_
+#define SKYPEER_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace skypeer::sim {
+
+/// Half-open interval [begin, end) of virtual time during which a link or
+/// a node is unavailable.
+struct DownInterval {
+  double begin = 0.0;
+  double end = std::numeric_limits<double>::infinity();
+
+  bool Contains(double t) const { return t >= begin && t < end; }
+};
+
+/// \brief Declarative, seeded fault schedule for the simulator.
+///
+/// All faults are pure functions of the virtual clock plus one dedicated
+/// RNG stream (owned by the simulator and reseeded from `seed` on every
+/// `Reset`), so a plan reproduces the exact same drop/jitter/crash
+/// pattern on every run of the same event sequence — faults never break
+/// the simulator's bit-reproducibility, they are part of it.
+///
+/// Semantics:
+///  * `drop_prob` / `link_drop_prob`: each transmitted message is lost
+///    independently with this probability. The link occupancy and wire
+///    statistics still account for the transmission (the loss happens in
+///    flight, not at the sender).
+///  * `delay_jitter`: extra propagation delay, uniform in [0, jitter),
+///    added per message. Jitter may reorder deliveries on a link —
+///    protocols must tolerate reordering.
+///  * `link_down`: messages whose transmission starts inside a down
+///    interval are lost (keyed per direction; `TakeLinkDown` registers
+///    both).
+///  * `node_down`: deliveries (messages and timers) to a node inside a
+///    down interval are silently discarded; since a node only acts when
+///    handling a delivery, a crashed node neither sends nor computes.
+struct FaultPlan {
+  /// Seed of the dedicated fault RNG stream.
+  uint64_t seed = 0;
+  /// Global per-message loss probability in [0, 1).
+  double drop_prob = 0.0;
+  /// Upper bound of the uniform extra propagation delay, in seconds.
+  double delay_jitter = 0.0;
+  /// Per-direction loss probability overriding `drop_prob`.
+  std::map<std::pair<int, int>, double> link_drop_prob;
+  /// Per-direction outage intervals.
+  std::map<std::pair<int, int>, std::vector<DownInterval>> link_down;
+  /// Per-node crash/recover intervals.
+  std::map<int, std::vector<DownInterval>> node_down;
+
+  /// Loss probability of direction (src, dst).
+  double DropProbFor(int src, int dst) const;
+
+  bool LinkDownAt(int src, int dst, double t) const;
+  bool NodeDownAt(int node, double t) const;
+
+  /// True when the plan can affect any message at all.
+  bool HasFaults() const;
+
+  // --- builder helpers --------------------------------------------------
+
+  /// Crashes `node` over [begin, end); the default end never recovers.
+  void CrashNode(int node, double begin = 0.0,
+                 double end = std::numeric_limits<double>::infinity());
+
+  /// Takes both directions of link (a, b) down over [begin, end).
+  void TakeLinkDown(int a, int b, double begin, double end);
+
+  /// Sets the loss probability of both directions of link (a, b).
+  void SetLinkDropProb(int a, int b, double prob);
+};
+
+}  // namespace skypeer::sim
+
+#endif  // SKYPEER_SIM_FAULT_PLAN_H_

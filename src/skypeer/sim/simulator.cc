@@ -30,6 +30,16 @@ void Simulator::SetAllLinkParams(const LinkParams& params) {
   }
 }
 
+void Simulator::SetFaultPlan(FaultPlan plan) {
+  fault_rng_.emplace(plan.seed);
+  fault_plan_ = std::move(plan);
+}
+
+void Simulator::ClearFaultPlan() {
+  fault_plan_.reset();
+  fault_rng_.reset();
+}
+
 Simulator::LinkState* Simulator::FindLink(int src, int dst) {
   auto it = links_.find({src, dst});
   return it == links_.end() ? nullptr : &it->second;
@@ -49,18 +59,53 @@ void Simulator::Send(int src, int dst, size_t bytes,
           ? 0.0
           : static_cast<double>(bytes) / link->params.bandwidth;
   link->busy_until = start + transfer;
-  const double arrival = start + transfer + link->params.latency;
+  double arrival = start + transfer + link->params.latency;
 
+  // The transmission happened either way: wire statistics and link
+  // occupancy account for lost messages too (the loss is in flight).
   total_bytes_ += bytes;
   ++num_messages_;
-  events_.push(
-      Event{arrival, next_seq_++, Message{src, dst, bytes, std::move(body)}});
+
+  if (fault_plan_.has_value()) {
+    if (fault_plan_->LinkDownAt(src, dst, start)) {
+      ++dropped_messages_;
+      return;
+    }
+    const double drop_prob = fault_plan_->DropProbFor(src, dst);
+    if (drop_prob > 0.0 && fault_rng_->Uniform() < drop_prob) {
+      ++dropped_messages_;
+      return;
+    }
+    if (fault_plan_->delay_jitter > 0.0) {
+      arrival += fault_rng_->Uniform(0.0, fault_plan_->delay_jitter);
+    }
+  }
+
+  events_.push(Event{arrival, next_seq_++, /*timer_id=*/0,
+                     Message{src, dst, bytes, std::move(body)}});
 }
 
 void Simulator::Post(int dst, std::shared_ptr<const MessageBody> body) {
   SKYPEER_CHECK(dst >= 0 && dst < num_nodes());
-  events_.push(
-      Event{now_, next_seq_++, Message{-1, dst, 0, std::move(body)}});
+  events_.push(Event{now_, next_seq_++, /*timer_id=*/0,
+                     Message{-1, dst, 0, std::move(body)}});
+}
+
+uint64_t Simulator::ScheduleTimer(int node, double delay,
+                                  std::shared_ptr<const MessageBody> body) {
+  SKYPEER_CHECK(node >= 0 && node < num_nodes());
+  SKYPEER_CHECK(delay >= 0.0);
+  const double fire = std::max(now_, clock_[node]) + delay;
+  const uint64_t timer_id = next_timer_id_++;
+  events_.push(Event{fire, next_seq_++, timer_id,
+                     Message{node, node, 0, std::move(body)}});
+  return timer_id;
+}
+
+void Simulator::CancelTimer(uint64_t timer_id) {
+  if (timer_id != 0) {
+    cancelled_timers_.insert(timer_id);
+  }
 }
 
 void Simulator::ChargeCpu(double seconds) {
@@ -69,18 +114,36 @@ void Simulator::ChargeCpu(double seconds) {
   clock_[handling_node_] += seconds;
 }
 
-void Simulator::Run() {
+RunStatus Simulator::Run(const RunBudget& budget) {
+  uint64_t processed = 0;
   while (!events_.empty()) {
+    if (events_.top().time > budget.max_virtual_time) {
+      return RunStatus::kTimeBudgetExceeded;
+    }
+    if (budget.max_events > 0 && processed >= budget.max_events) {
+      return RunStatus::kEventBudgetExceeded;
+    }
     Event event = events_.top();
     events_.pop();
+    if (event.timer_id != 0 &&
+        cancelled_timers_.erase(event.timer_id) > 0) {
+      continue;  // Cancelled before firing.
+    }
     now_ = event.time;
+    ++processed;
     const int dst = event.message.dst;
+    if (fault_plan_.has_value() && fault_plan_->NodeDownAt(dst, event.time)) {
+      // Crashed destination: the delivery (message or timer) vanishes.
+      ++suppressed_deliveries_;
+      continue;
+    }
     // Processing starts once the node has finished earlier work.
     clock_[dst] = std::max(clock_[dst], event.time);
     handling_node_ = dst;
     nodes_[dst]->HandleMessage(this, event.message);
     handling_node_ = -1;
   }
+  return RunStatus::kCompleted;
 }
 
 double Simulator::MaxClock() const {
@@ -104,6 +167,15 @@ void Simulator::Reset() {
   total_bytes_ = 0;
   num_messages_ = 0;
   next_seq_ = 0;
+  dropped_messages_ = 0;
+  suppressed_deliveries_ = 0;
+  next_timer_id_ = 1;
+  cancelled_timers_.clear();
+  if (fault_plan_.has_value()) {
+    // Reseed the dedicated stream: every run of the same event sequence
+    // (e.g. the engine's two measurement passes) sees identical faults.
+    fault_rng_.emplace(fault_plan_->seed);
+  }
 }
 
 }  // namespace skypeer::sim

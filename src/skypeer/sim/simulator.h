@@ -5,11 +5,15 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "skypeer/common/macros.h"
+#include "skypeer/common/rng.h"
+#include "skypeer/sim/fault_plan.h"
 #include "skypeer/sim/message.h"
 
 namespace skypeer::sim {
@@ -39,6 +43,21 @@ struct LinkParams {
 inline constexpr double kInfiniteBandwidth =
     std::numeric_limits<double>::infinity();
 
+/// Why a budgeted `Run` returned.
+enum class RunStatus {
+  kCompleted,            ///< The event queue drained.
+  kEventBudgetExceeded,  ///< `max_events` deliveries were processed.
+  kTimeBudgetExceeded,   ///< The next event lies past `max_virtual_time`.
+};
+
+/// Safety valve for `Run`: protocols with retransmission can in principle
+/// storm; a budget turns a livelock into a reported status. Zero /
+/// infinity (the defaults) mean unlimited.
+struct RunBudget {
+  uint64_t max_events = 0;
+  double max_virtual_time = std::numeric_limits<double>::infinity();
+};
+
 /// \brief Deterministic discrete-event simulator of a message-passing
 /// network with per-node serial CPUs and per-direction FIFO links.
 ///
@@ -52,6 +71,13 @@ inline constexpr double kInfiniteBandwidth =
 ///    additional `latency`.
 ///  * Events with equal timestamps are processed in send order (a
 ///    monotonic sequence number), making runs bit-for-bit reproducible.
+///  * An optional `FaultPlan` injects message loss, delay jitter, link
+///    outages and node crashes, all driven by the virtual clock and a
+///    dedicated RNG stream reseeded from the plan on every `Reset` —
+///    faulty runs are exactly as reproducible as fault-free ones.
+///  * Nodes may schedule timers; timer events travel through the same
+///    ordered queue as messages (and are suppressed while the target node
+///    is crashed), so timer-driven protocols stay deterministic.
 ///
 /// The same network can be re-run under different link parameters (e.g.
 /// infinite bandwidth to isolate the computational critical path) via
@@ -77,6 +103,20 @@ class Simulator {
   /// Overrides the parameters of every existing link.
   void SetAllLinkParams(const LinkParams& params);
 
+  /// Installs a fault schedule; takes effect for subsequent sends and
+  /// deliveries. The dedicated fault RNG is seeded from `plan.seed` now
+  /// and reseeded on every `Reset`, so each run of the same event
+  /// sequence sees the same fault pattern.
+  void SetFaultPlan(FaultPlan plan);
+
+  /// Removes the fault schedule; the simulator becomes fault-free again.
+  void ClearFaultPlan();
+
+  /// The installed plan, or nullptr.
+  const FaultPlan* fault_plan() const {
+    return fault_plan_.has_value() ? &*fault_plan_ : nullptr;
+  }
+
   /// Sends a message from node `src` (the currently handling node) to the
   /// adjacent node `dst`. Departure time is `src`'s current virtual clock.
   void Send(int src, int dst, size_t bytes,
@@ -86,12 +126,29 @@ class Simulator {
   /// `max(now, dst clock)`; used to start protocols. Carries no wire cost.
   void Post(int dst, std::shared_ptr<const MessageBody> body);
 
+  /// Schedules `body` for delivery to `node` after `delay` seconds of
+  /// virtual time (from `max(now, node clock)`). The timer travels
+  /// through the ordered event queue like any message (src == dst ==
+  /// `node`, zero wire cost) and is suppressed if the node is crashed at
+  /// fire time. Returns a handle for `CancelTimer`.
+  uint64_t ScheduleTimer(int node, double delay,
+                         std::shared_ptr<const MessageBody> body);
+
+  /// Cancels a scheduled timer; the event is discarded when it surfaces.
+  /// Cancelling an already-fired or unknown timer is a no-op.
+  void CancelTimer(uint64_t timer_id);
+
   /// Advances the virtual clock of the currently handling node by
   /// `seconds` of CPU work. Must only be called from inside a handler.
   void ChargeCpu(double seconds);
 
   /// Processes events until the queue drains.
-  void Run();
+  void Run() { Run(RunBudget{}); }
+
+  /// Processes events until the queue drains or the budget is exhausted.
+  /// On a budget stop the remaining events stay queued; calling again
+  /// resumes where the previous call stopped.
+  RunStatus Run(const RunBudget& budget);
 
   /// Timestamp of the event currently being processed (or last processed).
   double now() const { return now_; }
@@ -116,12 +173,23 @@ class Simulator {
   /// Number of `Send` calls since the last `Reset`.
   uint64_t num_messages() const { return num_messages_; }
 
+  /// Messages lost in flight (drop probability or link outage) since the
+  /// last `Reset`. Lost messages still count in `total_bytes` /
+  /// `num_messages` — the sender did transmit them.
+  uint64_t dropped_messages() const { return dropped_messages_; }
+
+  /// Deliveries (messages and timers) discarded because the destination
+  /// node was crashed at arrival time, since the last `Reset`.
+  uint64_t suppressed_deliveries() const { return suppressed_deliveries_; }
+
   /// Largest node clock — the makespan of the completed run.
   double MaxClock() const;
 
   /// Clears pending events, statistics, node clocks and link backlogs;
-  /// topology and link parameters survive. Nodes must reset their own
-  /// protocol state separately.
+  /// topology, link parameters and the fault plan survive (the fault RNG
+  /// is reseeded so re-runs see identical fault streams). Nodes must
+  /// reset their own protocol state separately (see
+  /// `SuperPeer::ResetProtocolState`).
   void Reset();
 
  private:
@@ -133,6 +201,8 @@ class Simulator {
   struct Event {
     double time;
     uint64_t seq;
+    /// Non-zero for timer events (see `ScheduleTimer`).
+    uint64_t timer_id;
     Message message;
   };
   struct EventLater {
@@ -156,6 +226,14 @@ class Simulator {
   int handling_node_ = -1;
   uint64_t total_bytes_ = 0;
   uint64_t num_messages_ = 0;
+  // Fault injection (absent: zero overhead on the hot path).
+  std::optional<FaultPlan> fault_plan_;
+  std::optional<Rng> fault_rng_;
+  uint64_t dropped_messages_ = 0;
+  uint64_t suppressed_deliveries_ = 0;
+  // Timers.
+  uint64_t next_timer_id_ = 1;
+  std::unordered_set<uint64_t> cancelled_timers_;
 };
 
 }  // namespace skypeer::sim

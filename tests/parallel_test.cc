@@ -733,6 +733,76 @@ TEST(KernelDispatchDeterminism, ForcedScalarMatchesDispatchedAcrossVariants) {
   ThreadPool::SetGlobalConcurrency(1);
 }
 
+TEST(ParallelDeterminism, FaultedRunsAreThreadCountInvariant) {
+  // Fault injection composes with every parallel-execution feature: the
+  // fault pattern is a pure function of the (virtual-time) event
+  // sequence and the fault seed, so results, coverage and transport
+  // statistics are bit-identical at any thread count — also when chunked
+  // scans, speculative staging and the subspace cache are on.
+  constexpr Variant kFaultedVariants[] = {Variant::kNaive, Variant::kFTPM,
+                                          Variant::kRTFM, Variant::kRTPM,
+                                          Variant::kPipeline};
+  const Subspace u = Subspace::FromDims({0, 1, 3});
+
+  for (const bool features : {false, true}) {
+    NetworkConfig config = SmallConfig();
+    config.reliable = true;
+    config.drop_prob = 0.2;
+    config.delay_jitter = 0.05;
+    config.fault_seed = 21;
+    config.crashed_sps = {5};
+    config.max_retries = 2;
+    if (features) {
+      config.scan_chunk_size = 64;
+      config.speculative_rt = true;
+      config.enable_cache = true;
+    }
+
+    struct Reference {
+      std::vector<std::vector<double>> skyline;
+      QueryMetrics metrics;
+    };
+    std::vector<Reference> references;
+
+    ThreadPool::SetGlobalConcurrency(1);
+    {
+      SkypeerNetwork sequential(config);
+      sequential.Preprocess();
+      for (Variant variant : kFaultedVariants) {
+        const QueryResult result = sequential.ExecuteQuery(u, 0, variant);
+        references.push_back({Signature(result.skyline), result.metrics});
+      }
+    }
+
+    for (const int threads : {2, 8}) {
+      ThreadPool::SetGlobalConcurrency(threads);
+      SkypeerNetwork parallel(config);
+      parallel.Preprocess();
+      for (size_t v = 0; v < std::size(kFaultedVariants); ++v) {
+        const std::string context =
+            "features=" + std::to_string(features) + " threads=" +
+            std::to_string(threads) + " variant=" + std::to_string(v);
+        const QueryResult result =
+            parallel.ExecuteQuery(u, 0, kFaultedVariants[v]);
+        EXPECT_EQ(Signature(result.skyline), references[v].skyline)
+            << context;
+        const QueryMetrics& want = references[v].metrics;
+        EXPECT_EQ(result.metrics.total_time_s, want.total_time_s) << context;
+        EXPECT_EQ(result.metrics.bytes_transferred, want.bytes_transferred)
+            << context;
+        EXPECT_EQ(result.metrics.messages, want.messages) << context;
+        EXPECT_EQ(result.metrics.partial, want.partial) << context;
+        EXPECT_EQ(result.metrics.covered, want.covered) << context;
+        EXPECT_EQ(result.metrics.retransmits, want.retransmits) << context;
+        EXPECT_EQ(result.metrics.hops_gave_up, want.hops_gave_up) << context;
+        EXPECT_EQ(result.metrics.messages_dropped, want.messages_dropped)
+            << context;
+      }
+    }
+    ThreadPool::SetGlobalConcurrency(1);
+  }
+}
+
 TEST(ParallelDeterminism, CloneForQueriesAnswersLikeTheOriginal) {
   ThreadPool::SetGlobalConcurrency(1);
   const NetworkConfig config = SmallConfig();

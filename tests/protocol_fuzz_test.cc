@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "skypeer/algo/bnl.h"
 #include "skypeer/common/rng.h"
 #include "skypeer/data/generator.h"
 #include "skypeer/engine/experiment.h"
@@ -94,6 +95,130 @@ TEST_P(ProtocolFuzzTest, RandomNetworkRandomChurnStaysExact) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
                          ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+/// Fuzzing of the reliable protocol under message loss and delay jitter:
+/// retransmissions create duplicated deliveries, jitter reorders them
+/// across links, and reroute detours produce stale/echoed envelopes —
+/// the answer must stay bit-identical to the centralized oracle with
+/// full coverage, query after query on the same network.
+class ReliableFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReliableFuzzTest, LossAndReorderingNeverCorruptTheAnswer) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  NetworkConfig config;
+  config.num_peers = static_cast<int>(rng.UniformInt(8, 50));
+  config.num_super_peers =
+      static_cast<int>(rng.UniformInt(2, std::min(9, config.num_peers)));
+  config.points_per_peer = static_cast<int>(rng.UniformInt(1, 40));
+  config.dims = static_cast<int>(rng.UniformInt(2, 6));
+  config.degree_sp = rng.Uniform(1.0, 5.0);
+  config.retain_peer_data = true;
+  config.measure_cpu = false;
+  config.seed = rng.Fork();
+  config.reliable = true;
+  config.fault_seed = rng.Fork();
+  config.drop_prob = rng.Uniform(0.0, 0.35);
+  config.delay_jitter = rng.Uniform(0.0, 0.2);
+
+  SkypeerNetwork network(config);
+  network.Preprocess();
+
+  for (int step = 0; step < 6; ++step) {
+    std::vector<int> dims_pool(config.dims);
+    for (int d = 0; d < config.dims; ++d) {
+      dims_pool[d] = d;
+    }
+    std::shuffle(dims_pool.begin(), dims_pool.end(), rng.engine());
+    const int k = static_cast<int>(rng.UniformInt(1, config.dims));
+    const Subspace u = Subspace::FromDims(
+        std::vector<int>(dims_pool.begin(), dims_pool.begin() + k));
+    const int initiator =
+        static_cast<int>(rng.UniformInt(0, network.num_super_peers() - 1));
+    const Variant variant = static_cast<Variant>(rng.UniformInt(0, 5));
+
+    const QueryResult result = network.ExecuteQuery(u, initiator, variant);
+    EXPECT_EQ(SortedIds(result.skyline.points),
+              SortedIds(network.GroundTruthSkyline(u)))
+        << "seed=" << seed << " step=" << step << " u=" << u.ToString()
+        << " variant=" << VariantName(variant) << " init=" << initiator
+        << " drop=" << config.drop_prob << " jitter=" << config.delay_jitter;
+    EXPECT_FALSE(result.metrics.partial);
+    EXPECT_EQ(result.metrics.super_peers_reached, network.num_super_peers());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliableFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{17}));
+
+/// Crash fuzzing: a random super-peer is down for good. Whatever subset
+/// the protocol reports as covered, the answer must be the *exact*
+/// skyline of exactly those stores — degraded, never wrong — and the
+/// crashed node must not appear in the report.
+class CrashFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashFuzzTest, PartialAnswersAreExactOverTheReportedCoverage) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  NetworkConfig config;
+  config.num_peers = static_cast<int>(rng.UniformInt(12, 50));
+  config.num_super_peers = static_cast<int>(rng.UniformInt(3, 9));
+  config.points_per_peer = static_cast<int>(rng.UniformInt(1, 40));
+  config.dims = static_cast<int>(rng.UniformInt(2, 6));
+  config.degree_sp = rng.Uniform(1.0, 5.0);
+  config.measure_cpu = false;
+  config.seed = rng.Fork();
+  config.reliable = true;
+  config.max_retries = 2;
+  const int crashed =
+      static_cast<int>(rng.UniformInt(0, config.num_super_peers - 1));
+  config.crashed_sps = {crashed};
+
+  SkypeerNetwork network(config);
+  network.Preprocess();
+
+  for (int step = 0; step < 4; ++step) {
+    std::vector<int> dims_pool(config.dims);
+    for (int d = 0; d < config.dims; ++d) {
+      dims_pool[d] = d;
+    }
+    std::shuffle(dims_pool.begin(), dims_pool.end(), rng.engine());
+    const int k = static_cast<int>(rng.UniformInt(1, config.dims));
+    const Subspace u = Subspace::FromDims(
+        std::vector<int>(dims_pool.begin(), dims_pool.begin() + k));
+    int initiator =
+        static_cast<int>(rng.UniformInt(0, network.num_super_peers() - 1));
+    if (initiator == crashed) {
+      initiator = (initiator + 1) % network.num_super_peers();
+    }
+    const Variant variant = static_cast<Variant>(rng.UniformInt(0, 5));
+
+    const QueryResult result = network.ExecuteQuery(u, initiator, variant);
+    EXPECT_TRUE(result.metrics.partial)
+        << "seed=" << seed << " step=" << step;
+    EXPECT_EQ(std::count(result.metrics.covered.begin(),
+                         result.metrics.covered.end(), crashed),
+              0);
+    // Exactness over the reported coverage: re-derive the skyline from
+    // the covered stores alone.
+    PointSet covered_union(network.dims());
+    for (int sp : result.metrics.covered) {
+      const PointSet& store = network.super_peer(sp).store().points;
+      for (size_t i = 0; i < store.size(); ++i) {
+        covered_union.Append(store[i], store.id(i));
+      }
+    }
+    EXPECT_EQ(SortedIds(result.skyline.points),
+              SortedIds(BnlSkyline(covered_union, u)))
+        << "seed=" << seed << " step=" << step << " u=" << u.ToString()
+        << " variant=" << VariantName(variant) << " init=" << initiator;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
 
 }  // namespace
 }  // namespace skypeer

@@ -297,5 +297,239 @@ TEST(Simulator, EqualTimestampsProcessedInSendOrder) {
   EXPECT_DOUBLE_EQ(b.deliveries()[2].arrival, 0.0);
 }
 
+// --- timers -------------------------------------------------------------
+
+TEST(Simulator, TimersFireAtScheduledDelaysInOrder) {
+  Simulator sim;
+  Recorder node;
+  const int id = sim.AddNode(&node);
+  sim.ScheduleTimer(id, 0.5, std::make_shared<Ping>());
+  sim.ScheduleTimer(id, 0.2, std::make_shared<Ping>());
+  sim.Run();
+  ASSERT_EQ(node.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(node.deliveries()[0].arrival, 0.2);
+  EXPECT_DOUBLE_EQ(node.deliveries()[1].arrival, 0.5);
+}
+
+TEST(Simulator, CancelledTimerNeverFires) {
+  Simulator sim;
+  Recorder node;
+  const int id = sim.AddNode(&node);
+  const uint64_t keep = sim.ScheduleTimer(id, 0.1, std::make_shared<Ping>());
+  const uint64_t cancel = sim.ScheduleTimer(id, 0.2, std::make_shared<Ping>());
+  (void)keep;
+  sim.CancelTimer(cancel);
+  sim.CancelTimer(987654u);  // Unknown handles are a no-op.
+  sim.Run();
+  ASSERT_EQ(node.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(node.deliveries()[0].arrival, 0.1);
+}
+
+// --- run budgets --------------------------------------------------------
+
+TEST(Simulator, EventBudgetStopsAndResumesWithoutLoss) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  a.ConfigureForward(ia, ib, 64);
+  b.ConfigureForward(ib, ia, 64);
+  sim.Post(ia, std::make_shared<Ping>(40));  // 41 deliveries in total.
+
+  RunBudget budget;
+  budget.max_events = 10;
+  EXPECT_EQ(sim.Run(budget), RunStatus::kEventBudgetExceeded);
+  const size_t after_budget = a.deliveries().size() + b.deliveries().size();
+  EXPECT_EQ(after_budget, 10u);
+  // Resumes where it stopped.
+  EXPECT_EQ(sim.Run(RunBudget{}), RunStatus::kCompleted);
+  EXPECT_EQ(a.deliveries().size() + b.deliveries().size(), 41u);
+}
+
+TEST(Simulator, TimeBudgetStopsBeforeEventsBeyondHorizon) {
+  Simulator sim;
+  Recorder node;
+  const int id = sim.AddNode(&node);
+  sim.ScheduleTimer(id, 1.0, std::make_shared<Ping>());
+  sim.ScheduleTimer(id, 5.0, std::make_shared<Ping>());
+  RunBudget budget;
+  budget.max_virtual_time = 2.0;
+  EXPECT_EQ(sim.Run(budget), RunStatus::kTimeBudgetExceeded);
+  EXPECT_EQ(node.deliveries().size(), 1u);
+  EXPECT_EQ(sim.Run(RunBudget{}), RunStatus::kCompleted);
+  EXPECT_EQ(node.deliveries().size(), 2u);
+}
+
+// --- fault injection ----------------------------------------------------
+
+TEST(Simulator, DropProbabilityIsSeedDeterministic) {
+  const auto run = [](uint64_t seed) {
+    Simulator sim;
+    Recorder a;
+    Recorder b;
+    const int ia = sim.AddNode(&a);
+    const int ib = sim.AddNode(&b);
+    sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_prob = 0.5;
+    sim.SetFaultPlan(plan);
+    a.ConfigureForward(ia, ib, 64);
+    b.ConfigureForward(ib, ia, 64);
+    sim.Post(ia, std::make_shared<Ping>(100));
+    sim.Run();
+    return std::make_pair(sim.dropped_messages(),
+                          a.deliveries().size() + b.deliveries().size());
+  };
+  const auto first = run(42);
+  const auto second = run(42);
+  EXPECT_GT(first.first, 0u);          // Some messages were lost...
+  EXPECT_GT(first.second, 1u);         // ...but not all.
+  EXPECT_EQ(first, second);            // Same seed, same realization.
+}
+
+TEST(Simulator, ResetReseedsTheFaultRng) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 0.4;
+  sim.SetFaultPlan(plan);
+  a.ConfigureForward(ia, ib, 64);
+  b.ConfigureForward(ib, ia, 64);
+
+  sim.Post(ia, std::make_shared<Ping>(60));
+  sim.Run();
+  const uint64_t first_run_drops = sim.dropped_messages();
+  const size_t first_run_deliveries =
+      a.deliveries().size() + b.deliveries().size();
+
+  sim.Reset();
+  sim.Post(ia, std::make_shared<Ping>(60));
+  sim.Run();
+  EXPECT_EQ(sim.dropped_messages(), first_run_drops);
+  EXPECT_EQ(a.deliveries().size() + b.deliveries().size(),
+            2 * first_run_deliveries);
+}
+
+TEST(Simulator, DelayJitterIsDeterministicAndBounded) {
+  const auto arrivals = [](uint64_t seed) {
+    Simulator sim;
+    Recorder a;
+    Recorder b;
+    const int ia = sim.AddNode(&a);
+    const int ib = sim.AddNode(&b);
+    sim.Connect(ia, ib, LinkParams{1024.0, 0.0});
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.delay_jitter = 0.5;
+    sim.SetFaultPlan(plan);
+    a.ConfigureForward(ia, ib, 1024);
+    sim.Post(ia, std::make_shared<Ping>(1));
+    sim.Run();
+    std::vector<double> times;
+    for (const auto& d : b.deliveries()) {
+      times.push_back(d.arrival);
+    }
+    return times;
+  };
+  const auto first = arrivals(9);
+  ASSERT_EQ(first.size(), 1u);
+  // Base transfer time is 1 s; jitter adds [0, 0.5).
+  EXPECT_GE(first[0], 1.0);
+  EXPECT_LT(first[0], 1.5);
+  EXPECT_EQ(first, arrivals(9));
+}
+
+TEST(Simulator, CrashedNodeDeliveriesAndTimersAreSuppressed) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  FaultPlan plan;
+  plan.CrashNode(ib);
+  sim.SetFaultPlan(plan);
+  a.ConfigureForward(ia, ib, 64);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.ScheduleTimer(ib, 0.5, std::make_shared<Ping>());
+  sim.Run();
+  EXPECT_EQ(a.deliveries().size(), 1u);  // The Post itself.
+  EXPECT_TRUE(b.deliveries().empty());
+  EXPECT_EQ(sim.suppressed_deliveries(), 2u);  // Message + timer.
+}
+
+TEST(Simulator, NodeCrashWindowSuppressesOnlyInsideTheInterval) {
+  Simulator sim;
+  Recorder node;
+  const int id = sim.AddNode(&node);
+  FaultPlan plan;
+  plan.CrashNode(id, 1.0, 3.0);
+  sim.SetFaultPlan(plan);
+  sim.ScheduleTimer(id, 0.5, std::make_shared<Ping>());  // Before: fires.
+  sim.ScheduleTimer(id, 2.0, std::make_shared<Ping>());  // Inside: lost.
+  sim.ScheduleTimer(id, 4.0, std::make_shared<Ping>());  // After: fires.
+  sim.Run();
+  ASSERT_EQ(node.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(node.deliveries()[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(node.deliveries()[1].arrival, 4.0);
+  EXPECT_EQ(sim.suppressed_deliveries(), 1u);
+}
+
+TEST(Simulator, LinkDownWindowDropsSendsInsideTheWindow) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  FaultPlan plan;
+  plan.TakeLinkDown(ia, ib, 0.0, 1.0);
+  sim.SetFaultPlan(plan);
+  a.ConfigureForward(ia, ib, 64);
+  // A forward triggered at t=0 is inside the outage; one triggered by a
+  // timer at t=2 is after it.
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.ScheduleTimer(ia, 2.0, std::make_shared<Ping>(1));
+  sim.Run();
+  ASSERT_EQ(b.deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.deliveries()[0].arrival, 2.0);
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+}
+
+TEST(Simulator, PerLinkDropProbabilityOverridesGlobal) {
+  Simulator sim;
+  Recorder a;
+  Recorder b;
+  Recorder c;
+  const int ia = sim.AddNode(&a);
+  const int ib = sim.AddNode(&b);
+  const int ic = sim.AddNode(&c);
+  sim.Connect(ia, ib, LinkParams{kInfiniteBandwidth, 0.0});
+  sim.Connect(ia, ic, LinkParams{kInfiniteBandwidth, 0.0});
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.drop_prob = 0.0;
+  plan.SetLinkDropProb(ia, ib, 1.0 - 1e-12);  // Effectively certain loss.
+  sim.SetFaultPlan(plan);
+  a.ConfigureForward(ia, ib, 64);
+  sim.Post(ia, std::make_shared<Ping>(5));
+  sim.Run();
+  EXPECT_TRUE(b.deliveries().empty());  // Lossy direction killed them all.
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+  // The untouched link still works.
+  a.ConfigureForward(ia, ic, 64);
+  sim.Post(ia, std::make_shared<Ping>(1));
+  sim.Run();
+  EXPECT_EQ(c.deliveries().size(), 1u);
+}
+
 }  // namespace
 }  // namespace skypeer::sim

@@ -75,6 +75,24 @@ void PrintUsageAndExit(const char* binary, int code) {
       "                   instead of runtime SIMD dispatch (same effect as\n"
       "                   SKYPEER_FORCE_SCALAR=1). Results and metrics are\n"
       "                   bit-identical either way\n"
+      "  --reliable       run the query protocol over the reliable\n"
+      "                   per-hop transport (ACKs, retransmission,\n"
+      "                   rerouting, coverage reporting). Implied by any\n"
+      "                   fault flag below\n"
+      "  --drop-prob P    lose each transmission with probability P\n"
+      "                   (deterministic per seed)\n"
+      "  --delay-jitter J add uniform extra delay in [0, J) seconds to\n"
+      "                   every arrival\n"
+      "  --crash-sp I     crash super-peer I for every query (repeatable)\n"
+      "  --fault-seed S   seed of the fault RNG stream (default: derived\n"
+      "                   from --seed)\n"
+      "  --ack-timeout T  base ACK timeout in seconds before a hop\n"
+      "                   retransmits (default 0.25; exponential backoff)\n"
+      "  --max-retries N  retransmissions before a hop is abandoned and\n"
+      "                   recovery kicks in (default 8)\n"
+      "  --query-deadline S  initiator deadline per query; on expiry the\n"
+      "                   collected partial result is returned, flagged\n"
+      "                   (default 0 = no deadline)\n"
       "  --verbose        per-query output\n",
       binary);
   std::exit(code);
@@ -162,6 +180,25 @@ CliOptions Parse(int argc, char** argv) {
       options.network.enable_cache = true;
     } else if (std::strcmp(arg, "--force-scalar") == 0) {
       SetForceScalarKernels(true);
+    } else if (std::strcmp(arg, "--reliable") == 0) {
+      options.network.reliable = true;
+    } else if (std::strcmp(arg, "--drop-prob") == 0) {
+      options.network.drop_prob = std::atof(next_value(&i));
+      options.network.reliable = true;
+    } else if (std::strcmp(arg, "--delay-jitter") == 0) {
+      options.network.delay_jitter = std::atof(next_value(&i));
+      options.network.reliable = true;
+    } else if (std::strcmp(arg, "--crash-sp") == 0) {
+      options.network.crashed_sps.push_back(std::atoi(next_value(&i)));
+      options.network.reliable = true;
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      options.network.fault_seed = std::strtoull(next_value(&i), nullptr, 10);
+    } else if (std::strcmp(arg, "--ack-timeout") == 0) {
+      options.network.ack_timeout = std::atof(next_value(&i));
+    } else if (std::strcmp(arg, "--max-retries") == 0) {
+      options.network.max_retries = std::atoi(next_value(&i));
+    } else if (std::strcmp(arg, "--query-deadline") == 0) {
+      options.network.query_deadline = std::atof(next_value(&i));
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -267,6 +304,13 @@ int main(int argc, char** argv) {
                 aggregate.avg_total_s(), aggregate.total_s.Percentile(95),
                 aggregate.avg_kb(), aggregate.avg_messages(),
                 aggregate.avg_result());
+    if (options.network.reliable) {
+      std::printf(
+          "       | reliability: coverage %.1f%%  partial %zu/%zu  "
+          "retransmits/query %.1f\n",
+          aggregate.avg_coverage() * 100, aggregate.partial_queries,
+          aggregate.queries, aggregate.avg_retransmits());
+    }
   }
   return 0;
 }
