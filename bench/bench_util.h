@@ -1,6 +1,7 @@
 #ifndef SKYPEER_BENCH_BENCH_UTIL_H_
 #define SKYPEER_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "skypeer/common/thread_pool.h"
+#include "skypeer/engine/cost_model.h"
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
 
@@ -26,6 +28,10 @@ namespace skypeer::bench {
 ///   --speculative-rt stage RT*M/pipeline scans concurrently under the
 ///                  initiator's fixed threshold and reconcile on arrival
 ///                  of the refined value; results are identical
+///   --cost-model M CPU charging: measured (host time, default),
+///                  calibrated or unit (deterministic op-count seconds)
+///   --json PATH    additionally emit the run as a BENCH_*.json report
+///                  (series tables, per-variant metrics and op counts)
 ///   --full         paper-scale parameters (more queries, larger sweeps)
 struct BenchOptions {
   int queries = -1;  // -1: use the bench's default.
@@ -34,6 +40,8 @@ struct BenchOptions {
   size_t scan_chunk = 0;  // 0: sequential threshold scans.
   bool speculative_rt = false;
   bool full = false;
+  CostModel cost_model;
+  std::string json_path;  // Empty: no JSON report.
 
   int QueriesOr(int fallback, int full_value = 100) const {
     if (queries > 0) {
@@ -43,29 +51,178 @@ struct BenchOptions {
   }
 };
 
+/// Strict integer parsing for bench flags: the whole token must be a
+/// number in range — `atoi`-style silent zeros for garbage would quietly
+/// bench the wrong configuration.
+inline long long ParseIntArg(const char* flag, const char* text,
+                             long long min_value, long long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: '%s' is not an integer\n", flag, text);
+    std::exit(1);
+  }
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "%s: %lld out of range [%lld, %lld]\n", flag, value,
+                 min_value, max_value);
+    std::exit(1);
+  }
+  return value;
+}
+
+inline uint64_t ParseU64Arg(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  if (text[0] == '-') {
+    std::fprintf(stderr, "%s: '%s' must be non-negative\n", flag, text);
+    std::exit(1);
+  }
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: '%s' is not an unsigned integer\n", flag, text);
+    std::exit(1);
+  }
+  return value;
+}
+
+inline CostModel CostModelForMode(CostModelMode mode) {
+  switch (mode) {
+    case CostModelMode::kMeasured:
+      return CostModel::Measured();
+    case CostModelMode::kCalibrated:
+      return CostModel::Calibrated();
+    case CostModelMode::kUnit:
+      return CostModel::Unit();
+  }
+  return CostModel::Measured();
+}
+
+// --- JSON report -----------------------------------------------------------
+
+/// Accumulates everything a bench prints into a machine-readable
+/// `BENCH_<name>.json`. Filled as a side effect of `Table::Print` and
+/// `RunVariant`, written at process exit when `--json` was given. Under
+/// `--cost-model calibrated|unit` every emitted number is deterministic,
+/// which is what lets CI exact-diff the file against a committed baseline.
+struct BenchReport {
+  std::string name;       // Basename of argv[0].
+  std::string path;       // --json destination; empty disables emission.
+  std::string options_json;
+  std::vector<std::string> run_objects;    // Per-RunVariant JSON objects.
+  std::vector<std::string> table_objects;  // Per-Table JSON objects.
+};
+
+inline BenchReport& GlobalBenchReport() {
+  static BenchReport report;
+  return report;
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+      out += buffer;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+/// Round-trip double formatting: bit-identical doubles yield identical
+/// text, so calibrated-mode reports diff clean.
+inline std::string JsonNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+inline std::string JsonOpCounts(const OpCounts& ops) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"dominance_tests\":%llu,\"rtree_node_visits\":%llu,"
+                "\"scan_steps\":%llu,\"merge_pulls\":%llu,"
+                "\"sort_steps\":%llu,\"bytes_serialized\":%llu}",
+                static_cast<unsigned long long>(ops.dominance_tests),
+                static_cast<unsigned long long>(ops.rtree_node_visits),
+                static_cast<unsigned long long>(ops.scan_steps),
+                static_cast<unsigned long long>(ops.merge_pulls),
+                static_cast<unsigned long long>(ops.sort_steps),
+                static_cast<unsigned long long>(ops.bytes_serialized));
+  return buffer;
+}
+
+inline void WriteBenchReport() {
+  const BenchReport& report = GlobalBenchReport();
+  if (report.path.empty()) {
+    return;
+  }
+  std::FILE* file = std::fopen(report.path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", report.path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"options\": %s,\n",
+               JsonEscape(report.name).c_str(), report.options_json.c_str());
+  std::fprintf(file, "  \"runs\": [\n");
+  for (size_t i = 0; i < report.run_objects.size(); ++i) {
+    std::fprintf(file, "    %s%s\n", report.run_objects[i].c_str(),
+                 i + 1 < report.run_objects.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n  \"tables\": [\n");
+  for (size_t i = 0; i < report.table_objects.size(); ++i) {
+    std::fprintf(file, "    %s%s\n", report.table_objects[i].c_str(),
+                 i + 1 < report.table_objects.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
 inline BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       options.full = true;
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
-      options.queries = std::atoi(argv[++i]);
+      options.queries =
+          static_cast<int>(ParseIntArg("--queries", argv[++i], 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
+      options.seed = ParseU64Arg("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      options.threads = std::atoi(argv[++i]);
-      if (options.threads < 0) {
-        std::fprintf(stderr, "--threads must be >= 0\n");
-        std::exit(1);
-      }
+      options.threads =
+          static_cast<int>(ParseIntArg("--threads", argv[++i], 0, 4096));
     } else if (std::strcmp(argv[i], "--scan-chunk") == 0 && i + 1 < argc) {
-      options.scan_chunk = std::strtoull(argv[++i], nullptr, 10);
+      options.scan_chunk =
+          static_cast<size_t>(ParseU64Arg("--scan-chunk", argv[++i]));
     } else if (std::strcmp(argv[i], "--speculative-rt") == 0) {
       options.speculative_rt = true;
+    } else if (std::strcmp(argv[i], "--cost-model") == 0 && i + 1 < argc) {
+      CostModelMode mode;
+      if (!ParseCostModelMode(argv[++i], &mode)) {
+        std::fprintf(stderr,
+                     "--cost-model: '%s' is not measured|calibrated|unit\n",
+                     argv[i]);
+        std::exit(1);
+      }
+      options.cost_model = CostModelForMode(mode);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
+      if (options.json_path.empty()) {
+        std::fprintf(stderr, "--json: path must be non-empty\n");
+        std::exit(1);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--queries N] [--seed S] [--threads N] "
-          "[--scan-chunk N] [--speculative-rt] [--full]\n",
+          "[--scan-chunk N] [--speculative-rt] "
+          "[--cost-model measured|calibrated|unit] [--json PATH] [--full]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -74,10 +231,30 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     }
   }
   ThreadPool::SetGlobalConcurrency(options.threads);
+
+  BenchReport& report = GlobalBenchReport();
+  const char* slash = std::strrchr(argv[0], '/');
+  report.name = slash != nullptr ? slash + 1 : argv[0];
+  report.path = options.json_path;
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"queries\": %d, \"seed\": %llu, \"threads\": %d, "
+      "\"scan_chunk\": %llu, \"speculative_rt\": %s, \"full\": %s, "
+      "\"cost_model\": \"%s\"}",
+      options.queries, static_cast<unsigned long long>(options.seed),
+      options.threads, static_cast<unsigned long long>(options.scan_chunk),
+      options.speculative_rt ? "true" : "false",
+      options.full ? "true" : "false", CostModelModeName(options.cost_model.mode));
+  report.options_json = buffer;
+  if (!report.path.empty()) {
+    std::atexit(WriteBenchReport);
+  }
   return options;
 }
 
-/// Fixed-width table printer for paper-style series.
+/// Fixed-width table printer for paper-style series. `Print` also records
+/// the table into the JSON report (columns + cell strings verbatim).
 class Table {
  public:
   explicit Table(std::vector<std::string> columns)
@@ -109,6 +286,7 @@ class Table {
     for (const auto& row : rows_) {
       PrintRow(row, widths);
     }
+    Record();
   }
 
  private:
@@ -126,6 +304,28 @@ class Table {
     std::printf("%s\n", line.c_str());
   }
 
+  void Record() const {
+    const auto cells = [](const std::vector<std::string>& row) {
+      std::string out = "[";
+      for (size_t c = 0; c < row.size(); ++c) {
+        out += '"' + JsonEscape(row[c]) + '"';
+        if (c + 1 < row.size()) {
+          out += ',';
+        }
+      }
+      return out + "]";
+    };
+    std::string object = "{\"columns\":" + cells(columns_) + ",\"rows\":[";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      object += cells(rows_[r]);
+      if (r + 1 < rows_.size()) {
+        object += ',';
+      }
+    }
+    object += "]}";
+    GlobalBenchReport().table_objects.push_back(std::move(object));
+  }
+
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
@@ -140,30 +340,55 @@ inline std::string FmtMs(double seconds) { return Fmt(seconds * 1e3, 3); }
 
 /// Builds + preprocesses a network, echoing the configuration. Applies
 /// the harness options that map onto the network config (`--scan-chunk`,
-/// `--speculative-rt`).
+/// `--speculative-rt`, `--cost-model`).
 inline SkypeerNetwork BuildNetwork(NetworkConfig config,
                                    const BenchOptions& options) {
   config.scan_chunk_size = options.scan_chunk;
   config.speculative_rt = options.speculative_rt;
+  config.cost_model = options.cost_model;
   std::printf(
       "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
-      "scan_chunk=%zu\n",
+      "scan_chunk=%zu cost_model=%s\n",
       config.num_peers,
       config.num_super_peers > 0 ? config.num_super_peers
                                  : DefaultNumSuperPeers(config.num_peers),
       config.points_per_peer, config.dims, config.degree_sp,
       DistributionName(config.distribution),
-      static_cast<unsigned long long>(config.seed), config.scan_chunk_size);
+      static_cast<unsigned long long>(config.seed), config.scan_chunk_size,
+      CostModelModeName(config.cost_model.mode));
   return SkypeerNetwork(config);
 }
 
-/// Runs `queries` workload queries of dimensionality `k` under `variant`.
+/// Runs `queries` workload queries of dimensionality `k` under `variant`,
+/// recording the aggregate (time series, volume, op counts) into the JSON
+/// report.
 inline AggregateMetrics RunVariant(SkypeerNetwork* network, int k,
                                    int queries, uint64_t seed,
                                    Variant variant) {
   const auto tasks = GenerateWorkload(network->dims(), k, queries,
                                       network->num_super_peers(), seed);
-  return RunWorkload(network, tasks, variant);
+  const AggregateMetrics agg = RunWorkload(network, tasks, variant);
+  std::string object = "{\"variant\":\"";
+  object += VariantName(variant);
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "\",\"k\":%d,\"queries\":%d,\"seed\":%llu,\"dims\":%d,"
+                "\"num_super_peers\":%d,",
+                k, queries, static_cast<unsigned long long>(seed),
+                network->dims(), network->num_super_peers());
+  object += buffer;
+  object += "\"avg_comp_s\":" + JsonNumber(agg.avg_comp_s());
+  object += ",\"avg_total_s\":" + JsonNumber(agg.avg_total_s());
+  object += ",\"avg_kb\":" + JsonNumber(agg.avg_kb());
+  object += ",\"avg_messages\":" + JsonNumber(agg.avg_messages());
+  object += ",\"avg_result\":" + JsonNumber(agg.avg_result());
+  object += ",\"avg_scanned\":" + JsonNumber(agg.scanned.mean());
+  object += ",\"p50_comp_s\":" + JsonNumber(agg.comp_s.Percentile(50));
+  object += ",\"p100_comp_s\":" + JsonNumber(agg.comp_s.Percentile(100));
+  object += ",\"ops\":" + JsonOpCounts(agg.total_ops);
+  object += "}";
+  GlobalBenchReport().run_objects.push_back(std::move(object));
+  return agg;
 }
 
 }  // namespace skypeer::bench

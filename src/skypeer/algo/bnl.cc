@@ -7,9 +7,11 @@
 
 namespace skypeer {
 
-PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext) {
+PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext,
+                    OpCounts* ops) {
   SKYPEER_CHECK(!u.empty());
   const size_t n = input.size();
+  uint64_t tests = 0;
   // Window of candidate indices into `input`.
   std::vector<size_t> window;
   for (size_t i = 0; i < n; ++i) {
@@ -18,6 +20,7 @@ PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext) {
     size_t kept = 0;
     for (size_t w = 0; w < window.size(); ++w) {
       const double* q = input[window[w]];
+      ++tests;
       if (ext ? ExtDominates(q, p, u) : Dominates(q, p, u)) {
         dominated = true;
         // Keep the remaining window untouched.
@@ -26,6 +29,7 @@ PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext) {
         }
         break;
       }
+      ++tests;
       if (ext ? ExtDominates(p, q, u) : Dominates(p, q, u)) {
         continue;  // Evict q.
       }
@@ -35,6 +39,10 @@ PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext) {
     if (!dominated) {
       window.push_back(i);
     }
+  }
+  if (ops != nullptr) {
+    ops->dominance_tests += tests;
+    ops->scan_steps += n;
   }
 
   PointSet result(input.dims());

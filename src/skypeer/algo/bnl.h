@@ -1,6 +1,7 @@
 #ifndef SKYPEER_ALGO_BNL_H_
 #define SKYPEER_ALGO_BNL_H_
 
+#include "skypeer/common/op_counts.h"
 #include "skypeer/common/point_set.h"
 #include "skypeer/common/subspace.h"
 
@@ -13,7 +14,11 @@ namespace skypeer {
 /// Since the library is main-memory, the window is unbounded (a single
 /// "block"). Returns the skyline of `input` on subspace `u`, in input
 /// order; with `ext` the extended skyline (strict dominance) instead.
-PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext = false);
+/// When `ops` is non-null the scalar dominance calls performed are added
+/// to `ops->dominance_tests` and the points consumed to
+/// `ops->scan_steps`.
+PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext = false,
+                    OpCounts* ops = nullptr);
 
 }  // namespace skypeer
 

@@ -7,7 +7,12 @@ ResultList ExtendedSkyline(const PointSet& points, Subspace u,
   ResultList sorted = BuildSortedByF(points);
   ThresholdScanOptions options;
   options.ext = true;
-  return SortedSkyline(sorted, u, options, stats);
+  ResultList result = SortedSkyline(sorted, u, options, stats);
+  if (stats != nullptr) {
+    // SortedSkyline overwrote stats; fold in the f-sort's work after it.
+    stats->ops.sort_steps += SortCost(points.size());
+  }
+  return result;
 }
 
 ResultList ExtendedSkyline(const PointSet& points, ThresholdScanStats* stats) {

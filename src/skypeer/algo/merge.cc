@@ -1,6 +1,7 @@
 #include "skypeer/algo/merge.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <unordered_set>
 #include <utility>
@@ -9,6 +10,16 @@
 #include "skypeer/common/macros.h"
 
 namespace skypeer {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 ResultList MergeSortedSkylines(int dims,
                                const std::vector<const ResultList*>& lists,
@@ -26,10 +37,13 @@ ResultList MergeSortedSkylines(int dims,
     if (stats != nullptr) {
       stats->scanned = 0;
       stats->final_threshold = options.initial_threshold;
+      stats->ops = OpCounts{};
+      stats->cpu_seconds = 0.0;
     }
     return ResultList(dims);
   }
 
+  const auto start = std::chrono::steady_clock::now();
   SkylineAccumulator accumulator(dims, u, options);
 
   // Min-heap over list heads keyed by f; ties broken by list index for
@@ -54,6 +68,7 @@ ResultList MergeSortedSkylines(int dims,
 
   std::unordered_set<PointId> offered_ids;
   size_t scanned = 0;
+  uint64_t pulls = 0;
   while (!heap.empty()) {
     const Head head = heap.top();
     // "SKY_Us <- the list with the minimum first element" (Algorithm 2,
@@ -62,6 +77,7 @@ ResultList MergeSortedSkylines(int dims,
       break;
     }
     heap.pop();
+    ++pulls;
     const ResultList& list = *lists[head.list];
     // Copies of one point (overlapping inputs) never dominate each other;
     // offering both would duplicate the skyline entry.
@@ -81,6 +97,9 @@ ResultList MergeSortedSkylines(int dims,
   if (stats != nullptr) {
     stats->scanned = scanned;
     stats->final_threshold = accumulator.threshold();
+    stats->ops = accumulator.ops();
+    stats->ops.merge_pulls = pulls;
+    stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
 }

@@ -1,6 +1,7 @@
 #include "skypeer/algo/sorted_skyline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <vector>
 
@@ -9,6 +10,17 @@
 #include "skypeer/common/thread_pool.h"
 
 namespace skypeer {
+
+namespace {
+
+/// Wall seconds since `start`; charged as the scan's own work time.
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 ResultList BuildSortedByF(const PointSet& input) {
   const int dims = input.dims();
@@ -54,6 +66,7 @@ void SkylineAccumulator::EvictDominatedLinear(
   // `evicted_tags` order matches the historical per-point loop. Killed
   // lanes are +inf and come back flagged as "dominated"; `alive_flags_`
   // filters them out.
+  ops_.dominance_tests += window_points_.size();
   scratch_masks_.resize(window_proj_.num_blocks());
   DominatedMask(window_proj_, proj, strict_, scratch_masks_.data());
   for (size_t b = 0; b < scratch_masks_.size(); ++b) {
@@ -94,10 +107,11 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
   }
 
   if (use_rtree_) {
-    if (rtree_->AnyDominates(proj, strict_)) {
+    if (rtree_->AnyDominates(proj, strict_, &ops_.rtree_node_visits)) {
       return false;
     }
-    scratch_payloads_ = rtree_->EraseDominated(proj, strict_);
+    scratch_payloads_ =
+        rtree_->EraseDominated(proj, strict_, &ops_.rtree_node_visits);
     for (uint64_t idx : scratch_payloads_) {
       alive_flags_[idx] = 0;
       window_proj_.Kill(idx);
@@ -108,7 +122,10 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
     }
   } else {
     // Killed lanes are +inf and never dominate, so the batched test needs
-    // no liveness filtering.
+    // no liveness filtering. Count the logical window size, not the
+    // kernel's internal lane count, so scalar and SIMD dispatch report
+    // identical work.
+    ops_.dominance_tests += window_points_.size();
     if (AnyDominates(window_proj_, proj, strict_)) {
       return false;
     }
@@ -125,7 +142,7 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
   window_proj_.Append(proj);
   ++alive_;
   if (use_rtree_) {
-    rtree_->Insert(proj, index);
+    rtree_->Insert(proj, index, &ops_.rtree_node_visits);
   }
 
   // A dominator has dist_U no larger than any point it dominates, so the
@@ -181,6 +198,7 @@ void SkylineAccumulator::MaybeCompact() {
     std::vector<uint64_t> payloads(alive_);
     std::iota(payloads.begin(), payloads.end(), uint64_t{0});
     *rtree_ = RTree::BulkLoad(k, proj_rows.data(), payloads.data(), alive_);
+    ops_.sort_steps += SortCost(alive_);
   }
 }
 
@@ -236,6 +254,7 @@ void SkylineAccumulator::SeedWindow(const ResultList& seed) {
     std::vector<uint64_t> payloads(n);
     std::iota(payloads.begin(), payloads.end(), uint64_t{0});
     *rtree_ = RTree::BulkLoad(k, proj_rows.data(), payloads.data(), n);
+    ops_.sort_steps += SortCost(n);
   }
 }
 
@@ -243,6 +262,7 @@ ResultList SortedSkyline(const ResultList& input, Subspace u,
                          const ThresholdScanOptions& options,
                          ThresholdScanStats* stats) {
   SKYPEER_DCHECK(input.IsSorted());
+  const auto start = std::chrono::steady_clock::now();
   SkylineAccumulator accumulator(input.points.dims(), u, options);
   size_t scanned = 0;
   for (size_t i = 0; i < input.size(); ++i) {
@@ -255,6 +275,9 @@ ResultList SortedSkyline(const ResultList& input, Subspace u,
   if (stats != nullptr) {
     stats->scanned = scanned;
     stats->final_threshold = accumulator.threshold();
+    stats->ops = accumulator.ops();
+    stats->ops.scan_steps += scanned;
+    stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
 }
@@ -268,7 +291,9 @@ ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
   trace->accepted.clear();
   trace->dist_u.clear();
   trace->evicted_at.clear();
+  trace->cum_ops.clear();
 
+  const auto start = std::chrono::steady_clock::now();
   SkylineAccumulator accumulator(input.points.dims(), u, options);
   std::vector<uint64_t> evicted;
   size_t scanned = 0;
@@ -285,11 +310,15 @@ ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
     for (uint64_t victim : evicted) {
       trace->evicted_at[victim] = i;
     }
+    trace->cum_ops.push_back(accumulator.ops());
     ++scanned;
   }
   if (stats != nullptr) {
     stats->scanned = scanned;
     stats->final_threshold = accumulator.threshold();
+    stats->ops = accumulator.ops();
+    stats->ops.scan_steps += scanned;
+    stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
 }
@@ -297,6 +326,7 @@ ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
 ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
                            double threshold_in, ThresholdScanStats* stats) {
   SKYPEER_CHECK(threshold_in <= trace.threshold_in);
+  const auto start = std::chrono::steady_clock::now();
   // The running threshold under the tighter start is min(threshold_in,
   // running threshold of the recorded scan) at every position, so the
   // replayed scan stops within the recorded prefix: past its cut the
@@ -322,6 +352,16 @@ ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
   if (stats != nullptr) {
     stats->scanned = cut;
     stats->final_threshold = threshold;
+    // Ops of the *equivalent direct scan*, not of the (much cheaper)
+    // replay: the window evolves identically on the shared prefix, so
+    // the recorded cumulative counts at the cut are exact. Traces
+    // recorded before cum_ops existed replay with zero window ops.
+    stats->ops = OpCounts{};
+    if (cut > 0 && trace.cum_ops.size() >= cut) {
+      stats->ops = trace.cum_ops[cut - 1];
+    }
+    stats->ops.scan_steps += cut;
+    stats->cpu_seconds = SecondsSince(start);
   }
   return result;
 }
@@ -348,6 +388,7 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
   std::vector<ThresholdScanStats> chunk_stats(num_chunks);
 
   const auto scan_chunk = [&](size_t c, double seed) {
+    const auto chunk_start = std::chrono::steady_clock::now();
     ThresholdScanOptions chunk_options = options;
     chunk_options.initial_threshold = seed;
     SkylineAccumulator accumulator(dims, u, chunk_options);
@@ -372,7 +413,12 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
     }
     chunk_stats[c].scanned = scanned;
     chunk_stats[c].final_threshold = accumulator.threshold();
+    chunk_stats[c].ops = accumulator.ops();
+    chunk_stats[c].ops.scan_steps += scanned;
     chunk_results[c] = accumulator.TakeResult();
+    // Self-measured work time of this chunk on its executing thread;
+    // pool queueing time never enters the sum.
+    chunk_stats[c].cpu_seconds = SecondsSince(chunk_start);
   };
 
   // Chunk 0 — the prefix the sequential scan would consume first — runs
@@ -424,17 +470,26 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
   }
   std::vector<uint64_t> payloads(total);
   std::iota(payloads.begin(), payloads.end(), uint64_t{0});
+  const auto filter_start = std::chrono::steady_clock::now();
   const RTree tree = RTree::BulkLoad(k, proj.data(), payloads.data(), total);
+  const double bulk_load_s = SecondsSince(filter_start);
   std::vector<uint8_t> keep(total, 0);
   constexpr size_t kFilterBlock = 1024;
   const size_t num_blocks = (total + kFilterBlock - 1) / kFilterBlock;
+  // Per-block local counters/timers, folded in block order afterwards:
+  // the shared tree is traversed concurrently, so counting through a
+  // shared accumulator would race (and break cross-thread determinism).
+  std::vector<uint64_t> block_visits(num_blocks, 0);
+  std::vector<double> block_cpu(num_blocks, 0.0);
   pool->ParallelFor(num_blocks, [&](size_t b) {
+    const auto block_start = std::chrono::steady_clock::now();
     const size_t begin = b * kFilterBlock;
     const size_t end = std::min(total, begin + kFilterBlock);
     for (size_t i = begin; i < end; ++i) {
       keep[i] = !tree.AnyDominates(proj.data() + i * static_cast<size_t>(k),
-                                   options.ext);
+                                   options.ext, &block_visits[b]);
     }
+    block_cpu[b] = SecondsSince(block_start);
   });
 
   // Concatenating in chunk order restores the original (f, position)
@@ -458,8 +513,21 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
   }
   if (stats != nullptr) {
     stats->scanned = 0;
+    stats->ops = OpCounts{};
+    stats->cpu_seconds = 0.0;
+    // Fixed summation order (chunks ascending, then the cross-filter's
+    // bulk load and blocks ascending) keeps both the counts and the
+    // measured-seconds sum independent of scheduling.
     for (const ThresholdScanStats& chunk : chunk_stats) {
       stats->scanned += chunk.scanned;
+      stats->ops += chunk.ops;
+      stats->cpu_seconds += chunk.cpu_seconds;
+    }
+    stats->ops.sort_steps += SortCost(total);
+    stats->cpu_seconds += bulk_load_s;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      stats->ops.rtree_node_visits += block_visits[b];
+      stats->cpu_seconds += block_cpu[b];
     }
     stats->final_threshold = final_threshold;
   }

@@ -9,6 +9,7 @@
 
 #include "skypeer/algo/result_list.h"
 #include "skypeer/common/dominance_batch.h"
+#include "skypeer/common/op_counts.h"
 #include "skypeer/common/point_set.h"
 #include "skypeer/common/subspace.h"
 #include "skypeer/rtree/rtree.h"
@@ -58,6 +59,15 @@ struct ThresholdScanStats {
   size_t scanned = 0;
   /// Threshold value when the scan stopped (min dist_U over the result).
   double final_threshold = std::numeric_limits<double>::infinity();
+  /// Logical operations the scan performed (machine-independent; see
+  /// `OpCounts`). Replays report the counts of the equivalent direct
+  /// scan, and chunked parallel scans sum per-chunk counts in chunk
+  /// order, so `ops` is identical across thread counts and kernels.
+  OpCounts ops;
+  /// Host wall seconds of the scan's own work (per-chunk work summed for
+  /// parallel scans — pool queueing time is excluded). Only meaningful
+  /// to the measured cost model.
+  double cpu_seconds = 0.0;
 };
 
 /// \brief Recorded event log of one sequential threshold scan, sufficient
@@ -91,6 +101,13 @@ struct ScanTrace {
   /// point, or `kNeverEvicted`. Rejected points are `kNeverEvicted` too
   /// (the `accepted` flag already excludes them from replays).
   std::vector<size_t> evicted_at;
+  /// Cumulative op counts of the recorded scan after each position
+  /// (window-evolution ops only — scan steps are not included and are
+  /// reconstructed by the replay). Because the window evolves
+  /// identically on the shared prefix of any tighter-threshold scan,
+  /// `cum_ops[cut - 1]` is exactly the op count a direct scan truncated
+  /// at `cut` would report.
+  std::vector<OpCounts> cum_ops;
 
   size_t size() const { return accepted.size(); }
 };
@@ -141,6 +158,12 @@ class SkylineAccumulator {
   /// Number of window slots (alive + not-yet-compacted evicted entries);
   /// bounded by the compaction policy in `ThresholdScanOptions`.
   size_t window_size() const { return window_points_.size(); }
+
+  /// Logical operations performed by all offers so far. Dominance tests
+  /// count the window entries examined per offer (not kernel-internal
+  /// work), R-tree visits count nodes entered, and compaction rebuilds
+  /// count as sort steps — all independent of kernel dispatch.
+  const OpCounts& ops() const { return ops_; }
 
   /// Extracts the result, sorted ascending by `f` (insertion order with
   /// evicted points dropped and seed points excluded). The accumulator is
@@ -193,6 +216,7 @@ class SkylineAccumulator {
   std::unique_ptr<RTree> rtree_;  // over u-projections, when use_rtree_
   std::vector<uint64_t> scratch_payloads_;
   std::vector<uint8_t> scratch_masks_;  // per-block eviction bit masks
+  OpCounts ops_;
 };
 
 /// \brief Paper Algorithm 1: local subspace skyline computation over a

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "skypeer/common/macros.h"
+#include "skypeer/common/op_counts.h"
 
 namespace skypeer {
 
@@ -36,6 +37,11 @@ struct QueryMetrics {
   /// Super-peers that processed the query (= all, on a connected
   /// backbone).
   int super_peers_participated = 0;
+  /// Machine-independent operation counts summed over all super-peers
+  /// (node-id order): dominance tests, R-tree visits, scan steps, merge
+  /// pulls, sorts and serialized bytes. Identical across runs, thread
+  /// counts and kernel dispatch regardless of the cost-model mode.
+  OpCounts ops;
 
   // --- reliability / fault-injection (reliable protocol only) ----------
 
@@ -82,9 +88,16 @@ struct PreprocessStats {
   /// Sum of merged super-peer store sizes — what super-peers retain.
   size_t super_peer_ext_points = 0;
   /// CPU seconds spent by peers computing local extended skylines.
+  /// Measured host time under the measured cost model; deterministic
+  /// model seconds under calibrated/unit.
   double peer_cpu_s = 0.0;
   /// CPU seconds spent by super-peers merging.
   double super_peer_cpu_s = 0.0;
+  /// Op counts of the peer phase (local extended skylines), summed in
+  /// peer order.
+  OpCounts peer_ops;
+  /// Op counts of the super-peer merge phase, summed in node-id order.
+  OpCounts super_peer_ops;
 
   /// SEL_p: fraction of the dataset transmitted from peers to super-peers.
   double sel_p() const {
@@ -172,9 +185,12 @@ struct AggregateMetrics {
   MetricSeries gave_up;
   MetricSeries coverage;
   size_t partial_queries = 0;
+  /// Sum of per-query op counts over the workload.
+  OpCounts total_ops;
 
   void Add(const QueryMetrics& metrics) {
     ++queries;
+    total_ops += metrics.ops;
     comp_s.Add(metrics.computational_time_s);
     total_s.Add(metrics.total_time_s);
     kb.Add(metrics.volume_kb());

@@ -93,6 +93,7 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
     super_peers_.push_back(
         std::make_unique<SuperPeer>(i, config_.dims, config_.wire));
     super_peers_.back()->set_thread_pool(pool_);
+    super_peers_.back()->SetCostModel(config_.cost_model);
     if (result_cache_ != nullptr) {
       super_peers_.back()->SetResultCache(result_cache_);
     }
@@ -174,6 +175,7 @@ PreprocessStats SkypeerNetwork::Preprocess() {
     ResultList ext{1};
     size_t data_size = 0;
     double cpu_s = 0.0;
+    OpCounts ops;
   };
   std::vector<PeerJob> jobs;
   jobs.reserve(overlay_.num_peers());
@@ -225,7 +227,10 @@ PreprocessStats SkypeerNetwork::Preprocess() {
     }
     job.data_size = data.size();
     const auto start = std::chrono::steady_clock::now();
-    job.ext = ExtendedSkyline(data);  // What Peer::ComputeExtendedSkyline runs.
+    // What Peer::ComputeExtendedSkyline runs.
+    ThresholdScanStats scan_stats;
+    job.ext = ExtendedSkyline(data, &scan_stats);
+    job.ops = scan_stats.ops;
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     job.cpu_s = elapsed.count();
@@ -245,7 +250,10 @@ PreprocessStats SkypeerNetwork::Preprocess() {
       peer_point_ranges_[job.peer_id] = {
           job.first_id, job.first_id + static_cast<PointId>(job.data_size)};
     }
-    stats.peer_cpu_s += job.cpu_s;
+    stats.peer_ops += job.ops;
+    stats.peer_cpu_s += config_.cost_model.counted()
+                            ? config_.cost_model.Seconds(job.ops)
+                            : job.cpu_s;
     stats.peer_ext_points += job.ext.size();
     super_peers_[job.sp]->AddPeerList(job.peer_id, std::move(job.ext));
   }
@@ -253,11 +261,15 @@ PreprocessStats SkypeerNetwork::Preprocess() {
 
   // Phase 4 (parallel): each super-peer merges its uploaded lists.
   std::vector<double> merge_cpu_s(overlay_.num_super_peers(), 0.0);
+  std::vector<OpCounts> merge_ops(overlay_.num_super_peers());
   pool()->ParallelFor(overlay_.num_super_peers(), [&](size_t sp) {
-    merge_cpu_s[sp] = super_peers_[sp]->FinalizePreprocessing();
+    merge_cpu_s[sp] = super_peers_[sp]->FinalizePreprocessing(&merge_ops[sp]);
   });
   for (int sp = 0; sp < overlay_.num_super_peers(); ++sp) {
-    stats.super_peer_cpu_s += merge_cpu_s[sp];
+    stats.super_peer_ops += merge_ops[sp];
+    stats.super_peer_cpu_s += config_.cost_model.counted()
+                                  ? config_.cost_model.Seconds(merge_ops[sp])
+                                  : merge_cpu_s[sp];
     stats.super_peer_ext_points += super_peers_[sp]->store().size();
   }
   total_points_ = stats.total_points;
@@ -468,6 +480,9 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
   }
   outcome.bytes = simulator_.total_bytes();
   outcome.messages = simulator_.num_messages();
+  for (const auto& sp : super_peers_) {
+    outcome.ops += sp->last_query_stats().ops;
+  }
   if (config_.reliable) {
     outcome.dropped = simulator_.dropped_messages();
     for (const auto& sp : super_peers_) {
@@ -513,6 +528,9 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
   query_result.metrics.bytes_transferred = total.bytes;
   query_result.metrics.messages = total.messages;
   query_result.metrics.result_size = query_result.skyline.size();
+  // Like volume/messages this reports run 1 — under faults the compute
+  // run can realize a different pattern; fault-free runs count the same.
+  query_result.metrics.ops = total.ops;
   if (config_.reliable) {
     // Reliable mode reports run 1 (configured links): under faults the
     // two runs realize different timings and thus potentially different

@@ -46,6 +46,13 @@ struct NetworkConfig {
   /// Charge measured host CPU to virtual clocks. Disable for
   /// deterministic transfer-only analyses.
   bool measure_cpu = true;
+  /// How local computation is priced into virtual CPU seconds: measured
+  /// host time of this run (default, noisy but hardware-faithful), or
+  /// deterministic seconds derived from counted operations
+  /// (`CostModel::Calibrated()` / `Unit()`), which make every simulated
+  /// time bit-reproducible across runs, hosts, thread counts and kernel
+  /// dispatch. Ignored while `measure_cpu` is false.
+  CostModel cost_model;
   /// Support peer churn (JoinPeer / RemovePeer) after pre-processing:
   /// super-peers retain the uploaded per-peer lists (memory ~ SEL_p of
   /// the dataset).
@@ -247,6 +254,8 @@ class SkypeerNetwork {
     int participated = 0;
     size_t scanned = 0;
     size_t local_points = 0;
+    /// Operation counts summed over all super-peers in node-id order.
+    OpCounts ops;
   };
 
   RunOutcome RunOnce(Subspace subspace, int initiator_sp, Variant variant,

@@ -16,33 +16,38 @@ namespace skypeer {
 
 namespace {
 
-/// Measures host wall time of a computation and charges it to the virtual
-/// clock of the node whose handler is running.
-class ScopedCpuCharge {
- public:
-  ScopedCpuCharge(sim::Simulator* simulator, bool enabled)
-      : simulator_(simulator),
-        enabled_(enabled),
-        start_(std::chrono::steady_clock::now()) {}
-
-  ~ScopedCpuCharge() {
-    if (enabled_) {
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - start_;
-      simulator_->ChargeCpu(std::max(0.0, elapsed.count()));
-    }
-  }
-
-  ScopedCpuCharge(const ScopedCpuCharge&) = delete;
-  ScopedCpuCharge& operator=(const ScopedCpuCharge&) = delete;
-
- private:
-  sim::Simulator* simulator_;
-  bool enabled_;
-  std::chrono::steady_clock::time_point start_;
-};
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return std::max(0.0, elapsed.count());
+}
 
 }  // namespace
+
+void SuperPeer::ChargeOps(sim::Simulator* simulator, const OpCounts& ops,
+                          double measured_s) {
+  query_ops_ += ops;
+  if (!measure_cpu_) {
+    return;
+  }
+  if (cost_.counted()) {
+    simulator->ChargeCpu(cost_.Seconds(ops));
+  } else {
+    simulator->ChargeCpu(std::max(0.0, measured_s));
+  }
+}
+
+void SuperPeer::ChargeSerialization(sim::Simulator* simulator, size_t bytes) {
+  OpCounts ops;
+  ops.bytes_serialized = bytes;
+  query_ops_ += ops;
+  // The measured model never charged marshalling (wire cost lives in the
+  // link model); counted models price it so the charge — and thus the
+  // departure shift — is deterministic.
+  if (measure_cpu_ && cost_.counted()) {
+    simulator->ChargeCpu(cost_.Seconds(ops));
+  }
+}
 
 void SuperPeer::AddPeerList(int peer_id, ResultList list) {
   SKYPEER_CHECK(list.points.dims() == dims_);
@@ -52,7 +57,7 @@ void SuperPeer::AddPeerList(int peer_id, ResultList list) {
   SKYPEER_CHECK(inserted);  // Duplicate upload.
 }
 
-void SuperPeer::RebuildStore() {
+void SuperPeer::RebuildStore(ThresholdScanStats* stats) {
   ThresholdScanOptions options;
   options.ext = true;
   std::vector<const ResultList*> inputs;
@@ -61,23 +66,25 @@ void SuperPeer::RebuildStore() {
     inputs.push_back(&list);
   }
   // Zero inputs (every peer departed) merge to the empty store.
-  store_ =
-      MergeSortedSkylines(dims_, inputs, Subspace::FullSpace(dims_), options);
+  store_ = MergeSortedSkylines(dims_, inputs, Subspace::FullSpace(dims_),
+                               options, stats);
   if (cache_ != nullptr) {
     cache_->Invalidate(id_);
   }
 }
 
-double SuperPeer::FinalizePreprocessing() {
+double SuperPeer::FinalizePreprocessing(OpCounts* ops) {
   const auto start = std::chrono::steady_clock::now();
-  RebuildStore();
+  ThresholdScanStats stats;
+  RebuildStore(&stats);
   preprocessed_ = true;
   if (!retain_peer_lists_) {
     peer_lists_.clear();
   }
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
-  return elapsed.count();
+  if (ops != nullptr) {
+    *ops += stats.ops;
+  }
+  return SecondsSince(start);
 }
 
 void SuperPeer::SetStore(ResultList store) {
@@ -171,6 +178,7 @@ void SuperPeer::ResetProtocolState() {
   next_hop_seq_ = 1;
   deadline_timer_id_ = 0;
   rstats_ = ReliabilityStats{};
+  query_ops_ = OpCounts{};
 }
 
 void SuperPeer::HandleMessage(sim::Simulator* simulator,
@@ -223,6 +231,7 @@ void SuperPeer::SendEnvelope(sim::Simulator* simulator, int dst,
   hop.bytes = payload_bytes + wire_.envelope_bytes;
   hop.envelope = envelope;
   hop.attempts = 0;
+  ChargeSerialization(simulator, hop.bytes);
   simulator->Send(id_, dst, hop.bytes, envelope);
 
   auto timer = std::make_shared<RetransmitTimer>();
@@ -244,6 +253,7 @@ void SuperPeer::HandleEnvelope(sim::Simulator* simulator,
   auto ack = std::make_shared<AckMessage>();
   ack->query_id = envelope.query_id;
   ack->seq = envelope.seq;
+  ChargeSerialization(simulator, wire_.ack_bytes);
   simulator->Send(id_, message.src, wire_.ack_bytes, std::move(ack));
 
   // Effectively-once: at-least-once delivery plus (src, query, seq)
@@ -314,6 +324,7 @@ void SuperPeer::HandleRetransmit(sim::Simulator* simulator,
     return;
   }
   ++rstats_.retransmits;
+  ChargeSerialization(simulator, hop.bytes);
   simulator->Send(id_, hop.dst, hop.bytes, hop.envelope);
   auto next_timer = std::make_shared<RetransmitTimer>();
   next_timer->seq = timer.seq;
@@ -522,14 +533,19 @@ void SuperPeer::SendReplyReliable(sim::Simulator* simulator, int dst,
 void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
                              double threshold_in,
                              std::shared_ptr<const ResultList>* local,
-                             double* threshold_out, size_t* scanned) {
+                             double* threshold_out, size_t* scanned,
+                             OpCounts* ops, double* cpu_s) {
+  *ops = OpCounts{};
   if (variant == Variant::kNaive) {
     // The baseline ignores the f-ordering and the threshold: a plain BNL
     // over the store, then sorted for shipping.
-    PointSet skyline = BnlSkyline(store_.points, subspace);
+    const auto start = std::chrono::steady_clock::now();
+    PointSet skyline = BnlSkyline(store_.points, subspace, /*ext=*/false, ops);
+    ops->sort_steps += SortCost(skyline.size());
     *local = std::make_shared<const ResultList>(BuildSortedByF(skyline));
     *threshold_out = threshold_in;
     *scanned = store_.size();
+    *cpu_s = SecondsSince(start);
     return;
   }
 
@@ -551,6 +567,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
     // The fill must be the sequential scan — a chunked scan cannot
     // produce the sequential event order — so `scan_chunk_size_` does
     // not apply here.
+    const auto start = std::chrono::steady_clock::now();
     if (cache_ == nullptr) {
       cache_ = std::make_shared<SubspaceScanTraceCache>();
     }
@@ -566,6 +583,12 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
         ReplayScanTrace(store_, *entry, threshold_in, &stats));
     *threshold_out = stats.final_threshold;
     *scanned = stats.scanned;
+    // Only the replay is counted: the fill is amortized cache warming, and
+    // excluding it keeps counted charges independent of hit/miss order
+    // (replicas sharing a cache see different orders). Measured time still
+    // covers the whole call, preserving the measured model's semantics.
+    *ops = stats.ops;
+    *cpu_s = SecondsSince(start);
     return;
   }
 
@@ -580,6 +603,11 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
   // The scan threshold only ever tightens; RT*M forwards this value.
   *threshold_out = stats.final_threshold;
   *scanned = stats.scanned;
+  *ops = stats.ops;
+  // Per-chunk work summed across the executing threads — unlike the wall
+  // time of this call it contains no pool queueing, so an 8-thread run is
+  // charged the same work as a 1-thread run of the same chunking.
+  *cpu_s = stats.cpu_seconds;
 }
 
 void SuperPeer::StageLocalScan(const Subspace& subspace, Variant variant,
@@ -588,12 +616,9 @@ void SuperPeer::StageLocalScan(const Subspace& subspace, Variant variant,
   staged.mask = subspace.mask();
   staged.variant = variant;
   staged.threshold_in = threshold;
-  const auto start = std::chrono::steady_clock::now();
   RunLocalScan(subspace, variant, threshold, &staged.local,
-               &staged.threshold_out, &staged.scanned);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
-  staged.cpu_s = std::max(0.0, elapsed.count());
+               &staged.threshold_out, &staged.scanned, &staged.ops,
+               &staged.cpu_s);
   staged_ = std::move(staged);
 }
 
@@ -610,7 +635,6 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
   staged.variant = variant;
   staged.threshold_in = fixed_threshold;
   staged.speculative = true;
-  const auto start = std::chrono::steady_clock::now();
   if (variant != Variant::kNaive && !cache_enabled_ &&
       (scan_chunk_size_ == 0 || store_.size() <= scan_chunk_size_)) {
     // Sequential scan: record the event trace so the reconcile can replay
@@ -622,6 +646,8 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
         store_, subspace, options, &stats, &staged.trace));
     staged.threshold_out = stats.final_threshold;
     staged.scanned = stats.scanned;
+    staged.ops = stats.ops;
+    staged.cpu_s = stats.cpu_seconds;
     staged.has_trace = true;
   } else {
     // Cache path: the scan warms the shared trace cache (a pure function
@@ -632,11 +658,9 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
     // which receive precisely the initiator's threshold); deeper nodes
     // rerun inline.
     RunLocalScan(subspace, variant, fixed_threshold, &staged.local,
-                 &staged.threshold_out, &staged.scanned);
+                 &staged.threshold_out, &staged.scanned, &staged.ops,
+                 &staged.cpu_s);
   }
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
-  staged.cpu_s = std::max(0.0, elapsed.count());
   staged_ = std::move(staged);
 }
 
@@ -644,9 +668,10 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
   if (staged_.has_value() && staged_->mask == state->subspace.mask() &&
       staged_->variant == state->variant &&
       staged_->threshold_in == state->threshold) {
-    if (measure_cpu_) {
-      simulator->ChargeCpu(staged_->cpu_s);
-    }
+    // Exact match: the staged scan is the inline scan, so its ops (and,
+    // under the measured model, its self-measured work seconds) are the
+    // inline charge.
+    ChargeOps(simulator, staged_->ops, staged_->cpu_s);
     state->local = std::move(staged_->local);
     state->threshold = staged_->threshold_out;
     state->scanned = staged_->scanned;
@@ -658,44 +683,56 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
       staged_->variant == state->variant &&
       state->threshold < staged_->threshold_in) {
     // Reconcile a speculative scan against the refined threshold the
-    // protocol actually delivered. The node really did run the fixed scan
-    // (off-thread) plus the reconcile below, so both are charged.
+    // protocol actually delivered. Under the measured model the node
+    // really did run the fixed scan (off-thread) plus the reconcile, so
+    // both are charged. Counted models charge the replay's ops only —
+    // they equal the ops of the direct scan under the refined threshold,
+    // so speculative staging leaves counted charges bit-identical to the
+    // non-speculative execution.
     if (staged_->has_trace) {
-      if (measure_cpu_) {
+      if (measure_cpu_ && !cost_.counted()) {
         simulator->ChargeCpu(staged_->cpu_s);
       }
-      ScopedCpuCharge charge(simulator, measure_cpu_);
+      const auto start = std::chrono::steady_clock::now();
       ThresholdScanStats stats;
       state->local = std::make_shared<const ResultList>(ReplayScanTrace(
           store_, staged_->trace, state->threshold, &stats));
       state->threshold = stats.final_threshold;
       state->scanned = stats.scanned;
       staged_.reset();
+      ChargeOps(simulator, stats.ops, SecondsSince(start));
       return;
     }
     if (cache_enabled_ && state->variant != Variant::kNaive) {
       // The speculative scan warmed the trace cache; replaying it under
       // the refined threshold is exactly the sequential cache-hit path.
-      if (measure_cpu_) {
+      if (measure_cpu_ && !cost_.counted()) {
         simulator->ChargeCpu(staged_->cpu_s);
       }
       staged_.reset();
-      ScopedCpuCharge charge(simulator, measure_cpu_);
+      OpCounts ops;
+      double cpu_s = 0.0;
       RunLocalScan(state->subspace, state->variant, state->threshold,
-                   &state->local, &state->threshold, &state->scanned);
+                   &state->local, &state->threshold, &state->scanned, &ops,
+                   &cpu_s);
+      ChargeOps(simulator, ops, cpu_s);
       return;
     }
     // Chunked speculative scan under a strictly looser threshold: the
     // per-chunk seeds would differ, so fall through to the inline rerun.
   }
   staged_.reset();
-  ScopedCpuCharge charge(simulator, measure_cpu_);
+  OpCounts ops;
+  double cpu_s = 0.0;
   RunLocalScan(state->subspace, state->variant, state->threshold,
-               &state->local, &state->threshold, &state->scanned);
+               &state->local, &state->threshold, &state->scanned, &ops,
+               &cpu_s);
+  ChargeOps(simulator, ops, cpu_s);
 }
 
 SuperPeer::LastQueryStats SuperPeer::last_query_stats() const {
   LastQueryStats stats;
+  stats.ops = query_ops_;
   if (!query_.has_value()) {
     return stats;
   }
@@ -726,6 +763,7 @@ void SuperPeer::ForwardQuery(sim::Simulator* simulator, QueryState* state) {
       SendEnvelope(simulator, neighbor, wire_.query_bytes, query,
                    std::move(hop));
     } else {
+      ChargeSerialization(simulator, wire_.query_bytes);
       simulator->Send(id_, neighbor, wire_.query_bytes, query);
     }
     ++state->pending;
@@ -742,6 +780,7 @@ void SuperPeer::SendReply(sim::Simulator* simulator, int dst,
   reply->lists = std::move(lists);
   const size_t bytes = wire_.ReplyBytes(query_dims, reply->lists.size(),
                                         reply->TotalPoints());
+  ChargeSerialization(simulator, bytes);
   simulator->Send(id_, dst, bytes, std::move(reply));
 }
 
@@ -948,6 +987,7 @@ void SuperPeer::ForwardPipeline(sim::Simulator* simulator,
     hop.pipeline = next;
     SendEnvelope(simulator, dst, bytes, next, std::move(hop));
   } else {
+    ChargeSerialization(simulator, bytes);
     simulator->Send(id_, dst, bytes, std::move(next));
   }
 }
@@ -1028,7 +1068,6 @@ void SuperPeer::HandlePipeline(sim::Simulator* simulator, int src,
   std::shared_ptr<const ResultList> merged;
   double threshold = state->threshold;
   {
-    ScopedCpuCharge charge(simulator, measure_cpu_);
     std::vector<const ResultList*> inputs = {message.accumulated.get(),
                                              state->local.get()};
     ThresholdScanOptions options;
@@ -1038,6 +1077,7 @@ void SuperPeer::HandlePipeline(sim::Simulator* simulator, int src,
     merged = std::make_shared<const ResultList>(
         MergeSortedSkylines(inputs, state->subspace, options, &stats));
     threshold = std::min(threshold, stats.final_threshold);
+    ChargeOps(simulator, stats.ops, stats.cpu_seconds);
   }
   std::vector<int> contributors = message.contributors;
   if (reliable_.enabled) {
@@ -1055,7 +1095,8 @@ void SuperPeer::FinishInitiator(sim::Simulator* simulator,
   SKYPEER_CHECK(state->is_initiator);
   SKYPEER_CHECK(state->local != nullptr);
   {
-    ScopedCpuCharge charge(simulator, measure_cpu_);
+    const auto start = std::chrono::steady_clock::now();
+    OpCounts ops;
     if (state->variant == Variant::kNaive) {
       // Central dominance-based merge; overlapping inputs (reroute
       // detours) are deduplicated by point id — copies of a point never
@@ -1080,7 +1121,9 @@ void SuperPeer::FinishInitiator(sim::Simulator* simulator,
         }
       }
       append(*state->local);
-      state->final = BuildSortedByF(BnlSkyline(all, state->subspace));
+      PointSet skyline = BnlSkyline(all, state->subspace, /*ext=*/false, &ops);
+      ops.sort_steps += SortCost(skyline.size());
+      state->final = BuildSortedByF(skyline);
     } else {
       std::vector<const ResultList*> inputs;
       for (const auto& [child, lists] : state->collected_by_child) {
@@ -1097,9 +1140,12 @@ void SuperPeer::FinishInitiator(sim::Simulator* simulator,
       ThresholdScanOptions options;
       options.initial_threshold = state->threshold;
       options.dedup_ids = true;
+      ThresholdScanStats stats;
       state->final = MergeSortedSkylines(dims_, inputs, state->subspace,
-                                         options);
+                                         options, &stats);
+      ops = stats.ops;
     }
+    ChargeOps(simulator, ops, SecondsSince(start));
   }
   state->partial =
       static_cast<int>(state->contributors.size()) < num_super_peers_ ||
@@ -1124,10 +1170,10 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
       reply->query_id = state->query_id;
       reply->duplicate = false;
       if (UsesProgressiveMerging(state->variant)) {
-        ScopedCpuCharge charge(simulator, measure_cpu_);
         // Canonical input order — children by id, then detoured extras
         // by origin id, own list last — so lossy runs merge exactly like
         // fault-free ones regardless of reply arrival order.
+        const auto start = std::chrono::steady_clock::now();
         std::vector<const ResultList*> inputs;
         for (const auto& [child, lists] : state->collected_by_child) {
           for (const auto& list : lists) {
@@ -1143,8 +1189,11 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
         ThresholdScanOptions options;
         options.initial_threshold = state->threshold;
         options.dedup_ids = true;
+        ThresholdScanStats stats;
         reply->lists.push_back(std::make_shared<const ResultList>(
-            MergeSortedSkylines(dims_, inputs, state->subspace, options)));
+            MergeSortedSkylines(dims_, inputs, state->subspace, options,
+                                &stats)));
+        ChargeOps(simulator, stats.ops, SecondsSince(start));
       } else {
         for (const auto& [child, lists] : state->collected_by_child) {
           reply->lists.insert(reply->lists.end(), lists.begin(), lists.end());
@@ -1170,7 +1219,7 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
     if (UsesProgressiveMerging(state->variant)) {
       // *TPM: merge everything received with the local result before
       // relaying (Algorithm 3 lines 15-16).
-      ScopedCpuCharge charge(simulator, measure_cpu_);
+      const auto start = std::chrono::steady_clock::now();
       std::vector<const ResultList*> inputs;
       inputs.reserve(state->collected.size() + 1);
       for (const auto& list : state->collected) {
@@ -1179,8 +1228,10 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
       inputs.push_back(state->local.get());
       ThresholdScanOptions options;
       options.initial_threshold = state->threshold;
+      ThresholdScanStats stats;
       lists.push_back(std::make_shared<const ResultList>(
-          MergeSortedSkylines(inputs, state->subspace, options)));
+          MergeSortedSkylines(inputs, state->subspace, options, &stats)));
+      ChargeOps(simulator, stats.ops, SecondsSince(start));
     } else {
       // *TFM / naive: relay children bundles unmerged plus our own list.
       lists = std::move(state->collected);
@@ -1193,7 +1244,8 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
 
   // Initiator: final merge.
   {
-    ScopedCpuCharge charge(simulator, measure_cpu_);
+    const auto start = std::chrono::steady_clock::now();
+    OpCounts ops;
     if (state->variant == Variant::kNaive) {
       // Central dominance-based merge of everything, the §3.2 baseline.
       PointSet all(dims_);
@@ -1201,7 +1253,9 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
         all.AppendAll(list->points);
       }
       all.AppendAll(state->local->points);
-      state->final = BuildSortedByF(BnlSkyline(all, state->subspace));
+      PointSet skyline = BnlSkyline(all, state->subspace, /*ext=*/false, &ops);
+      ops.sort_steps += SortCost(skyline.size());
+      state->final = BuildSortedByF(skyline);
     } else {
       std::vector<const ResultList*> inputs;
       inputs.reserve(state->collected.size() + 1);
@@ -1211,9 +1265,12 @@ void SuperPeer::Complete(sim::Simulator* simulator, QueryState* state) {
       inputs.push_back(state->local.get());
       ThresholdScanOptions options;
       options.initial_threshold = state->threshold;
+      ThresholdScanStats stats;
       state->final =
-          MergeSortedSkylines(inputs, state->subspace, options);
+          MergeSortedSkylines(inputs, state->subspace, options, &stats);
+      ops = stats.ops;
     }
+    ChargeOps(simulator, ops, SecondsSince(start));
   }
   state->finished = true;
   state->finish_time = simulator->CurrentNodeClock();

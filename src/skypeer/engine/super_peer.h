@@ -12,8 +12,10 @@
 
 #include "skypeer/algo/result_list.h"
 #include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/op_counts.h"
 #include "skypeer/common/status.h"
 #include "skypeer/common/subspace.h"
+#include "skypeer/engine/cost_model.h"
 #include "skypeer/engine/query.h"
 #include "skypeer/engine/reliable.h"
 #include "skypeer/engine/subspace_cache.h"
@@ -69,8 +71,9 @@ class SuperPeer : public sim::Node {
   void AddPeerList(int peer_id, ResultList list);
 
   /// Merges all registered peer lists into the store (ext-dominance
-  /// Algorithm 2). Returns CPU seconds spent.
-  double FinalizePreprocessing();
+  /// Algorithm 2). Returns host CPU seconds spent; when `ops` is
+  /// non-null the merge's operation counts are added to it.
+  double FinalizePreprocessing(OpCounts* ops = nullptr);
 
   /// The merged extended skyline this super-peer serves queries from.
   const ResultList& store() const { return store_; }
@@ -242,12 +245,22 @@ class SuperPeer : public sim::Node {
     /// Threshold this node's local scan ended with (the value RT*M
     /// forwards); infinity until the node computed.
     double final_threshold = std::numeric_limits<double>::infinity();
+    /// Operation counts this node accumulated for the query (scans,
+    /// merges, serialization) since the last `ResetProtocolState`.
+    OpCounts ops;
   };
   LastQueryStats last_query_stats() const;
 
   /// When false, no CPU is charged to the virtual clock (useful for
-  /// deterministic transfer-only tests).
+  /// deterministic transfer-only tests). Op counts are accumulated
+  /// either way.
   void set_measure_cpu(bool measure) { measure_cpu_ = measure; }
+
+  /// How local computation is converted into virtual CPU seconds: the
+  /// measured host time of this run (default), or deterministic
+  /// seconds derived from counted operations (calibrated / unit).
+  void SetCostModel(const CostModel& model) { cost_ = model; }
+  const CostModel& cost_model() const { return cost_; }
 
  private:
   /// In-flight state of the (single) active query at this node.
@@ -310,8 +323,11 @@ class SuperPeer : public sim::Node {
     std::shared_ptr<const ResultList> local;
     double threshold_out = 0.0;
     size_t scanned = 0;
-    /// Host CPU seconds the scan took on the staging thread.
+    /// Work seconds of the scan as self-measured on the staging thread
+    /// (per-chunk work summed for chunked scans — no pool queue wait).
     double cpu_s = 0.0;
+    /// Operation counts of the staged scan.
+    OpCounts ops;
     /// Staged under an upper-bound threshold; `ComputeLocal` may
     /// reconcile it against any arriving threshold <= `threshold_in`.
     bool speculative = false;
@@ -398,11 +414,28 @@ class SuperPeer : public sim::Node {
   /// The simulator-free scan core shared by `ComputeLocal` and
   /// `StageLocalScan`: evaluates `subspace` against the store under
   /// `threshold_in` for `variant` (including the cache path) and writes
-  /// the resulting list, tightened threshold and scan count.
+  /// the resulting list, tightened threshold and scan count. `ops`
+  /// receives the scan's operation counts (the cache path reports the
+  /// replay's counts only — trace fills are amortized cache warming) and
+  /// `cpu_s` the work seconds self-measured on the executing threads
+  /// (per-chunk times summed for chunked scans, never pool queue wait).
   void RunLocalScan(const Subspace& subspace, Variant variant,
                     double threshold_in,
                     std::shared_ptr<const ResultList>* local,
-                    double* threshold_out, size_t* scanned);
+                    double* threshold_out, size_t* scanned, OpCounts* ops,
+                    double* cpu_s);
+
+  /// Accumulates `ops` into the per-query counters and charges the
+  /// virtual clock: measured host seconds (`measured_s`) under the
+  /// measured cost model, `cost_.Seconds(ops)` under calibrated/unit.
+  /// Must run inside a simulator handler when `measure_cpu_` is on.
+  void ChargeOps(sim::Simulator* simulator, const OpCounts& ops,
+                 double measured_s);
+
+  /// Counts `bytes` as serialization work before a wire send; counted
+  /// cost models additionally charge the (deterministic) CPU seconds,
+  /// shifting the message's departure time like real marshalling would.
+  void ChargeSerialization(sim::Simulator* simulator, size_t bytes);
 
   /// Floods the query to every neighbor except `state->parent`; sets
   /// `pending`.
@@ -417,8 +450,9 @@ class SuperPeer : public sim::Node {
                  std::vector<std::shared_ptr<const ResultList>> lists,
                  int query_dims);
 
-  /// Rebuilds `store_` from `peer_lists_` (retained mode).
-  void RebuildStore();
+  /// Rebuilds `store_` from `peer_lists_` (retained mode). Merge
+  /// statistics are added to `stats` when non-null.
+  void RebuildStore(ThresholdScanStats* stats = nullptr);
 
   int id_;
   int dims_;
@@ -442,6 +476,11 @@ class SuperPeer : public sim::Node {
   uint64_t deadline_timer_id_ = 0;
   ReliabilityStats rstats_;
   bool measure_cpu_ = true;
+  /// Converts local work into virtual CPU seconds (see SetCostModel).
+  CostModel cost_;
+  /// Operation counts accumulated since the last `ResetProtocolState`
+  /// (both simulation runs of a query charge identically).
+  OpCounts query_ops_;
   bool cache_enabled_ = false;
   size_t scan_chunk_size_ = 0;
   ThreadPool* pool_ = nullptr;  // nullptr resolves the global pool.

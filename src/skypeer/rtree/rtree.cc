@@ -129,7 +129,11 @@ void RTree::Clear() {
 // --- insertion -------------------------------------------------------------
 
 std::unique_ptr<RTree::Node> RTree::InsertRec(Node* node, const double* point,
-                                              uint64_t payload) {
+                                              uint64_t payload,
+                                              uint64_t* node_visits) {
+  if (node_visits != nullptr) {
+    ++*node_visits;
+  }
   if (node->leaf) {
     node->bounds.insert(node->bounds.end(), point, point + dims_);
     node->bounds.insert(node->bounds.end(), point, point + dims_);
@@ -153,7 +157,7 @@ std::unique_ptr<RTree::Node> RTree::InsertRec(Node* node, const double* point,
       }
     }
     std::unique_ptr<Node> split =
-        InsertRec(node->children[best].get(), point, payload);
+        InsertRec(node->children[best].get(), point, payload, node_visits);
     ExtendBox(node->Lo(best, dims_), node->Hi(best, dims_), point, point,
               dims_);
     if (split != nullptr) {
@@ -329,8 +333,10 @@ void RTree::GrowRoot(std::unique_ptr<Node> sibling) {
   root_ = std::move(new_root);
 }
 
-void RTree::Insert(const double* point, uint64_t payload) {
-  std::unique_ptr<Node> split = InsertRec(root_.get(), point, payload);
+void RTree::Insert(const double* point, uint64_t payload,
+                   uint64_t* node_visits) {
+  std::unique_ptr<Node> split =
+      InsertRec(root_.get(), point, payload, node_visits);
   if (split != nullptr) {
     GrowRoot(std::move(split));
   }
@@ -447,10 +453,11 @@ void RTree::ShrinkRoot() {
   }
 }
 
-void RTree::ReinsertOrphans(std::vector<Orphan> orphans) {
+void RTree::ReinsertOrphans(std::vector<Orphan> orphans,
+                            uint64_t* node_visits) {
   for (Orphan& orphan : orphans) {
-    std::unique_ptr<Node> split =
-        InsertRec(root_.get(), orphan.coords.data(), orphan.payload);
+    std::unique_ptr<Node> split = InsertRec(root_.get(), orphan.coords.data(),
+                                            orphan.payload, node_visits);
     if (split != nullptr) {
       GrowRoot(std::move(split));
     }
@@ -463,14 +470,18 @@ bool RTree::Erase(const double* point, uint64_t payload) {
     return false;
   }
   ShrinkRoot();
-  ReinsertOrphans(std::move(orphans));
+  ReinsertOrphans(std::move(orphans), nullptr);
   --size_;
   return true;
 }
 
 void RTree::RemoveDominatedRec(Node* node, const double* p, bool strict,
                                std::vector<uint64_t>* payloads,
-                               std::vector<Orphan>* orphans) {
+                               std::vector<Orphan>* orphans,
+                               uint64_t* node_visits) {
+  if (node_visits != nullptr) {
+    ++*node_visits;
+  }
   if (node->leaf) {
     // Batch the dominance tests over the leaf's point rows (stride
     // 2*dims: lo == hi boxes) before mutating. The descending
@@ -499,7 +510,7 @@ void RTree::RemoveDominatedRec(Node* node, const double* p, bool strict,
   for (int i = 0; i < node->count; ++i) {
     if (BoxMayBeDominated(node->Hi(i, dims_), p, strict, dims_)) {
       RemoveDominatedRec(node->children[i].get(), p, strict, payloads,
-                         orphans);
+                         orphans, node_visits);
       any_descent = true;
     }
   }
@@ -508,12 +519,13 @@ void RTree::RemoveDominatedRec(Node* node, const double* p, bool strict,
   }
 }
 
-std::vector<uint64_t> RTree::EraseDominated(const double* p, bool strict) {
+std::vector<uint64_t> RTree::EraseDominated(const double* p, bool strict,
+                                            uint64_t* node_visits) {
   std::vector<uint64_t> payloads;
   std::vector<Orphan> orphans;
-  RemoveDominatedRec(root_.get(), p, strict, &payloads, &orphans);
+  RemoveDominatedRec(root_.get(), p, strict, &payloads, &orphans, node_visits);
   ShrinkRoot();
-  ReinsertOrphans(std::move(orphans));
+  ReinsertOrphans(std::move(orphans), node_visits);
   size_ -= payloads.size();
   return payloads;
 }
@@ -649,7 +661,10 @@ RTree RTree::BulkLoad(int dims, const double* points, const uint64_t* payloads,
 namespace {
 
 bool AnyDominatesRec(const RTree::Node* node, const double* q, bool strict,
-                     int dims) {
+                     int dims, uint64_t* node_visits) {
+  if (node_visits != nullptr) {
+    ++*node_visits;
+  }
   if (node->leaf) {
     // Leaf entries are degenerate boxes: the point rows sit at stride
     // 2*dims starting from the first entry's lower corner.
@@ -658,7 +673,8 @@ bool AnyDominatesRec(const RTree::Node* node, const double* q, bool strict,
   }
   for (int i = 0; i < node->count; ++i) {
     if (BoxMayDominate(node->Lo(i, dims), q, strict, dims) &&
-        AnyDominatesRec(node->children[i].get(), q, strict, dims)) {
+        AnyDominatesRec(node->children[i].get(), q, strict, dims,
+                        node_visits)) {
       return true;
     }
   }
@@ -711,8 +727,9 @@ void WindowRec(const RTree::Node* node, const double* lo, const double* hi,
 
 }  // namespace
 
-bool RTree::AnyDominates(const double* q, bool strict) const {
-  return AnyDominatesRec(root_.get(), q, strict, dims_);
+bool RTree::AnyDominates(const double* q, bool strict,
+                         uint64_t* node_visits) const {
+  return AnyDominatesRec(root_.get(), q, strict, dims_, node_visits);
 }
 
 void RTree::CollectDominated(const double* p, bool strict,

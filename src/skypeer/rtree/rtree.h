@@ -57,7 +57,13 @@ class RTree {
   bool empty() const { return size_ == 0; }
 
   /// Inserts a point given by `dims()` coordinates with a payload.
-  void Insert(const double* point, uint64_t payload);
+  /// `node_visits`, when non-null, is incremented once per tree node the
+  /// descent (and any split-triggered reinsertion) enters — the
+  /// machine-independent work count of the operation. All counting
+  /// out-params below share this convention and may alias a caller
+  /// accumulator; pass nullptr to skip counting.
+  void Insert(const double* point, uint64_t payload,
+              uint64_t* node_visits = nullptr);
 
   /// Removes one indexed point equal to `point` with payload `payload`.
   /// Returns false if no such entry exists.
@@ -65,7 +71,8 @@ class RTree {
 
   /// True if some indexed point dominates `q` (strictly on every
   /// dimension when `strict`).
-  bool AnyDominates(const double* q, bool strict = false) const;
+  bool AnyDominates(const double* q, bool strict = false,
+                    uint64_t* node_visits = nullptr) const;
 
   /// Appends payloads of all indexed points dominated by `p` (strictly on
   /// every dimension when `strict`).
@@ -74,7 +81,8 @@ class RTree {
 
   /// Removes all indexed points dominated by `p` and returns their
   /// payloads (strict = ext-dominance).
-  std::vector<uint64_t> EraseDominated(const double* p, bool strict = false);
+  std::vector<uint64_t> EraseDominated(const double* p, bool strict = false,
+                                       uint64_t* node_visits = nullptr);
 
   /// Appends payloads of all points inside the closed box [lo, hi].
   void WindowQuery(const double* lo, const double* hi,
@@ -113,7 +121,7 @@ class RTree {
   };
 
   std::unique_ptr<Node> InsertRec(Node* node, const double* point,
-                                  uint64_t payload);
+                                  uint64_t payload, uint64_t* node_visits);
   std::unique_ptr<Node> QuadraticSplit(Node* node);
   void GrowRoot(std::unique_ptr<Node> sibling);
   void CleanupChildren(Node* node, std::vector<Orphan>* orphans);
@@ -121,9 +129,10 @@ class RTree {
                 std::vector<Orphan>* orphans);
   void RemoveDominatedRec(Node* node, const double* p, bool strict,
                           std::vector<uint64_t>* payloads,
-                          std::vector<Orphan>* orphans);
+                          std::vector<Orphan>* orphans,
+                          uint64_t* node_visits);
   void ShrinkRoot();
-  void ReinsertOrphans(std::vector<Orphan> orphans);
+  void ReinsertOrphans(std::vector<Orphan> orphans, uint64_t* node_visits);
 
   int dims_;
   int max_entries_;

@@ -9,14 +9,23 @@
 // Prints pre-processing statistics and per-variant averages in the
 // paper's three metrics (computational time, total time, volume).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "skypeer/algo/bnl.h"
+#include "skypeer/algo/merge.h"
+#include "skypeer/algo/sorted_skyline.h"
 #include "skypeer/common/dominance_batch.h"
+#include "skypeer/common/rng.h"
 #include "skypeer/common/thread_pool.h"
+#include "skypeer/data/generator.h"
+#include "skypeer/engine/cost_model.h"
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
 #include "skypeer/engine/zipf_workload.h"
@@ -33,6 +42,8 @@ struct CliOptions {
   std::string variant = "all";
   double zipf = -1.0;  // < 0: uniform workload.
   bool verbose = false;
+  bool calibrate = false;
+  std::string cost_profile;  // --cost-profile path; empty = none.
 };
 
 void PrintUsageAndExit(const char* binary, int code) {
@@ -60,6 +71,15 @@ void PrintUsageAndExit(const char* binary, int code) {
       "  --no-measure-cpu charge zero CPU to the virtual clocks instead\n"
       "                   of measured host time; makes every reported\n"
       "                   metric bit-reproducible across runs\n"
+      "  --cost-model M   how CPU is charged to the virtual clocks:\n"
+      "                   measured (host time, default), calibrated or\n"
+      "                   unit (deterministic seconds from counted ops;\n"
+      "                   makes all metrics bit-reproducible)\n"
+      "  --cost-profile F load per-op cost constants from F (key=value\n"
+      "                   lines, see --calibrate); implies calibrated\n"
+      "                   charging unless --cost-model says otherwise\n"
+      "  --calibrate      measure this host's per-op cost constants and\n"
+      "                   print them as a profile on stdout, then exit\n"
       "  --scan-chunk N   split super-peer threshold scans into chunks of\n"
       "                   N points run on the thread pool (default 0 =\n"
       "                   sequential scan). Results are identical either\n"
@@ -176,6 +196,28 @@ CliOptions Parse(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--no-measure-cpu") == 0) {
       options.network.measure_cpu = false;
+    } else if (std::strcmp(arg, "--cost-model") == 0) {
+      const std::string name = next_value(&i);
+      CostModelMode mode;
+      if (!ParseCostModelMode(name, &mode)) {
+        std::fprintf(stderr, "unknown cost model: %s\n", name.c_str());
+        PrintUsageAndExit(argv[0], 1);
+      }
+      switch (mode) {
+        case CostModelMode::kMeasured:
+          options.network.cost_model = CostModel::Measured();
+          break;
+        case CostModelMode::kCalibrated:
+          options.network.cost_model = CostModel::Calibrated();
+          break;
+        case CostModelMode::kUnit:
+          options.network.cost_model = CostModel::Unit();
+          break;
+      }
+    } else if (std::strcmp(arg, "--cost-profile") == 0) {
+      options.cost_profile = next_value(&i);
+    } else if (std::strcmp(arg, "--calibrate") == 0) {
+      options.calibrate = true;
     } else if (std::strcmp(arg, "--cache") == 0) {
       options.network.enable_cache = true;
     } else if (std::strcmp(arg, "--force-scalar") == 0) {
@@ -229,11 +271,177 @@ std::vector<Variant> SelectVariants(const std::string& name) {
   std::exit(1);
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+template <typename Fn>
+double BestWallSeconds(int repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, SecondsSince(start));
+  }
+  return best;
+}
+
+double ClampCost(double per_op) { return per_op > 1e-12 ? per_op : 1e-12; }
+
+// Measures this host's per-op cost constants, one microbench per counter
+// class. Attribution is by dominant counter: each benchmark is shaped so
+// the target operation class dominates its runtime, the classes
+// calibrated before it are subtracted from the wall time, and the
+// residual is attributed to the target. Residuals are clamped positive so
+// measurement noise can never produce a non-monotone model.
+CostModel Calibrate(uint64_t seed) {
+  CostModel model = CostModel::Calibrated();
+  Rng rng(seed);
+  const int dims = 8;
+  const Subspace sub4 = Subspace::FromDims({0, 1, 2, 3});
+
+  // sort_step_s: f-sorting a large point set is SortCost(n) units.
+  const PointSet big = GenerateUniform(dims, size_t{1} << 17, &rng);
+  ResultList sorted(dims);
+  {
+    const double wall =
+        BestWallSeconds(3, [&] { sorted = BuildSortedByF(big); });
+    model.sort_step_s =
+        ClampCost(wall / static_cast<double>(SortCost(big.size())));
+  }
+
+  // dominance_test_s: block-nested-loop skyline over a high-dimensional
+  // set; window dominance tests dominate everything else it does.
+  {
+    const PointSet data = GenerateUniform(dims, 4096, &rng);
+    OpCounts ops;
+    const double wall = BestWallSeconds(3, [&] {
+      ops = OpCounts{};
+      BnlSkyline(data, Subspace::FullSpace(dims), /*ext=*/false, &ops);
+    });
+    model.dominance_test_s = ClampCost(
+        wall / static_cast<double>(std::max<uint64_t>(1, ops.dominance_tests)));
+  }
+
+  // scan_step_s: linear-window threshold scan; the non-dominance residual
+  // is the per-point scan overhead.
+  {
+    ThresholdScanOptions opts;
+    opts.use_rtree = false;
+    ThresholdScanStats stats;
+    const double wall = BestWallSeconds(3, [&] {
+      stats = ThresholdScanStats{};
+      SortedSkyline(sorted, sub4, opts, &stats);
+    });
+    const double known =
+        static_cast<double>(stats.ops.dominance_tests) *
+            model.dominance_test_s +
+        static_cast<double>(stats.ops.sort_steps) * model.sort_step_s;
+    model.scan_step_s = ClampCost(
+        (wall - known) /
+        static_cast<double>(std::max<uint64_t>(1, stats.ops.scan_steps)));
+  }
+
+  // rtree_node_visit_s: the same scan with the R-tree window index; the
+  // residual over the already-known classes is tree traversal.
+  {
+    ThresholdScanOptions opts;  // use_rtree defaults to true
+    ThresholdScanStats stats;
+    const double wall = BestWallSeconds(3, [&] {
+      stats = ThresholdScanStats{};
+      SortedSkyline(sorted, sub4, opts, &stats);
+    });
+    const double known =
+        static_cast<double>(stats.ops.dominance_tests) *
+            model.dominance_test_s +
+        static_cast<double>(stats.ops.scan_steps) * model.scan_step_s +
+        static_cast<double>(stats.ops.sort_steps) * model.sort_step_s;
+    model.rtree_node_visit_s = ClampCost(
+        (wall - known) /
+        static_cast<double>(std::max<uint64_t>(1, stats.ops.rtree_node_visits)));
+  }
+
+  // merge_pull_s: k-way merge of f-sorted lists; the residual over all
+  // previously calibrated classes is heap-pull overhead.
+  {
+    std::vector<ResultList> lists;
+    for (int i = 0; i < 16; ++i) {
+      lists.push_back(BuildSortedByF(GenerateUniform(dims, 8192, &rng)));
+    }
+    ThresholdScanStats stats;
+    const double wall = BestWallSeconds(3, [&] {
+      stats = ThresholdScanStats{};
+      MergeSortedSkylines(dims, lists, sub4, ThresholdScanOptions{}, &stats);
+    });
+    const double known =
+        static_cast<double>(stats.ops.dominance_tests) *
+            model.dominance_test_s +
+        static_cast<double>(stats.ops.scan_steps) * model.scan_step_s +
+        static_cast<double>(stats.ops.sort_steps) * model.sort_step_s +
+        static_cast<double>(stats.ops.rtree_node_visits) *
+            model.rtree_node_visit_s;
+    model.merge_pull_s = ClampCost(
+        (wall - known) /
+        static_cast<double>(std::max<uint64_t>(1, stats.ops.merge_pulls)));
+  }
+
+  // byte_s: streaming copy bandwidth as the marshalling proxy.
+  {
+    const size_t bytes = size_t{1} << 24;
+    std::vector<unsigned char> src(bytes, 0x5a);
+    std::vector<unsigned char> dst(bytes);
+    const int reps = 8;
+    const double wall = BestWallSeconds(3, [&] {
+      for (int r = 0; r < reps; ++r) {
+        std::memcpy(dst.data(), src.data(), bytes);
+        // Data-depend the next copy on this one so it is not elided.
+        src[0] = static_cast<unsigned char>(dst[bytes - 1] + 1);
+      }
+    });
+    model.byte_s =
+        ClampCost(wall / (static_cast<double>(bytes) * reps));
+  }
+  return model;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions options = Parse(argc, argv);
+  CliOptions options = Parse(argc, argv);
   ThreadPool::SetGlobalConcurrency(options.threads);
+
+  if (options.calibrate) {
+    const CostModel profile = Calibrate(options.network.seed);
+    std::fputs(profile.ToProfileString().c_str(), stdout);
+    return 0;
+  }
+  if (!options.cost_profile.empty()) {
+    std::FILE* file = std::fopen(options.cost_profile.c_str(), "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open cost profile: %s\n",
+                   options.cost_profile.c_str());
+      return 1;
+    }
+    std::string text;
+    char buffer[4096];
+    size_t got;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+      text.append(buffer, got);
+    }
+    std::fclose(file);
+    // A profile only makes sense with counted charging; keep an explicit
+    // `--cost-model unit` but upgrade the measured default to calibrated.
+    if (!options.network.cost_model.counted()) {
+      options.network.cost_model.mode = CostModelMode::kCalibrated;
+    }
+    if (!options.network.cost_model.LoadProfileString(text)) {
+      std::fprintf(stderr, "malformed cost profile: %s\n",
+                   options.cost_profile.c_str());
+      return 1;
+    }
+  }
 
   const Status status = SkypeerNetwork::Validate(options.network);
   if (!status.ok()) {
@@ -254,6 +462,8 @@ int main(int argc, char** argv) {
               options.network.dims);
   std::printf("dominance kernels: %s\n",
               DomKernelModeName(ActiveDomKernelMode()));
+  std::printf("cpu charging: %s\n",
+              CostModelModeName(options.network.cost_model.mode));
   const PreprocessStats stats = network.Preprocess();
   std::printf(
       "pre-processing: n=%zu  SEL_p=%.1f%%  SEL_sp=%.1f%%  "
