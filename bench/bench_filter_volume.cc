@@ -1,0 +1,77 @@
+// bench_filter_volume — the headline experiment of the sampled
+// filter-point broadcast (EXPERIMENTS §A13): sweep the broadcast filter
+// set size on anti-correlated data (where extended skylines, and thus
+// ext-SKY shipping volume, are large) and report transferred volume and
+// simulated total time per threshold variant. Size 0 is the unfiltered
+// baseline; the answer skylines are bit-identical at every size, so any
+// volume delta is pure communication savings. Deterministic under
+// `--cost-model calibrated|unit`.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace skypeer;
+  using namespace skypeer::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const int queries = options.QueriesOr(8, 40);
+
+  static const size_t kFilterSizes[] = {0, 4, 8, 16, 32, 64};
+  static const Variant kSweepVariants[] = {Variant::kFTFM, Variant::kFTPM,
+                                           Variant::kRTFM, Variant::kRTPM};
+
+  NetworkConfig base;
+  base.num_peers = options.full ? 2000 : 400;
+  base.num_super_peers = options.full ? 0 : 10;
+  base.points_per_peer = options.full ? 250 : 100;
+  base.dims = 6;
+  base.distribution = Distribution::kAnticorrelated;
+  base.seed = options.seed;
+
+  std::printf("== filter-set sweep: volume (KB) vs filter size, anti d=%d ==\n",
+              base.dims);
+  Table volume({"filter", "FTFM kb", "FTPM kb", "RTFM kb", "RTPM kb"});
+  Table time({"filter", "FTFM total_ms", "FTPM total_ms", "RTFM total_ms",
+              "RTPM total_ms"});
+  double baseline_kb[4] = {0, 0, 0, 0};
+  double best_kb[4] = {0, 0, 0, 0};
+  for (size_t size : kFilterSizes) {
+    BenchOptions cell = options;
+    cell.filter_set = size;
+    SkypeerNetwork network = BuildNetwork(base, cell);
+    network.Preprocess();
+    std::vector<std::string> volume_row = {std::to_string(size)};
+    std::vector<std::string> time_row = {std::to_string(size)};
+    for (size_t v = 0; v < 4; ++v) {
+      // Same workload seed at every filter size: the sweep compares the
+      // identical query batch, so volume deltas are the filter's alone.
+      const AggregateMetrics agg = RunVariant(&network, /*k=*/3, queries,
+                                              options.seed + 17,
+                                              kSweepVariants[v]);
+      volume_row.push_back(Fmt(agg.avg_kb(), 2));
+      time_row.push_back(FmtMs(agg.avg_total_s()));
+      if (size == 0) {
+        baseline_kb[v] = agg.avg_kb();
+        best_kb[v] = agg.avg_kb();
+      } else if (agg.avg_kb() < best_kb[v]) {
+        best_kb[v] = agg.avg_kb();
+      }
+    }
+    volume.AddRow(std::move(volume_row));
+    time.AddRow(std::move(time_row));
+  }
+  volume.Print();
+  std::printf("\n== filter-set sweep: avg total time (ms) ==\n");
+  time.Print();
+
+  std::printf("\n== best volume reduction vs unfiltered ==\n");
+  Table summary({"variant", "baseline kb", "best kb", "reduction"});
+  for (size_t v = 0; v < 4; ++v) {
+    const double reduction =
+        baseline_kb[v] > 0.0 ? (1.0 - best_kb[v] / baseline_kb[v]) * 100.0
+                             : 0.0;
+    summary.AddRow({VariantName(kSweepVariants[v]), Fmt(baseline_kb[v], 2),
+                    Fmt(best_kb[v], 2), Fmt(reduction, 1) + "%"});
+  }
+  summary.Print();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "skypeer/common/parse.h"
 #include "skypeer/common/thread_pool.h"
 #include "skypeer/engine/cost_model.h"
 #include "skypeer/engine/experiment.h"
@@ -28,6 +29,9 @@ namespace skypeer::bench {
 ///   --speculative-rt stage RT*M/pipeline scans concurrently under the
 ///                  initiator's fixed threshold and reconcile on arrival
 ///                  of the refined value; results are identical
+///   --filter-set N broadcast at most N sampled filter points from the
+///                  initiator's local skyline with every query (default 0
+///                  = no filter); skylines are identical either way
 ///   --cost-model M CPU charging: measured (host time, default),
 ///                  calibrated or unit (deterministic op-count seconds)
 ///   --json PATH    additionally emit the run as a BENCH_*.json report
@@ -38,6 +42,7 @@ struct BenchOptions {
   uint64_t seed = 1;
   int threads = 0;  // 0: hardware_concurrency.
   size_t scan_chunk = 0;  // 0: sequential threshold scans.
+  size_t filter_set = 0;  // 0: no broadcast filter set.
   bool speculative_rt = false;
   bool full = false;
   CostModel cost_model;
@@ -51,40 +56,8 @@ struct BenchOptions {
   }
 };
 
-/// Strict integer parsing for bench flags: the whole token must be a
-/// number in range — `atoi`-style silent zeros for garbage would quietly
-/// bench the wrong configuration.
-inline long long ParseIntArg(const char* flag, const char* text,
-                             long long min_value, long long max_value) {
-  errno = 0;
-  char* end = nullptr;
-  const long long value = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr, "%s: '%s' is not an integer\n", flag, text);
-    std::exit(1);
-  }
-  if (value < min_value || value > max_value) {
-    std::fprintf(stderr, "%s: %lld out of range [%lld, %lld]\n", flag, value,
-                 min_value, max_value);
-    std::exit(1);
-  }
-  return value;
-}
-
-inline uint64_t ParseU64Arg(const char* flag, const char* text) {
-  errno = 0;
-  char* end = nullptr;
-  if (text[0] == '-') {
-    std::fprintf(stderr, "%s: '%s' must be non-negative\n", flag, text);
-    std::exit(1);
-  }
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr, "%s: '%s' is not an unsigned integer\n", flag, text);
-    std::exit(1);
-  }
-  return value;
-}
+// Strict numeric flag parsing lives in skypeer/common/parse.h
+// (ParseIntFlag / ParseU64Flag / ParseDoubleFlag), shared with the CLI.
 
 inline CostModel CostModelForMode(CostModelMode mode) {
   switch (mode) {
@@ -192,15 +165,18 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       options.full = true;
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
       options.queries =
-          static_cast<int>(ParseIntArg("--queries", argv[++i], 1, 1'000'000));
+          static_cast<int>(ParseIntFlag("--queries", argv[++i], 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      options.seed = ParseU64Arg("--seed", argv[++i]);
+      options.seed = ParseU64Flag("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads =
-          static_cast<int>(ParseIntArg("--threads", argv[++i], 0, 4096));
+          static_cast<int>(ParseIntFlag("--threads", argv[++i], 0, 4096));
     } else if (std::strcmp(argv[i], "--scan-chunk") == 0 && i + 1 < argc) {
       options.scan_chunk =
-          static_cast<size_t>(ParseU64Arg("--scan-chunk", argv[++i]));
+          static_cast<size_t>(ParseU64Flag("--scan-chunk", argv[++i]));
+    } else if (std::strcmp(argv[i], "--filter-set") == 0 && i + 1 < argc) {
+      options.filter_set =
+          static_cast<size_t>(ParseU64Flag("--filter-set", argv[++i]));
     } else if (std::strcmp(argv[i], "--speculative-rt") == 0) {
       options.speculative_rt = true;
     } else if (std::strcmp(argv[i], "--cost-model") == 0 && i + 1 < argc) {
@@ -221,7 +197,7 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--queries N] [--seed S] [--threads N] "
-          "[--scan-chunk N] [--speculative-rt] "
+          "[--scan-chunk N] [--filter-set N] [--speculative-rt] "
           "[--cost-model measured|calibrated|unit] [--json PATH] [--full]\n",
           argv[0]);
       std::exit(0);
@@ -240,10 +216,11 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries\": %d, \"seed\": %llu, \"threads\": %d, "
-      "\"scan_chunk\": %llu, \"speculative_rt\": %s, \"full\": %s, "
-      "\"cost_model\": \"%s\"}",
+      "\"scan_chunk\": %llu, \"filter_set\": %llu, \"speculative_rt\": %s, "
+      "\"full\": %s, \"cost_model\": \"%s\"}",
       options.queries, static_cast<unsigned long long>(options.seed),
       options.threads, static_cast<unsigned long long>(options.scan_chunk),
+      static_cast<unsigned long long>(options.filter_set),
       options.speculative_rt ? "true" : "false",
       options.full ? "true" : "false", CostModelModeName(options.cost_model.mode));
   report.options_json = buffer;
@@ -344,18 +321,19 @@ inline std::string FmtMs(double seconds) { return Fmt(seconds * 1e3, 3); }
 inline SkypeerNetwork BuildNetwork(NetworkConfig config,
                                    const BenchOptions& options) {
   config.scan_chunk_size = options.scan_chunk;
+  config.filter_set_size = options.filter_set;
   config.speculative_rt = options.speculative_rt;
   config.cost_model = options.cost_model;
   std::printf(
       "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
-      "scan_chunk=%zu cost_model=%s\n",
+      "scan_chunk=%zu filter_set=%zu cost_model=%s\n",
       config.num_peers,
       config.num_super_peers > 0 ? config.num_super_peers
                                  : DefaultNumSuperPeers(config.num_peers),
       config.points_per_peer, config.dims, config.degree_sp,
       DistributionName(config.distribution),
       static_cast<unsigned long long>(config.seed), config.scan_chunk_size,
-      CostModelModeName(config.cost_model.mode));
+      config.filter_set_size, CostModelModeName(config.cost_model.mode));
   return SkypeerNetwork(config);
 }
 

@@ -264,6 +264,9 @@ ResultList SortedSkyline(const ResultList& input, Subspace u,
   SKYPEER_DCHECK(input.IsSorted());
   const auto start = std::chrono::steady_clock::now();
   SkylineAccumulator accumulator(input.points.dims(), u, options);
+  if (options.filter != nullptr && !options.filter->empty()) {
+    accumulator.SeedWindow(*options.filter);
+  }
   size_t scanned = 0;
   for (size_t i = 0; i < input.size(); ++i) {
     if (input.f[i] > accumulator.threshold()) {
@@ -295,6 +298,12 @@ ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
 
   const auto start = std::chrono::steady_clock::now();
   SkylineAccumulator accumulator(input.points.dims(), u, options);
+  if (options.filter != nullptr && !options.filter->empty()) {
+    // The filter is baked into the recorded accept/evict decisions, so
+    // replays need no filter knowledge — but a trace is only valid for
+    // scans under the *same* filter (the cache keys on its fingerprint).
+    accumulator.SeedWindow(*options.filter);
+  }
   std::vector<uint64_t> evicted;
   size_t scanned = 0;
   for (size_t i = 0; i < input.size(); ++i) {
@@ -387,19 +396,36 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
   }
   std::vector<ThresholdScanStats> chunk_stats(num_chunks);
 
+  const ResultList* broadcast_filter =
+      (options.filter != nullptr && !options.filter->empty()) ? options.filter
+                                                              : nullptr;
+  // Seed list for chunks > 0; assigned after chunk 0 completes, before
+  // the fan-out. With a broadcast filter it is the concatenation of the
+  // filter and chunk 0's survivors (a dominated entry in the combined
+  // list is an inert extra pruner), otherwise chunk 0's survivors alone.
+  ResultList combined_seed(dims);
+  const ResultList* later_seed = nullptr;
+
   const auto scan_chunk = [&](size_t c, double seed) {
     const auto chunk_start = std::chrono::steady_clock::now();
     ThresholdScanOptions chunk_options = options;
     chunk_options.initial_threshold = seed;
     SkylineAccumulator accumulator(dims, u, chunk_options);
-    if (c > 0) {
+    if (c == 0) {
+      if (broadcast_filter != nullptr) {
+        accumulator.SeedWindow(*broadcast_filter);
+      }
+    } else {
       // Chunk 0's survivors — the sequential scan's hot window — reject
       // most duplicated chunk-local survivors up front. They are
       // computed before the fan-out, so the rejections (and hence every
       // per-chunk result and scan count) stay deterministic; and they
       // remain in the survivor union themselves, so the cross-filter
-      // below removes exactly the same points either way.
-      accumulator.SeedWindow(chunk_results[0]);
+      // below removes exactly the same points either way. The broadcast
+      // filter rides along uniformly: any point only a filter point
+      // dominates is rejected in every chunk alike, so it never reaches
+      // the survivor union.
+      accumulator.SeedWindow(*later_seed);
     }
     const size_t begin = c * chunk_size;
     const size_t end = std::min(input.size(), begin + chunk_size);
@@ -424,6 +450,24 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
   // Chunk 0 — the prefix the sequential scan would consume first — runs
   // before the fan-out so its final threshold seeds every later chunk.
   scan_chunk(0, options.initial_threshold);
+
+  if (broadcast_filter == nullptr) {
+    later_seed = &chunk_results[0];
+  } else {
+    combined_seed.points.Reserve(broadcast_filter->size() +
+                                 chunk_results[0].size());
+    combined_seed.f.reserve(broadcast_filter->size() +
+                            chunk_results[0].size());
+    for (size_t i = 0; i < broadcast_filter->size(); ++i) {
+      combined_seed.points.AppendFrom(broadcast_filter->points, i);
+      combined_seed.f.push_back(broadcast_filter->f[i]);
+    }
+    for (size_t i = 0; i < chunk_results[0].size(); ++i) {
+      combined_seed.points.AppendFrom(chunk_results[0].points, i);
+      combined_seed.f.push_back(chunk_results[0].f[i]);
+    }
+    later_seed = &combined_seed;
+  }
 
   // Deterministic seeds: chunk c starts from the tightest bound derivable
   // from chunk 0's scan and the first point of chunks 1..c-1. Observation 5

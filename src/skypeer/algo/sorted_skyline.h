@@ -51,6 +51,17 @@ struct ThresholdScanOptions {
   /// on disjoint inputs — fault-free runs are bit-identical with or
   /// without it.
   bool dedup_ids = false;
+
+  /// Threshold-scan algorithms only: broadcast filter set to seed the
+  /// window with before scanning (`SkylineAccumulator::SeedWindow`).
+  /// Filter points prune offers — and may themselves be evicted by
+  /// dominating offers — but are never emitted in the result. Must
+  /// outlive the scan. Null or empty means no filter. The filter does not
+  /// tighten the threshold: a filter point is not necessarily a skyline
+  /// point of the scanned input's home store, but every point it prunes
+  /// is dominated by a point the query initiator already holds, so the
+  /// final merged answer is unchanged (see filter_set.h).
+  const ResultList* filter = nullptr;
 };
 
 /// Counters reported by the scan algorithms.
@@ -170,12 +181,14 @@ class SkylineAccumulator {
   /// left empty.
   ResultList TakeResult();
 
-  /// Pre-populates the window with an already-computed skyline whose
-  /// points reject (and may be evicted by) later offers but never appear
-  /// in `TakeResult()`. `seed` must be mutually non-dominated and must
-  /// precede every future offer in `f` order. Only valid on an empty
-  /// accumulator; does not tighten `threshold()` (fold the seed's
-  /// threshold into `options.initial_threshold` instead).
+  /// Pre-populates the window with already-known points that reject (and
+  /// may be evicted by) later offers but never appear in `TakeResult()`.
+  /// Seeds need not be mutually non-dominated and need not precede future
+  /// offers in `f` order — a dominated seed is an inert extra pruner, and
+  /// no decision depends on a seed's `f` value (chunk seeding satisfies
+  /// the f-order property; broadcast filter sets deliberately do not).
+  /// Only valid on an empty accumulator; does not tighten `threshold()`
+  /// (fold the seed's threshold into `options.initial_threshold` instead).
   void SeedWindow(const ResultList& seed);
 
  private:

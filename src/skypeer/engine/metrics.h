@@ -71,7 +71,10 @@ struct QueryMetrics {
 
   double volume_kb() const { return bytes_transferred / 1024.0; }
 
-  /// Fraction of super-peers the answer covers, in [0, 1].
+  /// Fraction of super-peers the answer covers, in [0, 1]. With the
+  /// reliable protocol disabled `super_peers_total` stays 0 (no coverage
+  /// report exists); that degenerate case is *defined* as full coverage
+  /// 1.0 — legacy runs always complete — rather than dividing by zero.
   double coverage() const {
     return super_peers_total == 0
                ? 1.0
@@ -136,6 +139,8 @@ class MetricSeries {
     return total;
   }
 
+  /// Empty series are defined, not UB: mean/min/max all report 0.0 (a
+  /// workload of zero queries aggregates to zeros, never NaN).
   double mean() const { return samples_.empty() ? 0.0 : sum() / count(); }
 
   double min() const {
@@ -150,8 +155,11 @@ class MetricSeries {
                : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  /// Percentile by the nearest-rank method; `p` in [0, 100].
-  /// `Percentile(50)` is the median, `Percentile(100)` the maximum.
+  /// Percentile by the nearest-rank method; `p` in [0, 100] (CHECKed).
+  /// `Percentile(50)` is the median, `Percentile(100)` the maximum, and
+  /// `Percentile(0)` — where nearest-rank's ceil(p/100*n) would yield
+  /// rank 0 — is defined as the minimum (the rank is clamped to 1). An
+  /// empty series reports 0.0, matching mean/min/max.
   double Percentile(double p) const {
     SKYPEER_CHECK(p >= 0.0 && p <= 100.0);
     if (samples_.empty()) {

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "skypeer/algo/extended_skyline.h"
+#include "skypeer/algo/filter_set.h"
 #include "skypeer/algo/sfs.h"
 #include "skypeer/common/macros.h"
 #include "skypeer/common/rng.h"
@@ -183,6 +184,7 @@ PreprocessStats SkypeerNetwork::Preprocess() {
     super_peers_[sp]->set_retain_peer_lists(config_.dynamic_membership);
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
     super_peers_[sp]->set_scan_chunk_size(config_.scan_chunk_size);
+    super_peers_[sp]->set_filter_set_size(config_.filter_set_size);
     // The clustered workload has each super-peer pick a centroid; its
     // associated peers draw Gaussian points around it (§6).
     std::vector<double> centroid;
@@ -300,6 +302,7 @@ Status SkypeerNetwork::AdoptStores(std::vector<ResultList> stores) {
   for (int sp = 0; sp < num_super_peers(); ++sp) {
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
     super_peers_[sp]->set_scan_chunk_size(config_.scan_chunk_size);
+    super_peers_[sp]->set_filter_set_size(config_.filter_set_size);
     super_peers_[sp]->SetStore(std::move(stores[sp]));
   }
   // Only the retained fraction is known after a restore.
@@ -409,17 +412,27 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
   if (staging_pool->num_threads() > 1 && num_sp > 1) {
     if (SupportsParallelLocalScan(variant)) {
       double threshold = std::numeric_limits<double>::infinity();
+      std::shared_ptr<const ResultList> filter;
       if (variant != Variant::kNaive) {
         super_peers_[initiator_sp]->StageLocalScan(subspace, variant,
                                                    threshold);
         threshold = super_peers_[initiator_sp]->StagedThreshold();
+        if (config_.filter_set_size > 0) {
+          // The filter the protocol will broadcast: sampled from the
+          // initiator's staged local result. Selection ops are charged by
+          // the protocol run itself (`MaybeSelectFilter`), not here.
+          filter =
+              BuildQueryFilter(*super_peers_[initiator_sp]->StagedLocal(),
+                               subspace, config_.filter_set_size, nullptr);
+        }
       }
       staging_pool->ParallelFor(num_sp, [&](size_t sp) {
         if (variant != Variant::kNaive &&
             static_cast<int>(sp) == initiator_sp) {
           return;  // Already staged above (under threshold infinity).
         }
-        super_peers_[sp]->StageLocalScan(subspace, variant, threshold);
+        super_peers_[sp]->StageLocalScan(subspace, variant, threshold,
+                                         filter);
       });
     } else if (config_.speculative_rt && RefinesThresholdOnPath(variant)) {
       // Speculative wave for the threshold-refining variants: the
@@ -431,11 +444,17 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
       super_peers_[initiator_sp]->StageLocalScan(
           subspace, variant, std::numeric_limits<double>::infinity());
       const double fixed = super_peers_[initiator_sp]->StagedThreshold();
+      std::shared_ptr<const ResultList> filter;
+      if (config_.filter_set_size > 0) {
+        filter = BuildQueryFilter(*super_peers_[initiator_sp]->StagedLocal(),
+                                  subspace, config_.filter_set_size, nullptr);
+      }
       staging_pool->ParallelFor(num_sp, [&](size_t sp) {
         if (static_cast<int>(sp) == initiator_sp) {
           return;
         }
-        super_peers_[sp]->StageSpeculativeScan(subspace, variant, fixed);
+        super_peers_[sp]->StageSpeculativeScan(subspace, variant, fixed,
+                                               filter);
       });
     }
   }

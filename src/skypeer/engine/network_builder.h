@@ -81,6 +81,18 @@ struct NetworkConfig {
   /// host wall-clock time changes. No effect on naive/FT*M (which PR 1's
   /// non-speculative staging already parallelizes) or below 2 threads.
   bool speculative_rt = false;
+  /// Sampled filter-point broadcast (communication-optimal axis): the
+  /// initiator attaches at most this many points of its local subspace
+  /// skyline — the per-dimension minima plus an even f-rank sample (see
+  /// algo/filter_set.h) — to the flooded query, and every receiving
+  /// super-peer seeds its scan window with them before scanning. Filter
+  /// points prune local results that the final merge would discard
+  /// anyway, so the answer stays bit-identical to the unfiltered run for
+  /// every variant, while ext-SKY shipping volume drops. Filter bytes are
+  /// charged to query volume (`WireModel::FilterBytes`). 0 (default)
+  /// disables the filter; naive ignores it (it floods before the
+  /// initiator computes anything to sample from).
+  size_t filter_set_size = 0;
   /// Worker threads scoped to this network: staging waves, preprocessing
   /// and chunked scans of this instance run on a private pool of this
   /// size instead of the process-wide `ThreadPool::Global()`. 0 (default)

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 
 #include "skypeer/algo/sorted_skyline.h"
@@ -12,40 +13,49 @@
 namespace skypeer {
 
 /// \brief Thread-safe cache of unconstrained per-subspace scan traces,
-/// keyed by (super-peer id, subspace mask).
+/// keyed by (super-peer id, subspace mask, filter fingerprint).
 ///
 /// The cached value is the event trace of the sequential threshold scan
 /// over the owning super-peer's store with no threshold (see
 /// `TracedSortedSkyline`); `ReplayScanTrace` then reproduces the exact
 /// scan result — survivors, consumed-point count, final threshold — for
 /// *any* incoming threshold without a single dominance test. A trace is
-/// a pure function of (store, mask), so any filler — the query path, a
-/// speculative staging worker, or a `CloneForQueries` replica whose
-/// store is a copy of the original's — produces bit-identical traces.
-/// That makes a single shared instance safe to attach to a whole replica
-/// group: whichever thread fills an entry first, every reader replays
-/// the same trace, and workload aggregates stay independent of query
-/// order. Entries are immutable once published; churn invalidates per
-/// super-peer.
+/// a pure function of (store, mask, broadcast filter set), so any filler
+/// — the query path, a speculative staging worker, or a
+/// `CloneForQueries` replica whose store is a copy of the original's —
+/// produces bit-identical traces. That makes a single shared instance
+/// safe to attach to a whole replica group: whichever thread fills an
+/// entry first, every reader replays the same trace, and workload
+/// aggregates stay independent of query order.
+///
+/// The filter fingerprint (`FilterFingerprint`, 0 = no filter) is part of
+/// the key because a filtered scan's accept/evict decisions differ from
+/// an unfiltered one's: replaying a no-filter trace for a filtered query
+/// (or a trace recorded under a different initiator's filter) would
+/// silently return the wrong survivors — the same class of inexactness
+/// the threshold-constrained cache of PR 3 had. Entries are immutable
+/// once published; churn invalidates per super-peer.
 class SubspaceScanTraceCache {
  public:
-  /// The cached unconstrained scan trace of `super_peer` for `mask`, or
-  /// null.
-  std::shared_ptr<const ScanTrace> Lookup(int super_peer,
-                                          uint32_t mask) const {
+  /// The cached unconstrained scan trace of `super_peer` for `mask` under
+  /// the filter identified by `filter_fp` (0 = no filter), or null.
+  std::shared_ptr<const ScanTrace> Lookup(int super_peer, uint32_t mask,
+                                          uint64_t filter_fp) const {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find({super_peer, mask});
+    const auto it = entries_.find({super_peer, mask, filter_fp});
     return it == entries_.end() ? nullptr : it->second;
   }
 
-  /// Publishes `trace` for (super_peer, mask) and returns the entry.
-  /// If another thread published first, its (identical) trace wins and is
-  /// returned instead, so concurrent fillers converge on one object.
+  /// Publishes `trace` for (super_peer, mask, filter_fp) and returns the
+  /// entry. If another thread published first, its (identical) trace wins
+  /// and is returned instead, so concurrent fillers converge on one
+  /// object.
   std::shared_ptr<const ScanTrace> Insert(
-      int super_peer, uint32_t mask, std::shared_ptr<const ScanTrace> trace) {
+      int super_peer, uint32_t mask, uint64_t filter_fp,
+      std::shared_ptr<const ScanTrace> trace) {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] =
-        entries_.emplace(std::make_pair(super_peer, mask), std::move(trace));
+    const auto [it, inserted] = entries_.emplace(
+        std::make_tuple(super_peer, mask, filter_fp), std::move(trace));
     return it->second;
   }
 
@@ -53,8 +63,9 @@ class SubspaceScanTraceCache {
   /// (churn, snapshot restore).
   void Invalidate(int super_peer) {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.erase(entries_.lower_bound({super_peer, 0}),
-                   entries_.upper_bound({super_peer, UINT32_MAX}));
+    entries_.erase(
+        entries_.lower_bound({super_peer, 0, 0}),
+        entries_.upper_bound({super_peer, UINT32_MAX, UINT64_MAX}));
   }
 
   size_t size() const {
@@ -64,7 +75,8 @@ class SubspaceScanTraceCache {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::pair<int, uint32_t>, std::shared_ptr<const ScanTrace>>
+  std::map<std::tuple<int, uint32_t, uint64_t>,
+           std::shared_ptr<const ScanTrace>>
       entries_;
 };
 

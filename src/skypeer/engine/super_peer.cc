@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "skypeer/algo/bnl.h"
+#include "skypeer/algo/filter_set.h"
 #include "skypeer/algo/merge.h"
 #include "skypeer/algo/sorted_skyline.h"
 #include "skypeer/common/macros.h"
@@ -404,7 +405,9 @@ void SuperPeer::SkipPipelineHop(sim::Simulator* simulator,
         wire_.query_bytes +
         wire_.ReplyBytes(next->subspace.Count(), 1,
                          next->accumulated->size()) +
-        wire_.ContributorBytes(next->contributors.size());
+        wire_.ContributorBytes(next->contributors.size()) +
+        wire_.FilterBytes(next->subspace.Count(),
+                          next->filter != nullptr ? next->filter->size() : 0);
     Outbound skip;
     skip.kind = HopKind::kPipeline;
     skip.pipeline = next;
@@ -531,7 +534,8 @@ void SuperPeer::SendReplyReliable(sim::Simulator* simulator, int dst,
 // --- local computation ---------------------------------------------------
 
 void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
-                             double threshold_in,
+                             double threshold_in, const ResultList* filter,
+                             uint64_t filter_fp,
                              std::shared_ptr<const ResultList>* local,
                              double* threshold_out, size_t* scanned,
                              OpCounts* ops, double* cpu_s) {
@@ -561,22 +565,29 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
     // cutoff — the truncated scan keeps such a point, the unconstrained
     // skyline has already dropped it.) The cache is thread-safe and may
     // be shared across replica clones: the trace is a pure function of
-    // (store, mask), so whichever filler publishes first, every reader
-    // replays the same trace, and the replay is identical on hit and
-    // miss, which keeps workload aggregates independent of query order.
-    // The fill must be the sequential scan — a chunked scan cannot
-    // produce the sequential event order — so `scan_chunk_size_` does
-    // not apply here.
+    // (store, mask, filter), so whichever filler publishes first, every
+    // reader replays the same trace, and the replay is identical on hit
+    // and miss, which keeps workload aggregates independent of query
+    // order. The filter fingerprint is part of the key: a filtered scan's
+    // accept/evict events differ from an unfiltered one's, so replaying
+    // across filter configurations would be exactly the PR 3 class of
+    // cache inexactness. The fill must be the sequential scan — a chunked
+    // scan cannot produce the sequential event order — so
+    // `scan_chunk_size_` does not apply here.
     const auto start = std::chrono::steady_clock::now();
     if (cache_ == nullptr) {
       cache_ = std::make_shared<SubspaceScanTraceCache>();
     }
     std::shared_ptr<const ScanTrace> entry =
-        cache_->Lookup(id_, subspace.mask());
+        cache_->Lookup(id_, subspace.mask(), filter_fp);
     if (entry == nullptr) {
       auto trace = std::make_shared<ScanTrace>();
-      TracedSortedSkyline(store_, subspace, {}, nullptr, trace.get());
-      entry = cache_->Insert(id_, subspace.mask(), std::move(trace));
+      ThresholdScanOptions fill_options;
+      fill_options.filter = filter;
+      TracedSortedSkyline(store_, subspace, fill_options, nullptr,
+                          trace.get());
+      entry = cache_->Insert(id_, subspace.mask(), filter_fp,
+                             std::move(trace));
     }
     ThresholdScanStats stats;
     *local = std::make_shared<const ResultList>(
@@ -594,6 +605,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
 
   ThresholdScanOptions options;
   options.initial_threshold = threshold_in;
+  options.filter = filter;
   ThresholdScanStats stats;
   // Bit-identical to the sequential scan; chunk size 0 or a store no
   // larger than one chunk runs sequentially.
@@ -611,14 +623,19 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
 }
 
 void SuperPeer::StageLocalScan(const Subspace& subspace, Variant variant,
-                               double threshold) {
+                               double threshold,
+                               std::shared_ptr<const ResultList> filter) {
+  if (filter != nullptr && filter->empty()) {
+    filter = nullptr;
+  }
   StagedScan staged;
   staged.mask = subspace.mask();
   staged.variant = variant;
   staged.threshold_in = threshold;
-  RunLocalScan(subspace, variant, threshold, &staged.local,
-               &staged.threshold_out, &staged.scanned, &staged.ops,
-               &staged.cpu_s);
+  staged.filter_fp = filter != nullptr ? FilterFingerprint(*filter) : 0;
+  RunLocalScan(subspace, variant, threshold, filter.get(), staged.filter_fp,
+               &staged.local, &staged.threshold_out, &staged.scanned,
+               &staged.ops, &staged.cpu_s);
   staged_ = std::move(staged);
 }
 
@@ -627,20 +644,33 @@ double SuperPeer::StagedThreshold() const {
   return staged_->threshold_out;
 }
 
+std::shared_ptr<const ResultList> SuperPeer::StagedLocal() const {
+  SKYPEER_CHECK(staged_.has_value());
+  return staged_->local;
+}
+
 void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
-                                     double fixed_threshold) {
+                                     double fixed_threshold,
+                                     std::shared_ptr<const ResultList> filter) {
   SKYPEER_CHECK(RefinesThresholdOnPath(variant));
+  if (filter != nullptr && filter->empty()) {
+    filter = nullptr;
+  }
   StagedScan staged;
   staged.mask = subspace.mask();
   staged.variant = variant;
   staged.threshold_in = fixed_threshold;
+  staged.filter_fp = filter != nullptr ? FilterFingerprint(*filter) : 0;
   staged.speculative = true;
   if (variant != Variant::kNaive && !cache_enabled_ &&
       (scan_chunk_size_ == 0 || store_.size() <= scan_chunk_size_)) {
     // Sequential scan: record the event trace so the reconcile can replay
     // the scan under the refined threshold without any dominance test.
+    // The filter seeds are baked into the recorded events; the staged
+    // fingerprint guards the match.
     ThresholdScanOptions options;
     options.initial_threshold = fixed_threshold;
+    options.filter = filter.get();
     ThresholdScanStats stats;
     staged.local = std::make_shared<const ResultList>(TracedSortedSkyline(
         store_, subspace, options, &stats, &staged.trace));
@@ -651,22 +681,41 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
     staged.has_trace = true;
   } else {
     // Cache path: the scan warms the shared trace cache (a pure function
-    // of the store, so identical to what the protocol run would insert)
-    // and the reconcile replays it at the refined value. Chunked path:
-    // per-chunk threshold seeds depend on the initial threshold, so the
-    // staged result is only valid on an exact match (hop-1 RT*M nodes,
-    // which receive precisely the initiator's threshold); deeper nodes
-    // rerun inline.
-    RunLocalScan(subspace, variant, fixed_threshold, &staged.local,
-                 &staged.threshold_out, &staged.scanned, &staged.ops,
-                 &staged.cpu_s);
+    // of the store and filter, so identical to what the protocol run
+    // would insert) and the reconcile replays it at the refined value.
+    // Chunked path: per-chunk threshold seeds depend on the initial
+    // threshold, so the staged result is only valid on an exact match
+    // (hop-1 RT*M nodes, which receive precisely the initiator's
+    // threshold); deeper nodes rerun inline.
+    RunLocalScan(subspace, variant, fixed_threshold, filter.get(),
+                 staged.filter_fp, &staged.local, &staged.threshold_out,
+                 &staged.scanned, &staged.ops, &staged.cpu_s);
   }
   staged_ = std::move(staged);
+}
+
+void SuperPeer::MaybeSelectFilter(sim::Simulator* simulator,
+                                  QueryState* state) {
+  if (filter_set_size_ == 0 || state->variant == Variant::kNaive) {
+    return;
+  }
+  SKYPEER_CHECK(state->local != nullptr);
+  // Selected from this node's (unfiltered) local result, so every filter
+  // point is a member of one of the final merge's inputs: whatever the
+  // filter prunes remotely, the merge would have removed anyway.
+  const auto start = std::chrono::steady_clock::now();
+  OpCounts ops;
+  state->filter = BuildQueryFilter(*state->local, state->subspace,
+                                   filter_set_size_, &ops);
+  state->filter_fp =
+      state->filter != nullptr ? FilterFingerprint(*state->filter) : 0;
+  ChargeOps(simulator, ops, SecondsSince(start));
 }
 
 void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
   if (staged_.has_value() && staged_->mask == state->subspace.mask() &&
       staged_->variant == state->variant &&
+      staged_->filter_fp == state->filter_fp &&
       staged_->threshold_in == state->threshold) {
     // Exact match: the staged scan is the inline scan, so its ops (and,
     // under the measured model, its self-measured work seconds) are the
@@ -681,6 +730,7 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
   if (staged_.has_value() && staged_->speculative &&
       staged_->mask == state->subspace.mask() &&
       staged_->variant == state->variant &&
+      staged_->filter_fp == state->filter_fp &&
       state->threshold < staged_->threshold_in) {
     // Reconcile a speculative scan against the refined threshold the
     // protocol actually delivered. Under the measured model the node
@@ -713,8 +763,8 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
       OpCounts ops;
       double cpu_s = 0.0;
       RunLocalScan(state->subspace, state->variant, state->threshold,
-                   &state->local, &state->threshold, &state->scanned, &ops,
-                   &cpu_s);
+                   state->filter.get(), state->filter_fp, &state->local,
+                   &state->threshold, &state->scanned, &ops, &cpu_s);
       ChargeOps(simulator, ops, cpu_s);
       return;
     }
@@ -725,8 +775,8 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
   OpCounts ops;
   double cpu_s = 0.0;
   RunLocalScan(state->subspace, state->variant, state->threshold,
-               &state->local, &state->threshold, &state->scanned, &ops,
-               &cpu_s);
+               state->filter.get(), state->filter_fp, &state->local,
+               &state->threshold, &state->scanned, &ops, &cpu_s);
   ChargeOps(simulator, ops, cpu_s);
 }
 
@@ -751,6 +801,13 @@ void SuperPeer::ForwardQuery(sim::Simulator* simulator, QueryState* state) {
   query->subspace = state->subspace;
   query->variant = state->variant;
   query->threshold = state->threshold;
+  query->filter = state->filter;
+  // The broadcast filter rides every flood hop and is charged to query
+  // volume — the volume/pruning trade-off bench_filter_volume measures.
+  const size_t query_bytes =
+      wire_.query_bytes +
+      wire_.FilterBytes(state->subspace.Count(),
+                        state->filter != nullptr ? state->filter->size() : 0);
   state->pending = 0;
   for (int neighbor : neighbors_) {
     if (neighbor == state->parent) {
@@ -760,11 +817,10 @@ void SuperPeer::ForwardQuery(sim::Simulator* simulator, QueryState* state) {
       state->child_done[neighbor] = false;
       Outbound hop;
       hop.kind = HopKind::kQuery;
-      SendEnvelope(simulator, neighbor, wire_.query_bytes, query,
-                   std::move(hop));
+      SendEnvelope(simulator, neighbor, query_bytes, query, std::move(hop));
     } else {
-      ChargeSerialization(simulator, wire_.query_bytes);
-      simulator->Send(id_, neighbor, wire_.query_bytes, query);
+      ChargeSerialization(simulator, query_bytes);
+      simulator->Send(id_, neighbor, query_bytes, query);
     }
     ++state->pending;
   }
@@ -823,11 +879,15 @@ void SuperPeer::HandleStart(sim::Simulator* simulator,
       }
       return;
     }
+    // The filter travels the whole tour so every node on the walk can
+    // seed its scan; selected after the local scan (its source list).
+    MaybeSelectFilter(simulator, state);
     PipelineMessage seed;
     seed.query_id = state->query_id;
     seed.subspace = state->subspace;
     seed.route = std::make_shared<const std::vector<int>>(start.route);
     seed.position = 0;
+    seed.filter = state->filter;
     std::vector<int> contributors;
     if (reliable_.enabled) {
       contributors.push_back(id_);
@@ -844,8 +904,12 @@ void SuperPeer::HandleStart(sim::Simulator* simulator,
     ComputeLocal(simulator, state);
   } else {
     // §5.2.3: the initiator first runs the local computation to obtain
-    // the initial threshold t, then forwards q(U, t).
+    // the initial threshold t, then forwards q(U, t) — with the filter
+    // set sampled from the local result attached. (Naive floods before
+    // computing, so it has no list to sample from and never carries a
+    // filter.)
     ComputeLocal(simulator, state);
+    MaybeSelectFilter(simulator, state);
     ForwardQuery(simulator, state);
   }
   if (state->pending == 0) {
@@ -886,6 +950,9 @@ void SuperPeer::HandleQuery(sim::Simulator* simulator,
   state->subspace = query.subspace;
   state->variant = query.variant;
   state->threshold = query.threshold;
+  state->filter = query.filter;
+  state->filter_fp =
+      query.filter != nullptr ? FilterFingerprint(*query.filter) : 0;
   state->parent = message.src;
   state->is_initiator = false;
   if (reliable_.enabled) {
@@ -976,11 +1043,14 @@ void SuperPeer::ForwardPipeline(sim::Simulator* simulator,
   next->position = previous.position + 1;
   next->accumulated = std::move(accumulated);
   next->contributors = std::move(contributors);
+  next->filter = previous.filter;
   const int dst = (*next->route)[next->position];
   const size_t bytes =
       wire_.query_bytes +
       wire_.ReplyBytes(next->subspace.Count(), 1, next->accumulated->size()) +
-      wire_.ContributorBytes(next->contributors.size());
+      wire_.ContributorBytes(next->contributors.size()) +
+      wire_.FilterBytes(next->subspace.Count(),
+                        next->filter != nullptr ? next->filter->size() : 0);
   if (reliable_.enabled) {
     Outbound hop;
     hop.kind = HopKind::kPipeline;
@@ -1058,6 +1128,9 @@ void SuperPeer::HandlePipeline(sim::Simulator* simulator, int src,
   state->subspace = message.subspace;
   state->variant = Variant::kPipeline;
   state->threshold = message.threshold;
+  state->filter = message.filter;
+  state->filter_fp =
+      message.filter != nullptr ? FilterFingerprint(*message.filter) : 0;
   // Reliable mode remembers the tour predecessor: the chain of first-visit
   // senders always leads back to the initiator over hops that worked at
   // least once, which is the escape route when the walk strands.

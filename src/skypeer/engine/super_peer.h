@@ -131,6 +131,15 @@ class SuperPeer : public sim::Node {
   /// can exceed the sequential scan's for the same store.
   void set_scan_chunk_size(size_t chunk) { scan_chunk_size_ = chunk; }
 
+  /// Maximum size of the broadcast filter set this node selects when it
+  /// initiates a non-naive query (see `SelectFilterSet`): sampled from
+  /// its local subspace skyline and attached to the flooded query so
+  /// every receiver can seed its scan window. 0 (the default) disables
+  /// the filter axis. The merged answer is bit-identical either way —
+  /// filter points prune remote candidates the final merge would have
+  /// removed anyway.
+  void set_filter_set_size(size_t size) { filter_set_size_ = size; }
+
   // --- query protocol ---------------------------------------------------
 
   /// Enables the reliable per-hop transport (envelopes, ACKs,
@@ -184,8 +193,12 @@ class SuperPeer : public sim::Node {
   /// moves host CPU work off the simulator thread. Safe to call
   /// concurrently on *different* SuperPeer instances (it touches only
   /// this node's store and cache). Cleared by `ResetQueryState`.
+  /// `filter` is the broadcast filter set the query will carry (null for
+  /// none); the staged scan is only consumed by a query with a matching
+  /// filter fingerprint.
   void StageLocalScan(const Subspace& subspace, Variant variant,
-                      double threshold);
+                      double threshold,
+                      std::shared_ptr<const ResultList> filter = nullptr);
 
   /// Speculative variant of `StageLocalScan` for the threshold-refining
   /// strategies (RT*M, pipeline): pre-executes the local scan under
@@ -204,13 +217,21 @@ class SuperPeer : public sim::Node {
   ///    replay would diverge — and otherwise rerun inline.
   /// Like `StageLocalScan` this never changes results or simulated
   /// metrics (measure_cpu=false); it only moves host CPU off the
-  /// simulator thread.
+  /// simulator thread. `filter` as in `StageLocalScan`.
   void StageSpeculativeScan(const Subspace& subspace, Variant variant,
-                            double fixed_threshold);
+                            double fixed_threshold,
+                            std::shared_ptr<const ResultList> filter = nullptr);
 
   /// Threshold the staged scan ended with — for FT*M the value the
   /// initiator floods. Requires a preceding `StageLocalScan`.
   double StagedThreshold() const;
+
+  /// Local result of the staged scan. Requires a preceding
+  /// `StageLocalScan` / `StageSpeculativeScan`. The network staging wave
+  /// uses the initiator's staged local to construct — content-identically
+  /// to what the protocol run will select — the filter set the other
+  /// nodes stage under.
+  std::shared_ptr<const ResultList> StagedLocal() const;
 
   void HandleMessage(sim::Simulator* simulator,
                      const sim::Message& message) override;
@@ -282,6 +303,13 @@ class SuperPeer : public sim::Node {
     std::vector<std::shared_ptr<const ResultList>> collected;
     /// This node's local subspace skyline.
     std::shared_ptr<const ResultList> local;
+    /// Broadcast filter set travelling with the query (null = none):
+    /// selected by the initiator after its own — unfiltered — local scan,
+    /// adopted by every receiver before computing.
+    std::shared_ptr<const ResultList> filter;
+    /// `FilterFingerprint(*filter)`, 0 when `filter` is null. Keys the
+    /// staged-scan match and the trace cache.
+    uint64_t filter_fp = 0;
     bool finished = false;
     ResultList final{1};
     double finish_time = 0.0;
@@ -320,6 +348,9 @@ class SuperPeer : public sim::Node {
     uint32_t mask = 0;
     Variant variant = Variant::kFTPM;
     double threshold_in = 0.0;
+    /// Fingerprint of the filter the scan was staged under (0 = none); a
+    /// query only consumes the staged result on an exact match.
+    uint64_t filter_fp = 0;
     std::shared_ptr<const ResultList> local;
     double threshold_out = 0.0;
     size_t scanned = 0;
@@ -419,11 +450,20 @@ class SuperPeer : public sim::Node {
   /// replay's counts only — trace fills are amortized cache warming) and
   /// `cpu_s` the work seconds self-measured on the executing threads
   /// (per-chunk times summed for chunked scans, never pool queue wait).
+  /// `filter` / `filter_fp` is the broadcast filter set the scan seeds
+  /// its window with (null/0 = none); the fingerprint keys the trace
+  /// cache so filtered and unfiltered traces never cross.
   void RunLocalScan(const Subspace& subspace, Variant variant,
-                    double threshold_in,
+                    double threshold_in, const ResultList* filter,
+                    uint64_t filter_fp,
                     std::shared_ptr<const ResultList>* local,
                     double* threshold_out, size_t* scanned, OpCounts* ops,
                     double* cpu_s);
+
+  /// Initiator only, after its local scan: selects the broadcast filter
+  /// set from `state->local` when `filter_set_size_` > 0 and the variant
+  /// is not naive, charging the selection pass to the query's ops.
+  void MaybeSelectFilter(sim::Simulator* simulator, QueryState* state);
 
   /// Accumulates `ops` into the per-query counters and charges the
   /// virtual clock: measured host seconds (`measured_s`) under the
@@ -483,6 +523,9 @@ class SuperPeer : public sim::Node {
   OpCounts query_ops_;
   bool cache_enabled_ = false;
   size_t scan_chunk_size_ = 0;
+  /// Broadcast filter-set size bound this node uses as initiator
+  /// (see set_filter_set_size); 0 disables the filter axis.
+  size_t filter_set_size_ = 0;
   ThreadPool* pool_ = nullptr;  // nullptr resolves the global pool.
   /// Unconstrained per-subspace skylines under this node's id; possibly
   /// shared with replica clones (see SetResultCache). Created on first

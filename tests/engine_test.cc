@@ -228,6 +228,31 @@ TEST(Exactness, EmptyPeersYieldEmptySkyline) {
   }
 }
 
+TEST(Exactness, FilterBroadcastStaysExact) {
+  // The sampled filter-point broadcast is a pure communication
+  // optimization: with --filter-set on, every variant still answers with
+  // the exact centralized skyline (filter points prune only what the
+  // initiator's own merge input would have removed).
+  NetworkConfig config = SmallConfig(21);
+  config.filter_set_size = 8;
+  SkypeerNetwork network(config);
+  network.Preprocess();
+  const auto tasks = GenerateWorkload(config.dims, 3, /*num_queries=*/6,
+                                      network.num_super_peers(), /*seed=*/33);
+  for (const QueryTask& task : tasks) {
+    const auto truth = SortedIds(network.GroundTruthSkyline(task.subspace));
+    for (Variant variant : kAllVariants) {
+      QueryResult result =
+          network.ExecuteQuery(task.subspace, task.initiator_sp, variant);
+      EXPECT_EQ(SortedIds(result.skyline.points), truth)
+          << VariantName(variant) << " u=" << task.subspace.ToString();
+    }
+    QueryResult pipe = network.ExecuteQuery(task.subspace, task.initiator_sp,
+                                            Variant::kPipeline);
+    EXPECT_EQ(SortedIds(pipe.skyline.points), truth);
+  }
+}
+
 TEST(Exactness, RepeatedQueriesAreStable) {
   NetworkConfig config = SmallConfig(12);
   SkypeerNetwork network(config);
@@ -485,6 +510,43 @@ TEST(MetricSeries, Statistics) {
   EXPECT_EQ(series.Percentile(0), 1.0);
   EXPECT_EQ(series.Percentile(90), 5.0);
   EXPECT_EQ(series.Percentile(20), 1.0);
+}
+
+TEST(MetricSeries, DegenerateCasesAreDefinedNotNan) {
+  // Empty series and percentile edges are defined values, never NaN or
+  // out-of-bounds reads: mean/min/max of an empty series are 0.0,
+  // Percentile clamps rank 0 to the minimum, and a zero-query aggregate
+  // reports zeros across the board.
+  MetricSeries empty;
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.min(), 0.0);
+  EXPECT_EQ(empty.max(), 0.0);
+  EXPECT_EQ(empty.Percentile(0), 0.0);
+  EXPECT_EQ(empty.Percentile(100), 0.0);
+
+  MetricSeries one;
+  one.Add(2.5);
+  EXPECT_EQ(one.Percentile(0), 2.5);  // Rank clamp: Percentile(0) ≡ min.
+  EXPECT_EQ(one.Percentile(100), 2.5);
+  EXPECT_EQ(one.min(), 2.5);
+
+  AggregateMetrics aggregate;
+  EXPECT_EQ(aggregate.queries, 0u);
+  EXPECT_EQ(aggregate.avg_kb(), 0.0);
+  EXPECT_EQ(aggregate.avg_total_s(), 0.0);
+  EXPECT_EQ(aggregate.avg_coverage(), 0.0);
+}
+
+TEST(Metrics, CoverageIsDefinedWithoutAReliabilityReport) {
+  // With the reliable protocol off, super_peers_total stays 0 — no
+  // coverage report exists, and that degenerate case is defined as full
+  // coverage rather than a division by zero.
+  QueryMetrics metrics;
+  EXPECT_EQ(metrics.super_peers_total, 0);
+  EXPECT_EQ(metrics.coverage(), 1.0);
+  metrics.super_peers_total = 8;
+  metrics.super_peers_reached = 2;
+  EXPECT_DOUBLE_EQ(metrics.coverage(), 0.25);
 }
 
 TEST(MetricSeries, AggregatePopulatesAllSeries) {

@@ -756,6 +756,7 @@ TEST(ParallelDeterminism, FaultedRunsAreThreadCountInvariant) {
       config.scan_chunk_size = 64;
       config.speculative_rt = true;
       config.enable_cache = true;
+      config.filter_set_size = 6;
     }
 
     struct Reference {
@@ -815,6 +816,131 @@ TEST(ParallelDeterminism, CloneForQueriesAnswersLikeTheOriginal) {
   const QueryResult replica = clone->ExecuteQuery(u, 2, Variant::kRTPM);
   EXPECT_EQ(Signature(original.skyline), Signature(replica.skyline));
   ExpectMetricsEqual(original.metrics, replica.metrics, "clone RTPM");
+}
+
+// --- sampled filter-point broadcast ------------------------------------------
+
+TEST(FilterBroadcastDeterminism, MatchesUnfilteredOracleAcrossCompositions) {
+  // The filter-broadcast guarantee: the sampled filter set attached to
+  // the flooded query changes what is *shipped*, never what is
+  // *answered*. For all five variants plus the pipeline the filtered
+  // skyline is bit-identical to the unfiltered oracle's at 1, 2 and 8
+  // threads, composed with --scan-chunk, --speculative-rt and --cache —
+  // and the filtered run's own simulated metrics are thread-count
+  // invariant.
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(4, 2, 4, SmallConfig().num_super_peers, 91);
+  std::vector<Variant> variants(kAllVariants, kAllVariants + 5);
+  variants.push_back(Variant::kPipeline);
+
+  std::vector<NetworkConfig> compositions;
+  compositions.push_back(SmallConfig());  // plain
+  {
+    NetworkConfig chunked = SmallConfig();
+    chunked.scan_chunk_size = 16;
+    compositions.push_back(chunked);
+  }
+  {
+    NetworkConfig speculative = SmallConfig();
+    speculative.speculative_rt = true;
+    compositions.push_back(speculative);
+  }
+  {
+    NetworkConfig cached = SmallConfig();
+    cached.enable_cache = true;
+    compositions.push_back(cached);
+  }
+
+  using SkylineSig = std::vector<std::vector<double>>;
+  for (size_t composition = 0; composition < compositions.size();
+       ++composition) {
+    // Unfiltered sequential oracle of this composition.
+    ThreadPool::SetGlobalConcurrency(1);
+    std::vector<std::vector<SkylineSig>> oracle;
+    {
+      SkypeerNetwork network(compositions[composition]);
+      network.Preprocess();
+      for (Variant variant : variants) {
+        std::vector<SkylineSig> per_task;
+        for (const QueryTask& task : tasks) {
+          per_task.push_back(Signature(
+              network.ExecuteQuery(task.subspace, task.initiator_sp, variant)
+                  .skyline));
+        }
+        oracle.push_back(std::move(per_task));
+      }
+    }
+
+    NetworkConfig filtered = compositions[composition];
+    filtered.filter_set_size = 8;
+    std::vector<std::vector<QueryMetrics>> reference(variants.size());
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalConcurrency(threads);
+      SkypeerNetwork network(filtered);
+      network.Preprocess();
+      for (size_t v = 0; v < variants.size(); ++v) {
+        for (size_t t = 0; t < tasks.size(); ++t) {
+          const QueryResult result = network.ExecuteQuery(
+              tasks[t].subspace, tasks[t].initiator_sp, variants[v]);
+          const std::string context =
+              "composition " + std::to_string(composition) + " " +
+              VariantName(variants[v]) + " task " + std::to_string(t) +
+              " threads " + std::to_string(threads);
+          EXPECT_EQ(Signature(result.skyline), oracle[v][t]) << context;
+          if (threads == 1) {
+            reference[v].push_back(result.metrics);
+          } else {
+            ExpectMetricsEqual(result.metrics, reference[v][t],
+                               context.c_str());
+          }
+        }
+      }
+    }
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
+TEST(FilterBroadcastDeterminism, NaiveIgnoresTheFilterAndLocalScansShrink) {
+  // The naive variant broadcasts no threshold and no filter: its metrics
+  // with --filter-set on are identical to the unfiltered run's. The
+  // thresholded variants do attach the filter, whose seeds can only
+  // shrink local results — never grow them — and across a workload the
+  // pruning is strictly visible.
+  ThreadPool::SetGlobalConcurrency(1);
+  const NetworkConfig plain = SmallConfig();
+  NetworkConfig with_filter = plain;
+  with_filter.filter_set_size = 8;
+
+  SkypeerNetwork unfiltered_net(plain);
+  unfiltered_net.Preprocess();
+  SkypeerNetwork filtered_net(with_filter);
+  filtered_net.Preprocess();
+
+  const std::vector<QueryTask> tasks =
+      GenerateWorkload(plain.dims, 2, 6, plain.num_super_peers, 97);
+  size_t unfiltered_local = 0;
+  size_t filtered_local = 0;
+  for (const QueryTask& task : tasks) {
+    const QueryResult naive_plain = unfiltered_net.ExecuteQuery(
+        task.subspace, task.initiator_sp, Variant::kNaive);
+    const QueryResult naive_filtered = filtered_net.ExecuteQuery(
+        task.subspace, task.initiator_sp, Variant::kNaive);
+    ExpectMetricsEqual(naive_filtered.metrics, naive_plain.metrics,
+                       "naive ignores the filter");
+    for (Variant variant : {Variant::kFTFM, Variant::kFTPM, Variant::kRTFM,
+                            Variant::kRTPM, Variant::kPipeline}) {
+      const QueryResult plain_run = unfiltered_net.ExecuteQuery(
+          task.subspace, task.initiator_sp, variant);
+      const QueryResult filtered_run = filtered_net.ExecuteQuery(
+          task.subspace, task.initiator_sp, variant);
+      EXPECT_LE(filtered_run.metrics.local_result_points,
+                plain_run.metrics.local_result_points)
+          << VariantName(variant);
+      unfiltered_local += plain_run.metrics.local_result_points;
+      filtered_local += filtered_run.metrics.local_result_points;
+    }
+  }
+  EXPECT_LT(filtered_local, unfiltered_local);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "skypeer/algo/merge.h"
 #include "skypeer/algo/sorted_skyline.h"
 #include "skypeer/common/dominance_batch.h"
+#include "skypeer/common/parse.h"
 #include "skypeer/common/rng.h"
 #include "skypeer/common/thread_pool.h"
 #include "skypeer/data/generator.h"
@@ -90,6 +91,10 @@ void PrintUsageAndExit(const char* binary, int code) {
       "                   results and simulated metrics are identical\n"
       "  --net-threads N  scope the worker pool to the network instead of\n"
       "                   the process-wide pool (default 0 = global pool)\n"
+      "  --filter-set N   broadcast at most N sampled filter points from\n"
+      "                   the initiator's local skyline with every query\n"
+      "                   (default 0 = no filter). Skylines are identical\n"
+      "                   either way; ext-SKY shipping volume drops\n"
       "  --cache          enable the per-subspace result cache\n"
       "  --force-scalar   pin the dominance kernels to the scalar path\n"
       "                   instead of runtime SIMD dispatch (same effect as\n"
@@ -130,15 +135,20 @@ CliOptions Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--peers") == 0) {
-      options.network.num_peers = std::atoi(next_value(&i));
+      options.network.num_peers = static_cast<int>(
+          ParseIntFlag("--peers", next_value(&i), 1, 100'000'000));
     } else if (std::strcmp(arg, "--super-peers") == 0) {
-      options.network.num_super_peers = std::atoi(next_value(&i));
+      options.network.num_super_peers = static_cast<int>(
+          ParseIntFlag("--super-peers", next_value(&i), 0, 1'000'000));
     } else if (std::strcmp(arg, "--points") == 0) {
-      options.network.points_per_peer = std::atoi(next_value(&i));
+      options.network.points_per_peer = static_cast<int>(
+          ParseIntFlag("--points", next_value(&i), 0, 100'000'000));
     } else if (std::strcmp(arg, "--dims") == 0) {
-      options.network.dims = std::atoi(next_value(&i));
+      options.network.dims =
+          static_cast<int>(ParseIntFlag("--dims", next_value(&i), 1, 32));
     } else if (std::strcmp(arg, "--degree") == 0) {
-      options.network.degree_sp = std::atof(next_value(&i));
+      options.network.degree_sp =
+          ParseDoubleFlag("--degree", next_value(&i), 0.0, 1e6);
     } else if (std::strcmp(arg, "--dist") == 0) {
       const std::string name = next_value(&i);
       if (name == "uniform") {
@@ -154,9 +164,10 @@ CliOptions Parse(int argc, char** argv) {
         PrintUsageAndExit(argv[0], 1);
       }
     } else if (std::strcmp(arg, "--k") == 0) {
-      options.k = std::atoi(next_value(&i));
+      options.k = static_cast<int>(ParseIntFlag("--k", next_value(&i), 1, 32));
     } else if (std::strcmp(arg, "--queries") == 0) {
-      options.queries = std::atoi(next_value(&i));
+      options.queries = static_cast<int>(
+          ParseIntFlag("--queries", next_value(&i), 1, 1'000'000));
     } else if (std::strcmp(arg, "--variant") == 0) {
       options.variant = next_value(&i);
     } else if (std::strcmp(arg, "--topology") == 0) {
@@ -170,30 +181,29 @@ CliOptions Parse(int argc, char** argv) {
         PrintUsageAndExit(argv[0], 1);
       }
     } else if (std::strcmp(arg, "--bandwidth") == 0) {
-      options.network.bandwidth = std::atof(next_value(&i));
+      options.network.bandwidth =
+          ParseDoubleFlag("--bandwidth", next_value(&i), 0.0, 1e18);
     } else if (std::strcmp(arg, "--latency") == 0) {
-      options.network.latency = std::atof(next_value(&i));
+      options.network.latency =
+          ParseDoubleFlag("--latency", next_value(&i), 0.0, 1e9);
     } else if (std::strcmp(arg, "--zipf") == 0) {
-      options.zipf = std::atof(next_value(&i));
+      options.zipf = ParseDoubleFlag("--zipf", next_value(&i), 0.0, 100.0);
     } else if (std::strcmp(arg, "--seed") == 0) {
-      options.network.seed = std::strtoull(next_value(&i), nullptr, 10);
+      options.network.seed = ParseU64Flag("--seed", next_value(&i));
     } else if (std::strcmp(arg, "--threads") == 0) {
-      options.threads = std::atoi(next_value(&i));
-      if (options.threads < 0) {
-        std::fprintf(stderr, "--threads must be >= 0\n");
-        PrintUsageAndExit(argv[0], 1);
-      }
+      options.threads = static_cast<int>(
+          ParseIntFlag("--threads", next_value(&i), 0, 4096));
     } else if (std::strcmp(arg, "--scan-chunk") == 0) {
       options.network.scan_chunk_size =
-          std::strtoull(next_value(&i), nullptr, 10);
+          static_cast<size_t>(ParseU64Flag("--scan-chunk", next_value(&i)));
+    } else if (std::strcmp(arg, "--filter-set") == 0) {
+      options.network.filter_set_size =
+          static_cast<size_t>(ParseU64Flag("--filter-set", next_value(&i)));
     } else if (std::strcmp(arg, "--speculative-rt") == 0) {
       options.network.speculative_rt = true;
     } else if (std::strcmp(arg, "--net-threads") == 0) {
-      options.network.threads = std::atoi(next_value(&i));
-      if (options.network.threads < 0) {
-        std::fprintf(stderr, "--net-threads must be >= 0\n");
-        PrintUsageAndExit(argv[0], 1);
-      }
+      options.network.threads = static_cast<int>(
+          ParseIntFlag("--net-threads", next_value(&i), 0, 4096));
     } else if (std::strcmp(arg, "--no-measure-cpu") == 0) {
       options.network.measure_cpu = false;
     } else if (std::strcmp(arg, "--cost-model") == 0) {
@@ -225,22 +235,28 @@ CliOptions Parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--reliable") == 0) {
       options.network.reliable = true;
     } else if (std::strcmp(arg, "--drop-prob") == 0) {
-      options.network.drop_prob = std::atof(next_value(&i));
+      options.network.drop_prob =
+          ParseDoubleFlag("--drop-prob", next_value(&i), 0.0, 1.0);
       options.network.reliable = true;
     } else if (std::strcmp(arg, "--delay-jitter") == 0) {
-      options.network.delay_jitter = std::atof(next_value(&i));
+      options.network.delay_jitter =
+          ParseDoubleFlag("--delay-jitter", next_value(&i), 0.0, 1e9);
       options.network.reliable = true;
     } else if (std::strcmp(arg, "--crash-sp") == 0) {
-      options.network.crashed_sps.push_back(std::atoi(next_value(&i)));
+      options.network.crashed_sps.push_back(static_cast<int>(
+          ParseIntFlag("--crash-sp", next_value(&i), 0, 1'000'000)));
       options.network.reliable = true;
     } else if (std::strcmp(arg, "--fault-seed") == 0) {
-      options.network.fault_seed = std::strtoull(next_value(&i), nullptr, 10);
+      options.network.fault_seed = ParseU64Flag("--fault-seed", next_value(&i));
     } else if (std::strcmp(arg, "--ack-timeout") == 0) {
-      options.network.ack_timeout = std::atof(next_value(&i));
+      options.network.ack_timeout =
+          ParseDoubleFlag("--ack-timeout", next_value(&i), 0.0, 1e9);
     } else if (std::strcmp(arg, "--max-retries") == 0) {
-      options.network.max_retries = std::atoi(next_value(&i));
+      options.network.max_retries = static_cast<int>(
+          ParseIntFlag("--max-retries", next_value(&i), 0, 1'000'000));
     } else if (std::strcmp(arg, "--query-deadline") == 0) {
-      options.network.query_deadline = std::atof(next_value(&i));
+      options.network.query_deadline =
+          ParseDoubleFlag("--query-deadline", next_value(&i), 0.0, 1e18);
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else if (std::strcmp(arg, "--help") == 0) {
