@@ -32,6 +32,15 @@ namespace skypeer::bench {
 ///   --filter-set N broadcast at most N sampled filter points from the
 ///                  initiator's local skyline with every query (default 0
 ///                  = no filter); skylines are identical either way
+///   --page-size B  store page size in bytes (power of two in
+///                  [4096, 1048576], default 4096); fixes the logical
+///                  page-charging geometry in both store modes
+///   --buffer-pages N beyond-RAM stores: spill super-peer stores to disk
+///                  pages behind a pinning buffer manager of N frames
+///                  (N >= 2; default 0 = in-memory); all metrics are
+///                  identical either way
+///   --cache-cap N  bound the per-subspace trace cache to N entries with
+///                  LRU eviction (default 0 = unbounded)
 ///   --cost-model M CPU charging: measured (host time, default),
 ///                  calibrated or unit (deterministic op-count seconds)
 ///   --json PATH    additionally emit the run as a BENCH_*.json report
@@ -43,6 +52,9 @@ struct BenchOptions {
   int threads = 0;  // 0: hardware_concurrency.
   size_t scan_chunk = 0;  // 0: sequential threshold scans.
   size_t filter_set = 0;  // 0: no broadcast filter set.
+  size_t page_size = kDefaultPageSize;
+  size_t buffer_pages = 0;  // 0: in-memory stores.
+  size_t cache_cap = 0;     // 0: unbounded trace cache.
   bool speculative_rt = false;
   bool full = false;
   CostModel cost_model;
@@ -118,17 +130,20 @@ inline std::string JsonNumber(double value) {
 }
 
 inline std::string JsonOpCounts(const OpCounts& ops) {
-  char buffer[512];
+  char buffer[640];
   std::snprintf(buffer, sizeof(buffer),
                 "{\"dominance_tests\":%llu,\"rtree_node_visits\":%llu,"
                 "\"scan_steps\":%llu,\"merge_pulls\":%llu,"
-                "\"sort_steps\":%llu,\"bytes_serialized\":%llu}",
+                "\"sort_steps\":%llu,\"bytes_serialized\":%llu,"
+                "\"page_reads\":%llu,\"page_bytes\":%llu}",
                 static_cast<unsigned long long>(ops.dominance_tests),
                 static_cast<unsigned long long>(ops.rtree_node_visits),
                 static_cast<unsigned long long>(ops.scan_steps),
                 static_cast<unsigned long long>(ops.merge_pulls),
                 static_cast<unsigned long long>(ops.sort_steps),
-                static_cast<unsigned long long>(ops.bytes_serialized));
+                static_cast<unsigned long long>(ops.bytes_serialized),
+                static_cast<unsigned long long>(ops.page_reads),
+                static_cast<unsigned long long>(ops.page_bytes));
   return buffer;
 }
 
@@ -177,6 +192,29 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--filter-set") == 0 && i + 1 < argc) {
       options.filter_set =
           static_cast<size_t>(ParseU64Flag("--filter-set", argv[++i]));
+    } else if (std::strcmp(argv[i], "--page-size") == 0 && i + 1 < argc) {
+      options.page_size =
+          static_cast<size_t>(ParseU64Flag("--page-size", argv[++i]));
+      if (options.page_size < kMinPageSize ||
+          options.page_size > kMaxPageSize ||
+          (options.page_size & (options.page_size - 1)) != 0) {
+        std::fprintf(stderr,
+                     "--page-size: %zu is not a power of two in "
+                     "[4096, 1048576]\n",
+                     options.page_size);
+        std::exit(1);
+      }
+    } else if (std::strcmp(argv[i], "--buffer-pages") == 0 && i + 1 < argc) {
+      options.buffer_pages =
+          static_cast<size_t>(ParseU64Flag("--buffer-pages", argv[++i]));
+      if (options.buffer_pages == 1) {
+        std::fprintf(stderr,
+                     "--buffer-pages: must be 0 (in-memory) or >= 2\n");
+        std::exit(1);
+      }
+    } else if (std::strcmp(argv[i], "--cache-cap") == 0 && i + 1 < argc) {
+      options.cache_cap =
+          static_cast<size_t>(ParseU64Flag("--cache-cap", argv[++i]));
     } else if (std::strcmp(argv[i], "--speculative-rt") == 0) {
       options.speculative_rt = true;
     } else if (std::strcmp(argv[i], "--cost-model") == 0 && i + 1 < argc) {
@@ -197,7 +235,8 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--queries N] [--seed S] [--threads N] "
-          "[--scan-chunk N] [--filter-set N] [--speculative-rt] "
+          "[--scan-chunk N] [--filter-set N] [--page-size B] "
+          "[--buffer-pages N] [--cache-cap N] [--speculative-rt] "
           "[--cost-model measured|calibrated|unit] [--json PATH] [--full]\n",
           argv[0]);
       std::exit(0);
@@ -212,15 +251,19 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
   const char* slash = std::strrchr(argv[0], '/');
   report.name = slash != nullptr ? slash + 1 : argv[0];
   report.path = options.json_path;
-  char buffer[512];
+  char buffer[640];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries\": %d, \"seed\": %llu, \"threads\": %d, "
-      "\"scan_chunk\": %llu, \"filter_set\": %llu, \"speculative_rt\": %s, "
+      "\"scan_chunk\": %llu, \"filter_set\": %llu, \"page_size\": %llu, "
+      "\"buffer_pages\": %llu, \"cache_cap\": %llu, \"speculative_rt\": %s, "
       "\"full\": %s, \"cost_model\": \"%s\"}",
       options.queries, static_cast<unsigned long long>(options.seed),
       options.threads, static_cast<unsigned long long>(options.scan_chunk),
       static_cast<unsigned long long>(options.filter_set),
+      static_cast<unsigned long long>(options.page_size),
+      static_cast<unsigned long long>(options.buffer_pages),
+      static_cast<unsigned long long>(options.cache_cap),
       options.speculative_rt ? "true" : "false",
       options.full ? "true" : "false", CostModelModeName(options.cost_model.mode));
   report.options_json = buffer;
@@ -323,17 +366,22 @@ inline SkypeerNetwork BuildNetwork(NetworkConfig config,
   config.scan_chunk_size = options.scan_chunk;
   config.filter_set_size = options.filter_set;
   config.speculative_rt = options.speculative_rt;
+  config.page_size = options.page_size;
+  config.buffer_pages = options.buffer_pages;
+  config.cache_max_entries = options.cache_cap;
   config.cost_model = options.cost_model;
   std::printf(
       "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
-      "scan_chunk=%zu filter_set=%zu cost_model=%s\n",
+      "scan_chunk=%zu filter_set=%zu page_size=%zu buffer_pages=%zu "
+      "cost_model=%s\n",
       config.num_peers,
       config.num_super_peers > 0 ? config.num_super_peers
                                  : DefaultNumSuperPeers(config.num_peers),
       config.points_per_peer, config.dims, config.degree_sp,
       DistributionName(config.distribution),
       static_cast<unsigned long long>(config.seed), config.scan_chunk_size,
-      config.filter_set_size, CostModelModeName(config.cost_model.mode));
+      config.filter_set_size, config.page_size, config.buffer_pages,
+      CostModelModeName(config.cost_model.mode));
   return SkypeerNetwork(config);
 }
 

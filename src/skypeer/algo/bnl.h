@@ -4,6 +4,7 @@
 #include "skypeer/common/op_counts.h"
 #include "skypeer/common/point_set.h"
 #include "skypeer/common/subspace.h"
+#include "skypeer/storage/store_view.h"
 
 namespace skypeer {
 
@@ -19,6 +20,17 @@ namespace skypeer {
 /// `ops->scan_steps`.
 PointSet BnlSkyline(const PointSet& input, Subspace u, bool ext = false,
                     OpCounts* ops = nullptr);
+
+/// \brief `BnlSkyline` over a store view (resident or paged).
+///
+/// The window holds row *copies* instead of indices into the input, so a
+/// paged store streams through the cursor exactly once; comparison order,
+/// result order and dominance-test counts are identical to `BnlSkyline`
+/// over the materialized store. `ops` additionally charges the logical
+/// pages of the full-store scan (`ChargeScanPages`) — identically for
+/// both store modes.
+PointSet BnlSkylineView(const StoreView& input, Subspace u, bool ext = false,
+                        OpCounts* ops = nullptr);
 
 }  // namespace skypeer
 

@@ -258,21 +258,24 @@ void SkylineAccumulator::SeedWindow(const ResultList& seed) {
   }
 }
 
-ResultList SortedSkyline(const ResultList& input, Subspace u,
+ResultList SortedSkyline(const StoreView& input, Subspace u,
                          const ThresholdScanOptions& options,
                          ThresholdScanStats* stats) {
-  SKYPEER_DCHECK(input.IsSorted());
+  SKYPEER_DCHECK(input.list() == nullptr || input.list()->IsSorted());
   const auto start = std::chrono::steady_clock::now();
-  SkylineAccumulator accumulator(input.points.dims(), u, options);
+  SkylineAccumulator accumulator(input.dims(), u, options);
   if (options.filter != nullptr && !options.filter->empty()) {
     accumulator.SeedWindow(*options.filter);
   }
+  StoreCursor cursor(input);
+  const size_t n = input.size();
   size_t scanned = 0;
-  for (size_t i = 0; i < input.size(); ++i) {
-    if (input.f[i] > accumulator.threshold()) {
+  for (size_t i = 0; i < n; ++i) {
+    const double f = cursor.f(i);
+    if (f > accumulator.threshold()) {
       break;
     }
-    accumulator.Offer(input.points[i], input.points.id(i), input.f[i]);
+    accumulator.Offer(cursor.row(i), cursor.id(i), f);
     ++scanned;
   }
   if (stats != nullptr) {
@@ -280,15 +283,16 @@ ResultList SortedSkyline(const ResultList& input, Subspace u,
     stats->final_threshold = accumulator.threshold();
     stats->ops = accumulator.ops();
     stats->ops.scan_steps += scanned;
+    ChargeScanPages(input.layout(), 0, n, scanned, &stats->ops);
     stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
 }
 
-ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
+ResultList TracedSortedSkyline(const StoreView& input, Subspace u,
                                const ThresholdScanOptions& options,
                                ThresholdScanStats* stats, ScanTrace* trace) {
-  SKYPEER_DCHECK(input.IsSorted());
+  SKYPEER_DCHECK(input.list() == nullptr || input.list()->IsSorted());
   SKYPEER_CHECK(trace != nullptr);
   trace->threshold_in = options.initial_threshold;
   trace->accepted.clear();
@@ -297,24 +301,28 @@ ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
   trace->cum_ops.clear();
 
   const auto start = std::chrono::steady_clock::now();
-  SkylineAccumulator accumulator(input.points.dims(), u, options);
+  SkylineAccumulator accumulator(input.dims(), u, options);
   if (options.filter != nullptr && !options.filter->empty()) {
     // The filter is baked into the recorded accept/evict decisions, so
     // replays need no filter knowledge — but a trace is only valid for
     // scans under the *same* filter (the cache keys on its fingerprint).
     accumulator.SeedWindow(*options.filter);
   }
+  StoreCursor cursor(input);
+  const size_t n = input.size();
   std::vector<uint64_t> evicted;
   size_t scanned = 0;
-  for (size_t i = 0; i < input.size(); ++i) {
-    if (input.f[i] > accumulator.threshold()) {
+  for (size_t i = 0; i < n; ++i) {
+    const double f = cursor.f(i);
+    if (f > accumulator.threshold()) {
       break;
     }
+    const double* p = cursor.row(i);
+    const PointId id = cursor.id(i);
     evicted.clear();
-    const bool accepted = accumulator.OfferTagged(
-        input.points[i], input.points.id(i), input.f[i], i, &evicted);
+    const bool accepted = accumulator.OfferTagged(p, id, f, i, &evicted);
     trace->accepted.push_back(accepted ? 1 : 0);
-    trace->dist_u.push_back(accepted ? DistU(input.points[i], u) : 0.0);
+    trace->dist_u.push_back(accepted ? DistU(p, u) : 0.0);
     trace->evicted_at.push_back(ScanTrace::kNeverEvicted);
     for (uint64_t victim : evicted) {
       trace->evicted_at[victim] = i;
@@ -327,12 +335,13 @@ ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
     stats->final_threshold = accumulator.threshold();
     stats->ops = accumulator.ops();
     stats->ops.scan_steps += scanned;
+    ChargeScanPages(input.layout(), 0, n, scanned, &stats->ops);
     stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
 }
 
-ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
+ResultList ReplayScanTrace(const StoreView& input, const ScanTrace& trace,
                            double threshold_in, ThresholdScanStats* stats) {
   SKYPEER_CHECK(threshold_in <= trace.threshold_in);
   const auto start = std::chrono::steady_clock::now();
@@ -340,9 +349,10 @@ ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
   // running threshold of the recorded scan) at every position, so the
   // replayed scan stops within the recorded prefix: past its cut the
   // recorded scan's own threshold already rejected the next point.
+  StoreCursor cursor(input);
   double threshold = threshold_in;
   size_t cut = 0;
-  while (cut < trace.size() && input.f[cut] <= threshold) {
+  while (cut < trace.size() && cursor.f(cut) <= threshold) {
     if (trace.accepted[cut]) {
       threshold = std::min(threshold, trace.dist_u[cut]);
     }
@@ -351,11 +361,11 @@ ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
   // Survivors: accepted before the cut and not evicted before it. An
   // eviction at position >= cut never happens in the replayed scan (its
   // evictor is past the stopping point), so the point stays alive.
-  ResultList result(input.points.dims());
+  ResultList result(input.dims());
   for (size_t i = 0; i < cut; ++i) {
     if (trace.accepted[i] && trace.evicted_at[i] >= cut) {
-      result.points.AppendFrom(input.points, i);
-      result.f.push_back(input.f[i]);
+      result.points.Append(cursor.row(i), cursor.id(i));
+      result.f.push_back(cursor.f(i));
     }
   }
   if (stats != nullptr) {
@@ -370,23 +380,29 @@ ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
       stats->ops = trace.cum_ops[cut - 1];
     }
     stats->ops.scan_steps += cut;
+    ChargeScanPages(input.layout(), 0, input.size(), cut, &stats->ops);
     stats->cpu_seconds = SecondsSince(start);
   }
   return result;
 }
 
-ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
+ResultList ParallelSortedSkyline(const StoreView& input, Subspace u,
                                  size_t chunk_size,
                                  const ThresholdScanOptions& options,
                                  ThresholdScanStats* stats, ThreadPool* pool) {
+  // Whole-page chunks: concurrent chunk cursors never share a buffer
+  // frame, and per-chunk page charges cover disjoint page ranges. The
+  // snap depends only on the layout, so in-memory and paged runs split
+  // identically.
+  chunk_size = SnapChunkToPages(input.layout(), chunk_size);
   if (chunk_size == 0 || input.size() <= chunk_size) {
     return SortedSkyline(input, u, options, stats);
   }
-  SKYPEER_DCHECK(input.IsSorted());
+  SKYPEER_DCHECK(input.list() == nullptr || input.list()->IsSorted());
   if (pool == nullptr) {
     pool = ThreadPool::Global();
   }
-  const int dims = input.points.dims();
+  const int dims = input.dims();
   const size_t num_chunks = (input.size() + chunk_size - 1) / chunk_size;
 
   std::vector<ResultList> chunk_results;
@@ -429,18 +445,21 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
     }
     const size_t begin = c * chunk_size;
     const size_t end = std::min(input.size(), begin + chunk_size);
+    StoreCursor cursor(input);
     size_t scanned = 0;
     for (size_t i = begin; i < end; ++i) {
-      if (input.f[i] > accumulator.threshold()) {
+      const double f = cursor.f(i);
+      if (f > accumulator.threshold()) {
         break;
       }
-      accumulator.Offer(input.points[i], input.points.id(i), input.f[i]);
+      accumulator.Offer(cursor.row(i), cursor.id(i), f);
       ++scanned;
     }
     chunk_stats[c].scanned = scanned;
     chunk_stats[c].final_threshold = accumulator.threshold();
     chunk_stats[c].ops = accumulator.ops();
     chunk_stats[c].ops.scan_steps += scanned;
+    ChargeScanPages(input.layout(), begin, end, scanned, &chunk_stats[c].ops);
     chunk_results[c] = accumulator.TakeResult();
     // Self-measured work time of this chunk on its executing thread;
     // pool queueing time never enters the sum.
@@ -475,10 +494,16 @@ ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
   // prunes dominated points; and because the seeds depend on the input
   // alone, per-chunk scan counts never vary with scheduling.
   std::vector<double> seeds(num_chunks);
-  double bound = chunk_stats[0].final_threshold;
-  for (size_t c = 1; c < num_chunks; ++c) {
-    seeds[c] = bound;
-    bound = std::min(bound, DistU(input.points[c * chunk_size], u));
+  {
+    // Seed rows sit on pages the chunk scans themselves examine (every
+    // chunk reads at least its first position), so they add no page
+    // charges of their own.
+    StoreCursor seed_cursor(input);
+    double bound = chunk_stats[0].final_threshold;
+    for (size_t c = 1; c < num_chunks; ++c) {
+      seeds[c] = bound;
+      bound = std::min(bound, DistU(seed_cursor.row(c * chunk_size), u));
+    }
   }
   pool->ParallelFor(num_chunks - 1,
                     [&](size_t i) { scan_chunk(i + 1, seeds[i + 1]); });

@@ -13,6 +13,7 @@
 #include "skypeer/common/point_set.h"
 #include "skypeer/common/subspace.h"
 #include "skypeer/rtree/rtree.h"
+#include "skypeer/storage/store_view.h"
 
 namespace skypeer {
 
@@ -121,6 +122,15 @@ struct ScanTrace {
   std::vector<OpCounts> cum_ops;
 
   size_t size() const { return accepted.size(); }
+
+  /// Payload bytes of this trace (element sizes, not capacities) — what
+  /// the bounded `SubspaceScanTraceCache` accounts per entry.
+  size_t ByteSize() const {
+    return sizeof(ScanTrace) + accepted.size() * sizeof(char) +
+           dist_u.size() * sizeof(double) +
+           evicted_at.size() * sizeof(size_t) +
+           cum_ops.size() * sizeof(OpCounts);
+  }
 };
 
 /// \brief Incrementally maintains a (extended) subspace skyline under
@@ -233,34 +243,54 @@ class SkylineAccumulator {
 };
 
 /// \brief Paper Algorithm 1: local subspace skyline computation over a
-/// list sorted by `f(p)`.
+/// store sorted by `f(p)` — resident or paged (see `StoreView`).
 ///
 /// Scans `input` in ascending `f` order and stops as soon as
 /// `f(p) > threshold` (exactness note: the paper scans while
 /// `f(p) < threshold`; we include ties to stay exact on inputs with equal
 /// coordinates). Returns the (extended, if `options.ext`) skyline of the
-/// input restricted to subspace `u`, sorted by `f`.
-ResultList SortedSkyline(const ResultList& input, Subspace u,
+/// input restricted to subspace `u`, sorted by `f`. When `stats` is
+/// requested, `stats->ops` additionally charges the logical store pages
+/// spanning the examined prefix (`ChargeScanPages`), identically for
+/// paged and resident stores of the same page geometry.
+ResultList SortedSkyline(const StoreView& input, Subspace u,
                          const ThresholdScanOptions& options = {},
                          ThresholdScanStats* stats = nullptr);
+inline ResultList SortedSkyline(const ResultList& input, Subspace u,
+                                const ThresholdScanOptions& options = {},
+                                ThresholdScanStats* stats = nullptr) {
+  return SortedSkyline(StoreView(&input), u, options, stats);
+}
 
 /// \brief Algorithm 1 with event recording: identical result, threshold
 /// and scan count as `SortedSkyline(input, u, options)`, but additionally
 /// fills `trace` so the scan can later be replayed under any tighter
 /// initial threshold via `ReplayScanTrace`.
-ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
+ResultList TracedSortedSkyline(const StoreView& input, Subspace u,
                                const ThresholdScanOptions& options,
                                ThresholdScanStats* stats, ScanTrace* trace);
+inline ResultList TracedSortedSkyline(const ResultList& input, Subspace u,
+                                      const ThresholdScanOptions& options,
+                                      ThresholdScanStats* stats,
+                                      ScanTrace* trace) {
+  return TracedSortedSkyline(StoreView(&input), u, options, stats, trace);
+}
 
 /// \brief Replays a recorded scan of `input` under `threshold_in`, which
 /// must satisfy `threshold_in <= trace.threshold_in`. Returns exactly what
 /// `SortedSkyline(input, u, {.initial_threshold = threshold_in})` would
-/// — same points in the same order, same `stats->scanned` and
-/// `stats->final_threshold` — in O(recorded scan length) with no
-/// dominance tests. `input` must be the list the trace was recorded over.
-ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
+/// — same points in the same order, same `stats->scanned`,
+/// `stats->final_threshold` and op counts (including the page charges of
+/// the equivalent direct scan) — in O(recorded scan length) with no
+/// dominance tests. `input` must be the store the trace was recorded over.
+ResultList ReplayScanTrace(const StoreView& input, const ScanTrace& trace,
                            double threshold_in,
                            ThresholdScanStats* stats = nullptr);
+inline ResultList ReplayScanTrace(const ResultList& input,
+                                  const ScanTrace& trace, double threshold_in,
+                                  ThresholdScanStats* stats = nullptr) {
+  return ReplayScanTrace(StoreView(&input), trace, threshold_in, stats);
+}
 
 /// \brief Chunked parallel form of Algorithm 1: splits the f-sorted input
 /// into contiguous chunks of `chunk_size` points, scans them concurrently
@@ -279,13 +309,24 @@ ResultList ReplayScanTrace(const ResultList& input, const ScanTrace& trace,
 /// scan count because later chunks cannot see thresholds discovered
 /// concurrently.
 ///
-/// `chunk_size == 0` (or an input no larger than one chunk) falls back to
-/// the sequential scan.
-ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
+/// `chunk_size` is snapped up to a whole number of store pages
+/// (`SnapChunkToPages`) in both store modes, so concurrent chunk cursors
+/// never share a buffer frame and per-chunk page charges are disjoint.
+/// `chunk_size == 0` (or an input no larger than one snapped chunk) falls
+/// back to the sequential scan.
+ResultList ParallelSortedSkyline(const StoreView& input, Subspace u,
                                  size_t chunk_size,
                                  const ThresholdScanOptions& options = {},
                                  ThresholdScanStats* stats = nullptr,
                                  ThreadPool* pool = nullptr);
+inline ResultList ParallelSortedSkyline(const ResultList& input, Subspace u,
+                                        size_t chunk_size,
+                                        const ThresholdScanOptions& options = {},
+                                        ThresholdScanStats* stats = nullptr,
+                                        ThreadPool* pool = nullptr) {
+  return ParallelSortedSkyline(StoreView(&input), u, chunk_size, options,
+                               stats, pool);
+}
 
 }  // namespace skypeer
 

@@ -31,6 +31,15 @@ struct OpCounts {
   uint64_t sort_steps = 0;
   /// Bytes serialized onto the wire (queries, replies, acks).
   uint64_t bytes_serialized = 0;
+  /// Store pages read by f-sorted scans. Logical, like every other
+  /// counter: a scan charges the pages spanning its examined prefix as a
+  /// pure function of (scan extent, page geometry), identically whether
+  /// the store is resident in memory or paged through the buffer
+  /// manager — physical pool hits, prefetch timing and evictions never
+  /// enter the counts (they are reported out-of-band).
+  uint64_t page_reads = 0;
+  /// Bytes of those page reads (page_reads * page size; whole pages).
+  uint64_t page_bytes = 0;
 
   OpCounts& operator+=(const OpCounts& other) {
     dominance_tests += other.dominance_tests;
@@ -39,6 +48,8 @@ struct OpCounts {
     merge_pulls += other.merge_pulls;
     sort_steps += other.sort_steps;
     bytes_serialized += other.bytes_serialized;
+    page_reads += other.page_reads;
+    page_bytes += other.page_bytes;
     return *this;
   }
 
@@ -52,7 +63,8 @@ struct OpCounts {
            a.rtree_node_visits == b.rtree_node_visits &&
            a.scan_steps == b.scan_steps && a.merge_pulls == b.merge_pulls &&
            a.sort_steps == b.sort_steps &&
-           a.bytes_serialized == b.bytes_serialized;
+           a.bytes_serialized == b.bytes_serialized &&
+           a.page_reads == b.page_reads && a.page_bytes == b.page_bytes;
   }
   friend bool operator!=(const OpCounts& a, const OpCounts& b) {
     return !(a == b);
@@ -60,7 +72,7 @@ struct OpCounts {
 
   uint64_t total() const {
     return dominance_tests + rtree_node_visits + scan_steps + merge_pulls +
-           sort_steps + bytes_serialized;
+           sort_steps + bytes_serialized + page_reads + page_bytes;
   }
 
   std::string ToString() const {
@@ -69,7 +81,9 @@ struct OpCounts {
            " scan=" + std::to_string(scan_steps) +
            " merge=" + std::to_string(merge_pulls) +
            " sort=" + std::to_string(sort_steps) +
-           " bytes=" + std::to_string(bytes_serialized);
+           " bytes=" + std::to_string(bytes_serialized) +
+           " pages=" + std::to_string(page_reads) +
+           " pagebytes=" + std::to_string(page_bytes);
   }
 };
 

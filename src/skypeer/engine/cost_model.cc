@@ -37,7 +37,9 @@ double CostModel::Seconds(const OpCounts& ops) const {
          static_cast<double>(ops.scan_steps) * scan_step_s +
          static_cast<double>(ops.merge_pulls) * merge_pull_s +
          static_cast<double>(ops.sort_steps) * sort_step_s +
-         static_cast<double>(ops.bytes_serialized) * byte_s;
+         static_cast<double>(ops.bytes_serialized) * byte_s +
+         static_cast<double>(ops.page_reads) * page_read_s +
+         static_cast<double>(ops.page_bytes) * page_byte_s;
 }
 
 std::string CostModel::ToProfileString() const {
@@ -48,9 +50,11 @@ std::string CostModel::ToProfileString() const {
                 "scan_step_s=%.6e\n"
                 "merge_pull_s=%.6e\n"
                 "sort_step_s=%.6e\n"
-                "byte_s=%.6e\n",
+                "byte_s=%.6e\n"
+                "page_read_s=%.6e\n"
+                "page_byte_s=%.6e\n",
                 dominance_test_s, rtree_node_visit_s, scan_step_s,
-                merge_pull_s, sort_step_s, byte_s);
+                merge_pull_s, sort_step_s, byte_s, page_read_s, page_byte_s);
   return buffer;
 }
 
@@ -84,6 +88,10 @@ bool CostModel::LoadProfileString(const std::string& text) {
       sort_step_s = parsed;
     } else if (key == "byte_s") {
       byte_s = parsed;
+    } else if (key == "page_read_s") {
+      page_read_s = parsed;
+    } else if (key == "page_byte_s") {
+      page_byte_s = parsed;
     }
     // Unknown keys are ignored for forward compatibility.
   }

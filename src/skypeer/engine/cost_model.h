@@ -46,6 +46,11 @@ struct CostModel {
   double merge_pull_s = 4.0e-8;
   double sort_step_s = 1.0e-8;
   double byte_s = 2.5e-10;
+  // Store-page I/O: a fixed per-page cost (seek + request overhead of one
+  // buffer-pool fill) plus a per-byte streaming cost. Charged against the
+  // *logical* page counts, so paged and in-memory runs bill identically.
+  double page_read_s = 2.0e-5;
+  double page_byte_s = 5.0e-10;
 
   /// Virtual seconds for `ops` under this profile.
   double Seconds(const OpCounts& ops) const;
@@ -65,6 +70,8 @@ struct CostModel {
     model.merge_pull_s = 1.0;
     model.sort_step_s = 1.0;
     model.byte_s = 1.0;
+    model.page_read_s = 1.0;
+    model.page_byte_s = 1.0;
     return model;
   }
 

@@ -32,6 +32,32 @@ std::vector<QueryTask> GenerateWorkload(int dims, int query_dims,
   return tasks;
 }
 
+namespace {
+
+// Snapshot the shared physical counters (cache, buffer pool) into the
+// aggregate at workload end. These are observability only — in parallel
+// workloads their values depend on thread interleaving.
+void SnapshotPhysicalCounters(const SkypeerNetwork& network,
+                              AggregateMetrics* aggregate) {
+  if (const SubspaceScanTraceCache* cache = network.result_cache()) {
+    const SubspaceScanTraceCache::Stats stats = cache->stats();
+    aggregate->cache_hits = stats.hits;
+    aggregate->cache_misses = stats.misses;
+    aggregate->cache_evictions = stats.evictions;
+    aggregate->cache_entries = stats.entries;
+    aggregate->cache_bytes = stats.bytes;
+  }
+  if (const BufferManager* buffer = network.buffer_manager()) {
+    const BufferManager::Stats stats = buffer->stats();
+    aggregate->buffer_hits = stats.hits;
+    aggregate->buffer_misses = stats.misses;
+    aggregate->buffer_evictions = stats.evictions;
+    aggregate->buffer_prefetches = stats.prefetches_issued;
+  }
+}
+
+}  // namespace
+
 AggregateMetrics RunWorkload(SkypeerNetwork* network,
                              const std::vector<QueryTask>& tasks,
                              Variant variant) {
@@ -45,6 +71,7 @@ AggregateMetrics RunWorkload(SkypeerNetwork* network,
           network->ExecuteQuery(task.subspace, task.initiator_sp, variant);
       aggregate.Add(result.metrics);
     }
+    SnapshotPhysicalCounters(*network, &aggregate);
     return aggregate;
   }
 
@@ -71,6 +98,9 @@ AggregateMetrics RunWorkload(SkypeerNetwork* network,
   for (const QueryMetrics& metrics : per_task) {
     aggregate.Add(metrics);
   }
+  // Parent counters only: replicas hold private buffer pools, and the
+  // cache is the shared instance, so the parent sees the workload total.
+  SnapshotPhysicalCounters(*network, &aggregate);
   return aggregate;
 }
 

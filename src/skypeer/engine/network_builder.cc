@@ -32,6 +32,20 @@ Status SkypeerNetwork::Validate(const NetworkConfig& config) {
   if (config.threads < 0) {
     return Status::InvalidArgument("threads must be >= 0");
   }
+  if (config.page_size < kMinPageSize || config.page_size > kMaxPageSize ||
+      (config.page_size & (config.page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "page_size must be a power of two in [4096, 1048576]");
+  }
+  const size_t bytes_per_block =
+      (static_cast<size_t>(config.dims) + 2) * kDomBlockWidth * sizeof(double);
+  if (config.page_size < bytes_per_block) {
+    return Status::InvalidArgument("page_size cannot hold one block");
+  }
+  if (config.buffer_pages == 1) {
+    return Status::InvalidArgument(
+        "buffer_pages must be 0 (in-memory) or >= 2");
+  }
   if (config.drop_prob < 0.0 || config.drop_prob >= 1.0) {
     return Status::InvalidArgument("drop_prob must be in [0, 1)");
   }
@@ -85,7 +99,12 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
     pool_ = owned_pool_.get();
   }
   if (config_.enable_cache) {
-    result_cache_ = std::make_shared<SubspaceScanTraceCache>();
+    result_cache_ =
+        std::make_shared<SubspaceScanTraceCache>(config_.cache_max_entries);
+  }
+  if (config_.buffer_pages > 0) {
+    buffer_ = std::make_unique<BufferManager>(config_.page_size,
+                                              config_.buffer_pages, pool());
   }
 
   const int num_sp = overlay_.num_super_peers();
@@ -95,6 +114,10 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
         std::make_unique<SuperPeer>(i, config_.dims, config_.wire));
     super_peers_.back()->set_thread_pool(pool_);
     super_peers_.back()->SetCostModel(config_.cost_model);
+    super_peers_.back()->set_page_size(config_.page_size);
+    if (buffer_ != nullptr) {
+      super_peers_.back()->ConfigurePaging(buffer_.get(), config_.page_size);
+    }
     if (result_cache_ != nullptr) {
       super_peers_.back()->SetResultCache(result_cache_);
     }
@@ -272,7 +295,7 @@ PreprocessStats SkypeerNetwork::Preprocess() {
     stats.super_peer_cpu_s += config_.cost_model.counted()
                                   ? config_.cost_model.Seconds(merge_ops[sp])
                                   : merge_cpu_s[sp];
-    stats.super_peer_ext_points += super_peers_[sp]->store().size();
+    stats.super_peer_ext_points += super_peers_[sp]->StoreSize();
   }
   total_points_ = stats.total_points;
   next_peer_id_ = config_.num_peers;
@@ -597,7 +620,7 @@ std::unique_ptr<SkypeerNetwork> SkypeerNetwork::CloneForQueries() const {
   std::vector<ResultList> stores;
   stores.reserve(super_peers_.size());
   for (const auto& sp : super_peers_) {
-    stores.push_back(sp->store());
+    stores.push_back(sp->MaterializeStore());
   }
   SKYPEER_CHECK(clone->AdoptStores(std::move(stores)).ok());
   // Share the result cache *after* AdoptStores: a replica's stores are

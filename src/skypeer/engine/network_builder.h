@@ -17,6 +17,8 @@
 #include "skypeer/engine/subspace_cache.h"
 #include "skypeer/engine/super_peer.h"
 #include "skypeer/sim/simulator.h"
+#include "skypeer/storage/buffer_manager.h"
+#include "skypeer/storage/page_layout.h"
 #include "skypeer/topology/overlay.h"
 
 namespace skypeer {
@@ -62,6 +64,25 @@ struct NetworkConfig {
   /// incoming threshold — the exact truncated-scan result with zero
   /// dominance tests.
   bool enable_cache = false;
+  /// Bound on the number of scan traces the per-subspace cache retains
+  /// (least-recently-used eviction, deterministic under a fixed query
+  /// order). 0 (default) keeps the cache unbounded. Results and
+  /// simulated metrics are identical at any cap — an evicted entry is
+  /// refilled by the same pure function of (store, subspace, filter).
+  size_t cache_max_entries = 0;
+  /// Store page size in bytes (power of two in [4 KiB, 1 MiB]). Fixes
+  /// the blocked-SoA page geometry used for the *logical*
+  /// `page_reads`/`page_bytes` charges in both store modes, and the
+  /// physical page size when `buffer_pages` > 0.
+  size_t page_size = kDefaultPageSize;
+  /// Beyond-RAM super-peer stores: when > 0 (minimum 2), every
+  /// super-peer spills its f-sorted store to disk pages in the paged
+  /// blocked-SoA layout and scans stream through a shared pinning buffer
+  /// manager of this many frames, with deterministic read-ahead on the
+  /// network's pool. Results, thresholds and every metric (operation
+  /// counts included) are bit-identical to the in-memory default (0);
+  /// only physical pool statistics (hits/misses/evictions) differ.
+  size_t buffer_pages = 0;
   /// Chunk size of the chunked parallel threshold scan at super-peers
   /// (`ParallelSortedSkyline`): local scans over stores larger than one
   /// chunk split into contiguous chunks executed on the global thread
@@ -249,6 +270,16 @@ class SkypeerNetwork {
   const SuperPeer& super_peer(int i) const { return *super_peers_[i]; }
   const PointSet& all_data() const { return all_data_; }
 
+  /// The shared buffer manager backing paged stores; nullptr in the
+  /// in-memory default. Its statistics are physical (hit/miss/eviction)
+  /// and out-of-band — they never feed simulated metrics.
+  const BufferManager* buffer_manager() const { return buffer_.get(); }
+
+  /// The shared per-subspace trace cache; nullptr unless `enable_cache`.
+  const SubspaceScanTraceCache* result_cache() const {
+    return result_cache_.get();
+  }
+
  private:
   struct RunOutcome {
     double completion_s = 0.0;
@@ -276,6 +307,10 @@ class SkypeerNetwork {
   NetworkConfig config_;
   Overlay overlay_;
   sim::Simulator simulator_;
+  /// Backs every super-peer's paged store (`buffer_pages` > 0 only).
+  /// Declared before `super_peers_` so it is destroyed after them — the
+  /// stores drop their pages on destruction.
+  std::unique_ptr<BufferManager> buffer_;
   std::vector<std::unique_ptr<SuperPeer>> super_peers_;
   /// Private pool when `config_.threads > 0`; replica clones point
   /// `pool_` at the parent's pool instead of owning one.

@@ -57,7 +57,7 @@ Status SaveStores(const SkypeerNetwork& network, const std::string& path) {
   }
   for (int sp = 0; sp < network.num_super_peers(); ++sp) {
     const std::vector<uint8_t> encoded =
-        EncodeResultList(network.super_peer(sp).store(), full);
+        EncodeResultList(network.super_peer(sp).MaterializeStore(), full);
     if (!WriteU64(file.get(), encoded.size()) ||
         (!encoded.empty() &&
          std::fwrite(encoded.data(), 1, encoded.size(), file.get()) !=

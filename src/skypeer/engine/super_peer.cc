@@ -67,10 +67,22 @@ void SuperPeer::RebuildStore(ThresholdScanStats* stats) {
     inputs.push_back(&list);
   }
   // Zero inputs (every peer departed) merge to the empty store.
-  store_ = MergeSortedSkylines(dims_, inputs, Subspace::FullSpace(dims_),
-                               options, stats);
+  InstallStore(MergeSortedSkylines(dims_, inputs, Subspace::FullSpace(dims_),
+                                   options, stats));
   if (cache_ != nullptr) {
     cache_->Invalidate(id_);
+  }
+}
+
+void SuperPeer::InstallStore(ResultList store) {
+  if (buffer_ != nullptr) {
+    // Spill through the buffer manager: fresh page ids, so any frame
+    // still holding a page of the previous store is unreachable; the old
+    // pages themselves are dropped by Release() inside Build-then-move.
+    paged_store_ = PagedStore::Build(store, buffer_);
+    store_ = ResultList(dims_);
+  } else {
+    store_ = std::move(store);
   }
 }
 
@@ -91,7 +103,7 @@ double SuperPeer::FinalizePreprocessing(OpCounts* ops) {
 void SuperPeer::SetStore(ResultList store) {
   SKYPEER_CHECK(store.points.dims() == dims_);
   SKYPEER_CHECK(store.IsSorted());
-  store_ = std::move(store);
+  InstallStore(std::move(store));
   peer_lists_.clear();
   if (cache_ != nullptr) {
     cache_->Invalidate(id_);
@@ -115,10 +127,18 @@ Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
   // existing store and the newcomer's list suffice.
   ThresholdScanOptions options;
   options.ext = true;
-  std::vector<const ResultList*> inputs = {&store_, &list};
+  // A paged store must come back into memory for the merge — the
+  // incremental join is a churn-path operation, not a scan.
+  ResultList materialized(dims_);
+  const ResultList* current = &store_;
+  if (paged_store_.valid()) {
+    materialized = paged_store_.Materialize();
+    current = &materialized;
+  }
+  std::vector<const ResultList*> inputs = {current, &list};
   ResultList merged =
       MergeSortedSkylines(inputs, Subspace::FullSpace(dims_), options);
-  store_ = std::move(merged);
+  InstallStore(std::move(merged));
   if (retain_peer_lists_) {
     peer_lists_.emplace(peer_id, std::move(list));
   }
@@ -540,15 +560,16 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
                              double* threshold_out, size_t* scanned,
                              OpCounts* ops, double* cpu_s) {
   *ops = OpCounts{};
+  const StoreView view = View();
   if (variant == Variant::kNaive) {
     // The baseline ignores the f-ordering and the threshold: a plain BNL
     // over the store, then sorted for shipping.
     const auto start = std::chrono::steady_clock::now();
-    PointSet skyline = BnlSkyline(store_.points, subspace, /*ext=*/false, ops);
+    PointSet skyline = BnlSkylineView(view, subspace, /*ext=*/false, ops);
     ops->sort_steps += SortCost(skyline.size());
     *local = std::make_shared<const ResultList>(BuildSortedByF(skyline));
     *threshold_out = threshold_in;
-    *scanned = store_.size();
+    *scanned = view.size();
     *cpu_s = SecondsSince(start);
     return;
   }
@@ -584,14 +605,14 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
       auto trace = std::make_shared<ScanTrace>();
       ThresholdScanOptions fill_options;
       fill_options.filter = filter;
-      TracedSortedSkyline(store_, subspace, fill_options, nullptr,
+      TracedSortedSkyline(view, subspace, fill_options, nullptr,
                           trace.get());
       entry = cache_->Insert(id_, subspace.mask(), filter_fp,
                              std::move(trace));
     }
     ThresholdScanStats stats;
     *local = std::make_shared<const ResultList>(
-        ReplayScanTrace(store_, *entry, threshold_in, &stats));
+        ReplayScanTrace(view, *entry, threshold_in, &stats));
     *threshold_out = stats.final_threshold;
     *scanned = stats.scanned;
     // Only the replay is counted: the fill is amortized cache warming, and
@@ -610,7 +631,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
   // Bit-identical to the sequential scan; chunk size 0 or a store no
   // larger than one chunk runs sequentially.
   *local = std::make_shared<const ResultList>(
-      ParallelSortedSkyline(store_, subspace, scan_chunk_size_, options,
+      ParallelSortedSkyline(view, subspace, scan_chunk_size_, options,
                             &stats, pool_));
   // The scan threshold only ever tightens; RT*M forwards this value.
   *threshold_out = stats.final_threshold;
@@ -662,8 +683,13 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
   staged.threshold_in = fixed_threshold;
   staged.filter_fp = filter != nullptr ? FilterFingerprint(*filter) : 0;
   staged.speculative = true;
+  const StoreView view = View();
+  // Mirrors ParallelSortedSkyline's sequential fallback, including the
+  // page-snapped chunk size, so "sequential" is decided identically here
+  // and inside the scan.
+  const size_t chunk = SnapChunkToPages(view.layout(), scan_chunk_size_);
   if (variant != Variant::kNaive && !cache_enabled_ &&
-      (scan_chunk_size_ == 0 || store_.size() <= scan_chunk_size_)) {
+      (chunk == 0 || view.size() <= chunk)) {
     // Sequential scan: record the event trace so the reconcile can replay
     // the scan under the refined threshold without any dominance test.
     // The filter seeds are baked into the recorded events; the staged
@@ -673,7 +699,7 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
     options.filter = filter.get();
     ThresholdScanStats stats;
     staged.local = std::make_shared<const ResultList>(TracedSortedSkyline(
-        store_, subspace, options, &stats, &staged.trace));
+        view, subspace, options, &stats, &staged.trace));
     staged.threshold_out = stats.final_threshold;
     staged.scanned = stats.scanned;
     staged.ops = stats.ops;
@@ -746,7 +772,7 @@ void SuperPeer::ComputeLocal(sim::Simulator* simulator, QueryState* state) {
       const auto start = std::chrono::steady_clock::now();
       ThresholdScanStats stats;
       state->local = std::make_shared<const ResultList>(ReplayScanTrace(
-          store_, staged_->trace, state->threshold, &stats));
+          View(), staged_->trace, state->threshold, &stats));
       state->threshold = stats.final_threshold;
       state->scanned = stats.scanned;
       staged_.reset();

@@ -12,6 +12,7 @@
 
 #include "skypeer/algo/result_list.h"
 #include "skypeer/algo/sorted_skyline.h"
+#include "skypeer/common/macros.h"
 #include "skypeer/common/op_counts.h"
 #include "skypeer/common/status.h"
 #include "skypeer/common/subspace.h"
@@ -20,6 +21,8 @@
 #include "skypeer/engine/reliable.h"
 #include "skypeer/engine/subspace_cache.h"
 #include "skypeer/sim/simulator.h"
+#include "skypeer/storage/paged_store.h"
+#include "skypeer/storage/store_view.h"
 
 namespace skypeer {
 
@@ -76,7 +79,48 @@ class SuperPeer : public sim::Node {
   double FinalizePreprocessing(OpCounts* ops = nullptr);
 
   /// The merged extended skyline this super-peer serves queries from.
-  const ResultList& store() const { return store_; }
+  /// Only valid in the default in-memory mode; a paged node keeps its
+  /// store out of RAM (use `MaterializeStore` / `StoreSize` instead).
+  const ResultList& store() const {
+    SKYPEER_CHECK(!paged_store_.valid());
+    return store_;
+  }
+
+  /// Routes this node's store through `buffer` (page-granular blocked-SoA
+  /// layout, `page_size` bytes per page). Must be called before the store
+  /// is built; every subsequent build/merge spills through the buffer
+  /// manager and scans stream via pinned pages. Results, thresholds and
+  /// all operation counts are bit-identical to the in-memory mode.
+  void ConfigurePaging(BufferManager* buffer, size_t page_size) {
+    SKYPEER_CHECK(buffer != nullptr);
+    SKYPEER_CHECK(store_.empty() && !paged_store_.valid());
+    buffer_ = buffer;
+    page_size_ = page_size;
+  }
+
+  /// Page geometry used for logical page charging while the store stays
+  /// in memory; must match the `--page-size` a paged run would use so
+  /// the two modes bill identical `page_reads`/`page_bytes`.
+  void set_page_size(size_t page_size) { page_size_ = page_size; }
+
+  /// Number of rows in the store, valid in both store modes.
+  size_t StoreSize() const {
+    return paged_store_.valid() ? paged_store_.size() : store_.size();
+  }
+
+  /// Decodes the store into an in-memory `ResultList` (both modes) —
+  /// snapshot persistence and replica cloning use this instead of
+  /// `store()` so they work against paged nodes too.
+  ResultList MaterializeStore() const {
+    return paged_store_.valid() ? paged_store_.Materialize() : store_;
+  }
+
+  /// The store as a scan view: pinned pages when paged, the resident list
+  /// otherwise. Page-charging geometry is identical in both modes.
+  StoreView View() const {
+    return paged_store_.valid() ? StoreView(&paged_store_)
+                                : StoreView(&store_, page_size_);
+  }
 
   /// Replaces the store wholesale (snapshot restore). The list must be
   /// f-sorted. Clears the result cache and retained peer lists and marks
@@ -494,10 +538,20 @@ class SuperPeer : public sim::Node {
   /// statistics are added to `stats` when non-null.
   void RebuildStore(ThresholdScanStats* stats = nullptr);
 
+  /// Installs the new store list: spilled through the buffer manager in
+  /// paged mode (dropping the previous store's pages), kept resident
+  /// otherwise. `store_` stays a dims-correct empty list while paged.
+  void InstallStore(ResultList store);
+
   int id_;
   int dims_;
   WireModel wire_;
   ResultList store_;
+  /// Beyond-RAM store (see ConfigurePaging); invalid in in-memory mode.
+  PagedStore paged_store_;
+  BufferManager* buffer_ = nullptr;
+  /// Page geometry used for logical page charging in *both* modes.
+  size_t page_size_ = kDefaultPageSize;
   /// Uploaded peer lists awaiting the merge; emptied by
   /// FinalizePreprocessing unless retention is on.
   std::map<int, ResultList> peer_lists_;

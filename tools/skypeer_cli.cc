@@ -30,6 +30,8 @@
 #include "skypeer/engine/experiment.h"
 #include "skypeer/engine/network_builder.h"
 #include "skypeer/engine/zipf_workload.h"
+#include "skypeer/storage/buffer_manager.h"
+#include "skypeer/storage/paged_store.h"
 
 namespace {
 
@@ -96,6 +98,18 @@ void PrintUsageAndExit(const char* binary, int code) {
       "                   (default 0 = no filter). Skylines are identical\n"
       "                   either way; ext-SKY shipping volume drops\n"
       "  --cache          enable the per-subspace result cache\n"
+      "  --cache-cap N    bound the result cache to N entries with LRU\n"
+      "                   eviction (default 0 = unbounded); results and\n"
+      "                   simulated metrics are identical at any cap\n"
+      "  --page-size B    store page size in bytes, a power of two in\n"
+      "                   [4096, 1048576] (default 4096); fixes the\n"
+      "                   logical page-charging geometry in both store\n"
+      "                   modes\n"
+      "  --buffer-pages N beyond-RAM stores: spill super-peer stores to\n"
+      "                   disk pages behind a pinning buffer manager of N\n"
+      "                   frames (N >= 2; default 0 = in-memory). Results\n"
+      "                   and every simulated metric are bit-identical to\n"
+      "                   the in-memory mode\n"
       "  --force-scalar   pin the dominance kernels to the scalar path\n"
       "                   instead of runtime SIMD dispatch (same effect as\n"
       "                   SKYPEER_FORCE_SCALAR=1). Results and metrics are\n"
@@ -230,6 +244,15 @@ CliOptions Parse(int argc, char** argv) {
       options.calibrate = true;
     } else if (std::strcmp(arg, "--cache") == 0) {
       options.network.enable_cache = true;
+    } else if (std::strcmp(arg, "--cache-cap") == 0) {
+      options.network.cache_max_entries =
+          static_cast<size_t>(ParseU64Flag("--cache-cap", next_value(&i)));
+    } else if (std::strcmp(arg, "--page-size") == 0) {
+      options.network.page_size =
+          static_cast<size_t>(ParseU64Flag("--page-size", next_value(&i)));
+    } else if (std::strcmp(arg, "--buffer-pages") == 0) {
+      options.network.buffer_pages =
+          static_cast<size_t>(ParseU64Flag("--buffer-pages", next_value(&i)));
     } else if (std::strcmp(arg, "--force-scalar") == 0) {
       SetForceScalarKernels(true);
     } else if (std::strcmp(arg, "--reliable") == 0) {
@@ -419,6 +442,36 @@ CostModel Calibrate(uint64_t seed) {
     model.byte_s =
         ClampCost(wall / (static_cast<double>(bytes) * reps));
   }
+
+  // page_read_s / page_byte_s: stream the same paged store at two page
+  // sizes through a pool far smaller than the store (every pin is a cold
+  // read). Total payload bytes are equal, so the wall-time difference is
+  // the per-page fixed cost; the residual of the large-page run is the
+  // per-byte streaming cost.
+  {
+    const ResultList spill =
+        BuildSortedByF(GenerateUniform(dims, size_t{1} << 15, &rng));
+    const auto stream = [&](size_t page_size, size_t* pages) {
+      BufferManager buffer(page_size, /*num_frames=*/4);
+      const PagedStore store = PagedStore::Build(spill, &buffer);
+      *pages = store.num_pages();
+      ResultList decoded(dims);
+      return BestWallSeconds(3, [&] { decoded = store.Materialize(); });
+    };
+    size_t pages_small = 0;
+    size_t pages_large = 0;
+    const double wall_small = stream(kMinPageSize, &pages_small);
+    const double wall_large = stream(size_t{1} << 16, &pages_large);
+    const double extra_pages =
+        static_cast<double>(pages_small) - static_cast<double>(pages_large);
+    model.page_read_s =
+        ClampCost((wall_small - wall_large) / std::max(1.0, extra_pages));
+    const double large_bytes =
+        static_cast<double>(pages_large) * static_cast<double>(size_t{1} << 16);
+    model.page_byte_s = ClampCost(
+        (wall_large - static_cast<double>(pages_large) * model.page_read_s) /
+        std::max(1.0, large_bytes));
+  }
   return model;
 }
 
@@ -480,6 +533,10 @@ int main(int argc, char** argv) {
               DomKernelModeName(ActiveDomKernelMode()));
   std::printf("cpu charging: %s\n",
               CostModelModeName(options.network.cost_model.mode));
+  if (options.network.buffer_pages > 0) {
+    std::printf("store paging: %zu-byte pages, %zu-frame buffer pool\n",
+                options.network.page_size, options.network.buffer_pages);
+  }
   const PreprocessStats stats = network.Preprocess();
   std::printf(
       "pre-processing: n=%zu  SEL_p=%.1f%%  SEL_sp=%.1f%%  "
@@ -537,6 +594,32 @@ int main(int argc, char** argv) {
           aggregate.avg_coverage() * 100, aggregate.partial_queries,
           aggregate.queries, aggregate.avg_retransmits());
     }
+  }
+  // Out-of-band physical counters: hit/miss/eviction totals depend on
+  // thread interleaving in parallel workloads, so they are printed under
+  // a greppable prefix and never enter determinism comparisons.
+  if (const SubspaceScanTraceCache* cache = network.result_cache()) {
+    const SubspaceScanTraceCache::Stats cs = cache->stats();
+    std::printf(
+        "physical: cache hits=%llu misses=%llu evictions=%llu "
+        "entries=%llu bytes=%llu\n",
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.evictions),
+        static_cast<unsigned long long>(cs.entries),
+        static_cast<unsigned long long>(cs.bytes));
+  }
+  if (const BufferManager* buffer = network.buffer_manager()) {
+    const BufferManager::Stats bs = buffer->stats();
+    std::printf(
+        "physical: buffer hits=%llu misses=%llu evictions=%llu "
+        "prefetches=%llu prefetch_hits=%llu pages_written=%llu\n",
+        static_cast<unsigned long long>(bs.hits),
+        static_cast<unsigned long long>(bs.misses),
+        static_cast<unsigned long long>(bs.evictions),
+        static_cast<unsigned long long>(bs.prefetches_issued),
+        static_cast<unsigned long long>(bs.prefetch_hits),
+        static_cast<unsigned long long>(bs.pages_written));
   }
   return 0;
 }
