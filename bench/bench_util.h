@@ -32,6 +32,9 @@ namespace skypeer::bench {
 ///   --filter-set N broadcast at most N sampled filter points from the
 ///                  initiator's local skyline with every query (default 0
 ///                  = no filter); skylines are identical either way
+///   --block-skip   consult per-block zone-map summaries during threshold
+///                  scans (default off); results and all metrics except
+///                  the new skip counters are identical either way
 ///   --page-size B  store page size in bytes (power of two in
 ///                  [4096, 1048576], default 4096); fixes the logical
 ///                  page-charging geometry in both store modes
@@ -55,6 +58,7 @@ struct BenchOptions {
   size_t page_size = kDefaultPageSize;
   size_t buffer_pages = 0;  // 0: in-memory stores.
   size_t cache_cap = 0;     // 0: unbounded trace cache.
+  bool block_skip = false;  // Zone-map block skipping in threshold scans.
   bool speculative_rt = false;
   bool full = false;
   CostModel cost_model;
@@ -135,7 +139,8 @@ inline std::string JsonOpCounts(const OpCounts& ops) {
                 "{\"dominance_tests\":%llu,\"rtree_node_visits\":%llu,"
                 "\"scan_steps\":%llu,\"merge_pulls\":%llu,"
                 "\"sort_steps\":%llu,\"bytes_serialized\":%llu,"
-                "\"page_reads\":%llu,\"page_bytes\":%llu}",
+                "\"page_reads\":%llu,\"page_bytes\":%llu,"
+                "\"summary_tests\":%llu,\"blocks_skipped\":%llu}",
                 static_cast<unsigned long long>(ops.dominance_tests),
                 static_cast<unsigned long long>(ops.rtree_node_visits),
                 static_cast<unsigned long long>(ops.scan_steps),
@@ -143,7 +148,9 @@ inline std::string JsonOpCounts(const OpCounts& ops) {
                 static_cast<unsigned long long>(ops.sort_steps),
                 static_cast<unsigned long long>(ops.bytes_serialized),
                 static_cast<unsigned long long>(ops.page_reads),
-                static_cast<unsigned long long>(ops.page_bytes));
+                static_cast<unsigned long long>(ops.page_bytes),
+                static_cast<unsigned long long>(ops.summary_tests),
+                static_cast<unsigned long long>(ops.blocks_skipped));
   return buffer;
 }
 
@@ -215,6 +222,8 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-cap") == 0 && i + 1 < argc) {
       options.cache_cap =
           static_cast<size_t>(ParseU64Flag("--cache-cap", argv[++i]));
+    } else if (std::strcmp(argv[i], "--block-skip") == 0) {
+      options.block_skip = true;
     } else if (std::strcmp(argv[i], "--speculative-rt") == 0) {
       options.speculative_rt = true;
     } else if (std::strcmp(argv[i], "--cost-model") == 0 && i + 1 < argc) {
@@ -236,7 +245,8 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       std::printf(
           "usage: %s [--queries N] [--seed S] [--threads N] "
           "[--scan-chunk N] [--filter-set N] [--page-size B] "
-          "[--buffer-pages N] [--cache-cap N] [--speculative-rt] "
+          "[--buffer-pages N] [--cache-cap N] [--block-skip] "
+          "[--speculative-rt] "
           "[--cost-model measured|calibrated|unit] [--json PATH] [--full]\n",
           argv[0]);
       std::exit(0);
@@ -256,14 +266,15 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       buffer, sizeof(buffer),
       "{\"queries\": %d, \"seed\": %llu, \"threads\": %d, "
       "\"scan_chunk\": %llu, \"filter_set\": %llu, \"page_size\": %llu, "
-      "\"buffer_pages\": %llu, \"cache_cap\": %llu, \"speculative_rt\": %s, "
-      "\"full\": %s, \"cost_model\": \"%s\"}",
+      "\"buffer_pages\": %llu, \"cache_cap\": %llu, \"block_skip\": %s, "
+      "\"speculative_rt\": %s, \"full\": %s, \"cost_model\": \"%s\"}",
       options.queries, static_cast<unsigned long long>(options.seed),
       options.threads, static_cast<unsigned long long>(options.scan_chunk),
       static_cast<unsigned long long>(options.filter_set),
       static_cast<unsigned long long>(options.page_size),
       static_cast<unsigned long long>(options.buffer_pages),
       static_cast<unsigned long long>(options.cache_cap),
+      options.block_skip ? "true" : "false",
       options.speculative_rt ? "true" : "false",
       options.full ? "true" : "false", CostModelModeName(options.cost_model.mode));
   report.options_json = buffer;
@@ -365,6 +376,7 @@ inline SkypeerNetwork BuildNetwork(NetworkConfig config,
                                    const BenchOptions& options) {
   config.scan_chunk_size = options.scan_chunk;
   config.filter_set_size = options.filter_set;
+  config.block_skip = options.block_skip;
   config.speculative_rt = options.speculative_rt;
   config.page_size = options.page_size;
   config.buffer_pages = options.buffer_pages;
@@ -372,16 +384,16 @@ inline SkypeerNetwork BuildNetwork(NetworkConfig config,
   config.cost_model = options.cost_model;
   std::printf(
       "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
-      "scan_chunk=%zu filter_set=%zu page_size=%zu buffer_pages=%zu "
-      "cost_model=%s\n",
+      "scan_chunk=%zu filter_set=%zu block_skip=%d page_size=%zu "
+      "buffer_pages=%zu cost_model=%s\n",
       config.num_peers,
       config.num_super_peers > 0 ? config.num_super_peers
                                  : DefaultNumSuperPeers(config.num_peers),
       config.points_per_peer, config.dims, config.degree_sp,
       DistributionName(config.distribution),
       static_cast<unsigned long long>(config.seed), config.scan_chunk_size,
-      config.filter_set_size, config.page_size, config.buffer_pages,
-      CostModelModeName(config.cost_model.mode));
+      config.filter_set_size, config.block_skip ? 1 : 0, config.page_size,
+      config.buffer_pages, CostModelModeName(config.cost_model.mode));
   return SkypeerNetwork(config);
 }
 

@@ -20,6 +20,185 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Shared consume loop of every threshold-scan form: scans positions
+/// [begin, end) of `input` in ascending order, offering each point whose
+/// `f` is within the accumulator's running threshold, and returns the
+/// number of points consumed. Scan-level charges (scan steps, page
+/// charges and — under block skipping — summary probes and skipped
+/// blocks) accumulate into `scan_ops`, kept apart from the accumulator's
+/// window-evolution ops so traced scans record replayable `cum_ops`.
+/// When `trace` is non-null, per-position events are recorded exactly as
+/// `TracedSortedSkyline` documents (only the sequential `begin == 0`
+/// forms trace, so eviction tags index the trace directly).
+///
+/// With `block_skip` and a store summary attached, each 8-wide block is
+/// probed before its points: a block whose min-vector is dominated by a
+/// live window entry is consumed without per-point offers — wholesale
+/// (without reading the store at all) when its `[f_min, f_max]` range
+/// fits under the running threshold, else by a per-position `f` walk
+/// that keeps the stopping point bit-identical to the plain scan. Page
+/// charges then switch from the whole-prefix `ChargeScanPages` to
+/// incremental per-page touches, so pages covered only by wholesale-
+/// skipped blocks are never charged (nor pinned on a paged store).
+size_t RunThresholdScanLoop(const StoreView& input, Subspace u, size_t begin,
+                            size_t end, bool block_skip,
+                            SkylineAccumulator* acc, OpCounts* scan_ops,
+                            ScanTrace* trace) {
+  const StoreSummary* summary = input.summary();
+  const bool skip = block_skip && summary != nullptr;
+  if (trace != nullptr) {
+    trace->block_skip = skip;
+  }
+  StoreCursor cursor(input);
+  std::vector<uint64_t> evicted;
+  const auto consume = [&](size_t i, double f) {
+    const double* p = cursor.row(i);
+    const PointId id = cursor.id(i);
+    if (trace == nullptr) {
+      acc->Offer(p, id, f);
+      return;
+    }
+    evicted.clear();
+    const bool accepted = acc->OfferTagged(p, id, f, i, &evicted);
+    trace->accepted.push_back(accepted ? 1 : 0);
+    trace->dist_u.push_back(accepted ? DistU(p, u) : 0.0);
+    trace->evicted_at.push_back(ScanTrace::kNeverEvicted);
+    for (uint64_t victim : evicted) {
+      trace->evicted_at[victim] = i;
+    }
+    trace->cum_ops.push_back(acc->ops());
+  };
+
+  if (!skip) {
+    size_t scanned = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const double f = cursor.f(i);
+      if (f > acc->threshold()) {
+        break;
+      }
+      consume(i, f);
+      ++scanned;
+    }
+    scan_ops->scan_steps += scanned;
+    ChargeScanPages(input.layout(), begin, end, scanned, scan_ops);
+    return scanned;
+  }
+
+  if (input.paged()) {
+    // Physical-only read-ahead hint: upcoming pages whose summary fold
+    // already satisfies both skip conditions will never be pinned by
+    // this scan, so read-ahead jumps them. The filter consults the live
+    // threshold and window, so a hint can be stale by the time the scan
+    // arrives — that costs one synchronous pin, never correctness, and
+    // logical charges do not see prefetches at all.
+    cursor.set_prefetch_filter([acc, summary](size_t page) {
+      return summary->page_f_max(page) <= acc->threshold() &&
+             acc->WindowRejectsSummary(summary->page_min(page));
+    });
+  }
+
+  const PageLayout& layout = input.layout();
+  const size_t points_per_page = layout.points_per_page();
+  size_t last_page = static_cast<size_t>(-1);
+  // Incremental page charging: positions ascend and every 8-block sits
+  // inside one page (pages hold whole blocks), so charging on page
+  // change reproduces `ChargeScanPages` exactly when nothing skips
+  // wholesale, and drops exactly the pages no position of which is
+  // examined. Identical in both store modes — it reads the layout only.
+  const auto touch = [&](size_t i) {
+    const size_t page = i / points_per_page;
+    if (page != last_page) {
+      scan_ops->page_reads += 1;
+      scan_ops->page_bytes += layout.page_size;
+      last_page = page;
+    }
+  };
+  // Positions consumed without an offer still get trace entries — the
+  // exact entries the plain traced scan records for rejected points —
+  // so traces are position-aligned regardless of skipping.
+  const auto record_skipped = [&](size_t count) {
+    if (trace == nullptr) {
+      return;
+    }
+    for (size_t k = 0; k < count; ++k) {
+      trace->accepted.push_back(0);
+      trace->dist_u.push_back(0.0);
+      trace->evicted_at.push_back(ScanTrace::kNeverEvicted);
+      trace->cum_ops.push_back(acc->ops());
+    }
+  };
+
+  size_t scanned = 0;
+  size_t i = begin;
+  while (i < end) {
+    const size_t block = i / kDomBlockWidth;
+    const size_t block_end = std::min(end, (block + 1) * kDomBlockWidth);
+    // Cheapest test first: the block's own f minimum (its first point —
+    // the store is f-sorted) already proves the stop condition without
+    // touching the store or the window. Charges nothing, exactly like
+    // the plain scan's terminating f-read.
+    if (summary->block_f_min(block) > acc->threshold()) {
+      break;
+    }
+    scan_ops->summary_tests += 1;
+    const bool rejected = acc->WindowRejectsSummary(summary->block_min(block));
+    if (trace != nullptr) {
+      trace->block_rejected.push_back(rejected ? 1 : 0);
+    }
+    if (rejected) {
+      scan_ops->blocks_skipped += 1;
+      if (summary->block_f_max(block) <= acc->threshold()) {
+        // Wholesale skip: every point of the block is within threshold
+        // and dominated; consume the block without reading it. No scan
+        // steps, no page touch — and rejected points have no side
+        // effects on window or threshold, so nothing downstream can
+        // tell the offers never ran.
+        record_skipped(block_end - i);
+        scanned += block_end - i;
+        i = block_end;
+        continue;
+      }
+      // The running threshold may cut inside this block: walk `f` only
+      // (no dominance work — the probe already rejected every point) so
+      // the stopping position, and with it `scanned`, stays
+      // bit-identical to the plain scan.
+      bool stopped = false;
+      for (; i < block_end; ++i) {
+        touch(i);
+        if (cursor.f(i) > acc->threshold()) {
+          stopped = true;
+          break;
+        }
+        record_skipped(1);
+        scan_ops->scan_steps += 1;
+        ++scanned;
+      }
+      if (stopped) {
+        break;
+      }
+      continue;
+    }
+    // Unrejected block: the plain per-point offer loop. Accepts may
+    // tighten the threshold mid-block; later block probes see it.
+    bool stopped = false;
+    for (; i < block_end; ++i) {
+      touch(i);
+      const double f = cursor.f(i);
+      if (f > acc->threshold()) {
+        stopped = true;
+        break;
+      }
+      consume(i, f);
+      scan_ops->scan_steps += 1;
+      ++scanned;
+    }
+    if (stopped) {
+      break;
+    }
+  }
+  return scanned;
+}
+
 }  // namespace
 
 ResultList BuildSortedByF(const PointSet& input) {
@@ -151,6 +330,21 @@ bool SkylineAccumulator::OfferTagged(const double* p, PointId id, double f,
   return true;
 }
 
+bool SkylineAccumulator::WindowRejectsSummary(const double* min_row) const {
+  double proj[kMaxDims];
+  {
+    int j = 0;
+    for (int dim : u_) {
+      proj[j++] = min_row[dim];
+    }
+  }
+  // `window_proj_` is maintained by both the R-tree and the linear offer
+  // paths, so the probe is one batched kernel call either way; killed
+  // lanes are +inf and never dominate. Deliberately uncharged here —
+  // callers account `summary_tests` in scan-level ops (see header).
+  return AnyDominatesSummary(window_proj_, proj, strict_);
+}
+
 void SkylineAccumulator::MaybeCompact() {
   if (window_points_.size() < compact_min_window_ ||
       !(static_cast<double>(alive_) <
@@ -267,23 +461,15 @@ ResultList SortedSkyline(const StoreView& input, Subspace u,
   if (options.filter != nullptr && !options.filter->empty()) {
     accumulator.SeedWindow(*options.filter);
   }
-  StoreCursor cursor(input);
-  const size_t n = input.size();
-  size_t scanned = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const double f = cursor.f(i);
-    if (f > accumulator.threshold()) {
-      break;
-    }
-    accumulator.Offer(cursor.row(i), cursor.id(i), f);
-    ++scanned;
-  }
+  OpCounts scan_ops;
+  const size_t scanned =
+      RunThresholdScanLoop(input, u, 0, input.size(), options.block_skip,
+                           &accumulator, &scan_ops, nullptr);
   if (stats != nullptr) {
     stats->scanned = scanned;
     stats->final_threshold = accumulator.threshold();
     stats->ops = accumulator.ops();
-    stats->ops.scan_steps += scanned;
-    ChargeScanPages(input.layout(), 0, n, scanned, &stats->ops);
+    stats->ops += scan_ops;
     stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
@@ -299,6 +485,8 @@ ResultList TracedSortedSkyline(const StoreView& input, Subspace u,
   trace->dist_u.clear();
   trace->evicted_at.clear();
   trace->cum_ops.clear();
+  trace->block_skip = false;
+  trace->block_rejected.clear();
 
   const auto start = std::chrono::steady_clock::now();
   SkylineAccumulator accumulator(input.dims(), u, options);
@@ -308,34 +496,15 @@ ResultList TracedSortedSkyline(const StoreView& input, Subspace u,
     // scans under the *same* filter (the cache keys on its fingerprint).
     accumulator.SeedWindow(*options.filter);
   }
-  StoreCursor cursor(input);
-  const size_t n = input.size();
-  std::vector<uint64_t> evicted;
-  size_t scanned = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const double f = cursor.f(i);
-    if (f > accumulator.threshold()) {
-      break;
-    }
-    const double* p = cursor.row(i);
-    const PointId id = cursor.id(i);
-    evicted.clear();
-    const bool accepted = accumulator.OfferTagged(p, id, f, i, &evicted);
-    trace->accepted.push_back(accepted ? 1 : 0);
-    trace->dist_u.push_back(accepted ? DistU(p, u) : 0.0);
-    trace->evicted_at.push_back(ScanTrace::kNeverEvicted);
-    for (uint64_t victim : evicted) {
-      trace->evicted_at[victim] = i;
-    }
-    trace->cum_ops.push_back(accumulator.ops());
-    ++scanned;
-  }
+  OpCounts scan_ops;
+  const size_t scanned =
+      RunThresholdScanLoop(input, u, 0, input.size(), options.block_skip,
+                           &accumulator, &scan_ops, trace);
   if (stats != nullptr) {
     stats->scanned = scanned;
     stats->final_threshold = accumulator.threshold();
     stats->ops = accumulator.ops();
-    stats->ops.scan_steps += scanned;
-    ChargeScanPages(input.layout(), 0, n, scanned, &stats->ops);
+    stats->ops += scan_ops;
     stats->cpu_seconds = SecondsSince(start);
   }
   return accumulator.TakeResult();
@@ -379,8 +548,52 @@ ResultList ReplayScanTrace(const StoreView& input, const ScanTrace& trace,
     if (cut > 0 && trace.cum_ops.size() >= cut) {
       stats->ops = trace.cum_ops[cut - 1];
     }
-    stats->ops.scan_steps += cut;
-    ChargeScanPages(input.layout(), 0, input.size(), cut, &stats->ops);
+    if (!trace.block_skip) {
+      stats->ops.scan_steps += cut;
+      ChargeScanPages(input.layout(), 0, input.size(), cut, &stats->ops);
+    } else {
+      // Closed-form reconstruction of the skip scan's charges at the
+      // replayed cut, exact because the summary probes are
+      // threshold-independent on the shared prefix:
+      //  - A probed block's first point is always consumed (its f *is*
+      //    the block f-minimum the entry check passed), so a stop at a
+      //    block start means that block was never probed. Hence exactly
+      //    ceil(cut / 8) blocks are probed.
+      //  - A rejected block fully inside the cut is a wholesale skip
+      //    under any tighter threshold too: were its f-maximum above the
+      //    running threshold, the per-position walk would have stopped
+      //    inside it and the cut could not pass its end. Such blocks
+      //    charge nothing further.
+      //  - Every other probed block walks from its start to the cut (or
+      //    its end), one scan step per consumed position, touching its
+      //    page — blocks ascend, so first-touch per page reproduces the
+      //    incremental charging of the direct scan, including the stop
+      //    position's page (always the last probed block's own page).
+      const PageLayout& layout = input.layout();
+      const size_t blocks = (cut + kDomBlockWidth - 1) / kDomBlockWidth;
+      stats->ops.summary_tests += blocks;
+      size_t last_page = static_cast<size_t>(-1);
+      for (size_t b = 0; b < blocks; ++b) {
+        const size_t block_begin = b * kDomBlockWidth;
+        const size_t block_end =
+            std::min(block_begin + kDomBlockWidth, input.size());
+        const bool rejected =
+            b < trace.block_rejected.size() && trace.block_rejected[b] != 0;
+        if (rejected) {
+          stats->ops.blocks_skipped += 1;
+          if (block_end <= cut) {
+            continue;
+          }
+        }
+        stats->ops.scan_steps += std::min(cut, block_end) - block_begin;
+        const size_t page = block_begin / layout.points_per_page();
+        if (page != last_page) {
+          stats->ops.page_reads += 1;
+          stats->ops.page_bytes += layout.page_size;
+          last_page = page;
+        }
+      }
+    }
     stats->cpu_seconds = SecondsSince(start);
   }
   return result;
@@ -395,6 +608,12 @@ ResultList ParallelSortedSkyline(const StoreView& input, Subspace u,
   // snap depends only on the layout, so in-memory and paged runs split
   // identically.
   chunk_size = SnapChunkToPages(input.layout(), chunk_size);
+  // Pages hold whole 8-wide blocks, so page-snapped chunks are also
+  // block-aligned — in-memory mode included, where pages are purely
+  // logical. Block-skipping chunk scans rely on this: a summary block
+  // never straddles two chunks, so per-chunk probe sequences (and their
+  // charges) are the same ones a sequential skip scan would issue.
+  SKYPEER_DCHECK(chunk_size % kDomBlockWidth == 0);
   if (chunk_size == 0 || input.size() <= chunk_size) {
     return SortedSkyline(input, u, options, stats);
   }
@@ -445,21 +664,14 @@ ResultList ParallelSortedSkyline(const StoreView& input, Subspace u,
     }
     const size_t begin = c * chunk_size;
     const size_t end = std::min(input.size(), begin + chunk_size);
-    StoreCursor cursor(input);
-    size_t scanned = 0;
-    for (size_t i = begin; i < end; ++i) {
-      const double f = cursor.f(i);
-      if (f > accumulator.threshold()) {
-        break;
-      }
-      accumulator.Offer(cursor.row(i), cursor.id(i), f);
-      ++scanned;
-    }
+    OpCounts scan_ops;
+    const size_t scanned =
+        RunThresholdScanLoop(input, u, begin, end, options.block_skip,
+                             &accumulator, &scan_ops, nullptr);
     chunk_stats[c].scanned = scanned;
     chunk_stats[c].final_threshold = accumulator.threshold();
     chunk_stats[c].ops = accumulator.ops();
-    chunk_stats[c].ops.scan_steps += scanned;
-    ChargeScanPages(input.layout(), begin, end, scanned, &chunk_stats[c].ops);
+    chunk_stats[c].ops += scan_ops;
     chunk_results[c] = accumulator.TakeResult();
     // Self-measured work time of this chunk on its executing thread;
     // pool queueing time never enters the sum.

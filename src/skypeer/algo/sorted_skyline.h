@@ -53,6 +53,21 @@ struct ThresholdScanOptions {
   /// without it.
   bool dedup_ids = false;
 
+  /// Consult the store's zone-map summary (`StoreView::summary()`) before
+  /// each 8-wide block: a block whose per-dimension min-vector, projected
+  /// on the query subspace, is dominated by a live window entry (or a
+  /// seeded filter point) is consumed without per-point dominance tests,
+  /// and without reading the store at all when its `[f_min, f_max]` range
+  /// also fits under the running threshold — runs of such blocks leave
+  /// whole pages unread. Results, thresholds, scan counts and window
+  /// evolution are bit-identical to the plain scan; op counts differ only
+  /// in the new `summary_tests`/`blocks_skipped` charges and reduced
+  /// dominance/scan/page charges, and are themselves bit-identical across
+  /// store modes, thread counts and kernels (the probe is a pure function
+  /// of summary, subspace and window). Ignored when the view carries no
+  /// summary. Off by default for baseline comparability.
+  bool block_skip = false;
+
   /// Threshold-scan algorithms only: broadcast filter set to seed the
   /// window with before scanning (`SkylineAccumulator::SeedWindow`).
   /// Filter points prune offers — and may themselves be evicted by
@@ -120,6 +135,17 @@ struct ScanTrace {
   /// `cum_ops[cut - 1]` is exactly the op count a direct scan truncated
   /// at `cut` would report.
   std::vector<OpCounts> cum_ops;
+  /// True when the recorded scan ran with block skipping; replays then
+  /// reconstruct the skip charges (summary probes, skipped blocks,
+  /// reduced scan steps and page reads) from `block_rejected` instead of
+  /// charging the full prefix.
+  bool block_skip = false;
+  /// Per probed store block of the recorded prefix (block `b` covers
+  /// positions [8b, 8b+8)): 1 when the block's summary probe found a
+  /// dominating window entry, so every point of it was rejected without
+  /// per-point tests. The probe outcome is threshold-independent on the
+  /// shared prefix, which is what makes skip traces replayable.
+  std::vector<char> block_rejected;
 
   size_t size() const { return accepted.size(); }
 
@@ -129,7 +155,8 @@ struct ScanTrace {
     return sizeof(ScanTrace) + accepted.size() * sizeof(char) +
            dist_u.size() * sizeof(double) +
            evicted_at.size() * sizeof(size_t) +
-           cum_ops.size() * sizeof(OpCounts);
+           cum_ops.size() * sizeof(OpCounts) +
+           block_rejected.size() * sizeof(char);
   }
 };
 
@@ -172,6 +199,17 @@ class SkylineAccumulator {
   /// enter the skyline (Observation 5); with `f == threshold()` ties are
   /// still possible, so callers scan while `f <= threshold()`.
   double threshold() const { return threshold_; }
+
+  /// Zone-map probe for block-skipping scans: true when some live window
+  /// entry dominates `min_row` (a store block's per-dimension min-vector,
+  /// full dimensionality) on this accumulator's subspace. Dominating the
+  /// min-vector implies dominating every point of the block — the strict
+  /// coordinate carries over through `w[j] < m[j] <= p[j]` — so a true
+  /// probe proves the whole block would be rejected point by point.
+  /// Op-free by design: callers charge `summary_tests` themselves so the
+  /// accumulator's `ops()` (and the replayable `cum_ops` built from it)
+  /// stay pure window-evolution counts.
+  bool WindowRejectsSummary(const double* min_row) const;
 
   /// Number of points currently in the running skyline.
   size_t alive() const { return alive_; }

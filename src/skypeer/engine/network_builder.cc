@@ -207,6 +207,7 @@ PreprocessStats SkypeerNetwork::Preprocess() {
     super_peers_[sp]->set_retain_peer_lists(config_.dynamic_membership);
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
     super_peers_[sp]->set_scan_chunk_size(config_.scan_chunk_size);
+    super_peers_[sp]->set_block_skip(config_.block_skip);
     super_peers_[sp]->set_filter_set_size(config_.filter_set_size);
     // The clustered workload has each super-peer pick a centroid; its
     // associated peers draw Gaussian points around it (§6).
@@ -325,6 +326,7 @@ Status SkypeerNetwork::AdoptStores(std::vector<ResultList> stores) {
   for (int sp = 0; sp < num_super_peers(); ++sp) {
     super_peers_[sp]->set_enable_cache(config_.enable_cache);
     super_peers_[sp]->set_scan_chunk_size(config_.scan_chunk_size);
+    super_peers_[sp]->set_block_skip(config_.block_skip);
     super_peers_[sp]->set_filter_set_size(config_.filter_set_size);
     super_peers_[sp]->SetStore(std::move(stores[sp]));
   }

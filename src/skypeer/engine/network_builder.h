@@ -91,6 +91,16 @@ struct NetworkConfig {
   /// `store_points_scanned` may differ from the sequential scan's count
   /// (deterministically, for a fixed chunk size).
   size_t scan_chunk_size = 0;
+  /// Zone-map block skipping in every super-peer's threshold scans (see
+  /// `ThresholdScanOptions::block_skip`): 8-wide store blocks whose
+  /// summary min-vector is dominated by the live scan window are consumed
+  /// without per-point dominance tests, and pages made only of such
+  /// blocks are never read in paged mode. Results, thresholds, scan
+  /// counts, volume and messages are bit-identical either way; op counts
+  /// gain `summary_tests`/`blocks_skipped` and shed the skipped
+  /// dominance/scan/page charges — identically across store modes,
+  /// thread counts and kernels. Off by default.
+  bool block_skip = false;
   /// Speculative staged parallelism for the threshold-refining variants
   /// (RT*M and the pipeline), whose local scans otherwise execute
   /// strictly sequentially along the routing path: every non-initiator

@@ -79,10 +79,17 @@ void SuperPeer::InstallStore(ResultList store) {
     // Spill through the buffer manager: fresh page ids, so any frame
     // still holding a page of the previous store is unreachable; the old
     // pages themselves are dropped by Release() inside Build-then-move.
+    // The paged store builds and carries its own summary.
     paged_store_ = PagedStore::Build(store, buffer_);
     store_ = ResultList(dims_);
+    store_summary_ = StoreSummary();
   } else {
     store_ = std::move(store);
+    // Same shared builder and page geometry as the paged mode, so skip
+    // decisions never diverge between modes. Rebuilt on every install —
+    // initial merge, churn rebuild, incremental join, snapshot restore.
+    store_summary_ =
+        StoreSummary::Build(store_, PageLayout(page_size_, dims_));
   }
 }
 
@@ -604,6 +611,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
     if (entry == nullptr) {
       auto trace = std::make_shared<ScanTrace>();
       ThresholdScanOptions fill_options;
+      fill_options.block_skip = block_skip_;
       fill_options.filter = filter;
       TracedSortedSkyline(view, subspace, fill_options, nullptr,
                           trace.get());
@@ -626,6 +634,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
 
   ThresholdScanOptions options;
   options.initial_threshold = threshold_in;
+  options.block_skip = block_skip_;
   options.filter = filter;
   ThresholdScanStats stats;
   // Bit-identical to the sequential scan; chunk size 0 or a store no
@@ -696,6 +705,7 @@ void SuperPeer::StageSpeculativeScan(const Subspace& subspace, Variant variant,
     // fingerprint guards the match.
     ThresholdScanOptions options;
     options.initial_threshold = fixed_threshold;
+    options.block_skip = block_skip_;
     options.filter = filter.get();
     ThresholdScanStats stats;
     staged.local = std::make_shared<const ResultList>(TracedSortedSkyline(

@@ -116,10 +116,14 @@ class SuperPeer : public sim::Node {
   }
 
   /// The store as a scan view: pinned pages when paged, the resident list
-  /// otherwise. Page-charging geometry is identical in both modes.
+  /// otherwise. Page-charging geometry is identical in both modes, and so
+  /// is the attached zone-map summary (the paged store carries its own;
+  /// resident stores attach `store_summary_`, built by the same shared
+  /// function at install time).
   StoreView View() const {
-    return paged_store_.valid() ? StoreView(&paged_store_)
-                                : StoreView(&store_, page_size_);
+    return paged_store_.valid()
+               ? StoreView(&paged_store_)
+               : StoreView(&store_, page_size_, &store_summary_);
   }
 
   /// Replaces the store wholesale (snapshot restore). The list must be
@@ -174,6 +178,16 @@ class SuperPeer : public sim::Node {
   /// identical at any thread count for a fixed chunk size; the scan count
   /// can exceed the sequential scan's for the same store.
   void set_scan_chunk_size(size_t chunk) { scan_chunk_size_ = chunk; }
+
+  /// Enables zone-map block skipping in this node's threshold scans (see
+  /// `ThresholdScanOptions::block_skip`): store blocks whose summary
+  /// min-vector is dominated by the live window are consumed without
+  /// per-point dominance tests, and whole pages of such blocks are never
+  /// read. Results, thresholds and scan counts are bit-identical either
+  /// way; op counts gain `summary_tests`/`blocks_skipped` and shed the
+  /// skipped dominance/scan/page charges. All nodes of a network should
+  /// agree on the setting (the network builder wires it uniformly).
+  void set_block_skip(bool enable) { block_skip_ = enable; }
 
   /// Maximum size of the broadcast filter set this node selects when it
   /// initiates a non-naive query (see `SelectFilterSet`): sampled from
@@ -549,6 +563,10 @@ class SuperPeer : public sim::Node {
   ResultList store_;
   /// Beyond-RAM store (see ConfigurePaging); invalid in in-memory mode.
   PagedStore paged_store_;
+  /// Zone-map summary of the resident store (in-memory mode only — the
+  /// paged store owns its own); rebuilt by `InstallStore` on every store
+  /// change, so churn rebuilds and snapshot restores stay covered.
+  StoreSummary store_summary_;
   BufferManager* buffer_ = nullptr;
   /// Page geometry used for logical page charging in *both* modes.
   size_t page_size_ = kDefaultPageSize;
@@ -577,6 +595,9 @@ class SuperPeer : public sim::Node {
   OpCounts query_ops_;
   bool cache_enabled_ = false;
   size_t scan_chunk_size_ = 0;
+  /// Zone-map block skipping in local threshold scans (see
+  /// set_block_skip).
+  bool block_skip_ = false;
   /// Broadcast filter-set size bound this node uses as initiator
   /// (see set_filter_set_size); 0 disables the filter axis.
   size_t filter_set_size_ = 0;

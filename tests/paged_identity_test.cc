@@ -113,12 +113,18 @@ TEST(PagedIdentity, MatchesInMemoryForAllVariantsThreadsKernelsCompositions) {
     compositions.emplace_back("filtered", filtered);
   }
   {
+    NetworkConfig skipping = BaseConfig();
+    skipping.block_skip = true;
+    compositions.emplace_back("block-skip", skipping);
+  }
+  {
     // Everything at once, under injected faults.
     NetworkConfig faulted = BaseConfig();
     faulted.scan_chunk_size = 64;
     faulted.speculative_rt = true;
     faulted.enable_cache = true;
     faulted.filter_set_size = 6;
+    faulted.block_skip = true;
     faulted.reliable = true;
     faulted.drop_prob = 0.2;
     faulted.delay_jitter = 0.05;

@@ -87,6 +87,13 @@ void PrintUsageAndExit(const char* binary, int code) {
       "                   N points run on the thread pool (default 0 =\n"
       "                   sequential scan). Results are identical either\n"
       "                   way\n"
+      "  --block-skip     consult per-block zone-map summaries during\n"
+      "                   threshold scans: store blocks dominated by the\n"
+      "                   live window are consumed without per-point\n"
+      "                   dominance tests, and whole pages of such blocks\n"
+      "                   are never read in paged mode. Results and all\n"
+      "                   simulated metrics except the new skip counters\n"
+      "                   are identical either way\n"
       "  --speculative-rt stage RT*M/pipeline local scans concurrently\n"
       "                   under the initiator's fixed threshold and\n"
       "                   reconcile when the refined threshold arrives;\n"
@@ -213,6 +220,8 @@ CliOptions Parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--filter-set") == 0) {
       options.network.filter_set_size =
           static_cast<size_t>(ParseU64Flag("--filter-set", next_value(&i)));
+    } else if (std::strcmp(arg, "--block-skip") == 0) {
+      options.network.block_skip = true;
     } else if (std::strcmp(arg, "--speculative-rt") == 0) {
       options.network.speculative_rt = true;
     } else if (std::strcmp(arg, "--net-threads") == 0) {
@@ -537,6 +546,10 @@ int main(int argc, char** argv) {
     std::printf("store paging: %zu-byte pages, %zu-frame buffer pool\n",
                 options.network.page_size, options.network.buffer_pages);
   }
+  if (options.network.block_skip) {
+    std::printf("block skip: zone-map summaries consulted before each "
+                "8-point store block\n");
+  }
   const PreprocessStats stats = network.Preprocess();
   std::printf(
       "pre-processing: n=%zu  SEL_p=%.1f%%  SEL_sp=%.1f%%  "
@@ -577,6 +590,7 @@ int main(int argc, char** argv) {
                     VariantName(variant), task.subspace.ToString().c_str(),
                     task.initiator_sp, result.metrics.result_size,
                     result.metrics.total_time_s, result.metrics.volume_kb());
+        std::printf("        ops: %s\n", result.metrics.ops.ToString().c_str());
       }
     } else {
       // Distributes the batch over the thread pool when --threads > 1.
@@ -593,6 +607,19 @@ int main(int argc, char** argv) {
           "retransmits/query %.1f\n",
           aggregate.avg_coverage() * 100, aggregate.partial_queries,
           aggregate.queries, aggregate.avg_retransmits());
+    }
+    if (options.network.block_skip) {
+      // Workload totals of the zone-map scan counters — deterministic
+      // logical ops, so they participate in determinism diffs (unlike
+      // the "physical:" lines below).
+      std::printf(
+          "       | block skip: summary_tests=%llu blocks_skipped=%llu "
+          "scan_steps=%llu dominance_tests=%llu page_reads=%llu\n",
+          static_cast<unsigned long long>(aggregate.total_ops.summary_tests),
+          static_cast<unsigned long long>(aggregate.total_ops.blocks_skipped),
+          static_cast<unsigned long long>(aggregate.total_ops.scan_steps),
+          static_cast<unsigned long long>(aggregate.total_ops.dominance_tests),
+          static_cast<unsigned long long>(aggregate.total_ops.page_reads));
     }
   }
   // Out-of-band physical counters: hit/miss/eviction totals depend on
