@@ -44,6 +44,17 @@ namespace skypeer::bench {
 ///                  identical either way
 ///   --cache-cap N  bound the per-subspace trace cache to N entries with
 ///                  LRU eviction (default 0 = unbounded)
+///   --churn-events N schedule N seeded membership changes (join/leave/
+///                  replace) spread over the run's queries (default 0 =
+///                  no churn); implies dynamic membership
+///   --churn-rate R mean in-query arrival time, simulated seconds, of a
+///                  scheduled churn event's maintenance charge
+///                  (default 0.05)
+///   --churn-seed S dedicated churn stream (default 0 = derive from
+///                  --seed)
+///   --rebuild-maintenance rebuild stores from retained peer lists on
+///                  every membership change instead of incremental
+///                  maintenance (the cost baseline)
 ///   --cost-model M CPU charging: measured (host time, default),
 ///                  calibrated or unit (deterministic op-count seconds)
 ///   --json PATH    additionally emit the run as a BENCH_*.json report
@@ -58,6 +69,10 @@ struct BenchOptions {
   size_t page_size = kDefaultPageSize;
   size_t buffer_pages = 0;  // 0: in-memory stores.
   size_t cache_cap = 0;     // 0: unbounded trace cache.
+  int churn_events = 0;     // 0: no scheduled churn.
+  double churn_rate = 0.05;
+  uint64_t churn_seed = 0;  // 0: derive from seed.
+  bool rebuild_maintenance = false;  // Full rebuilds instead of incremental.
   bool block_skip = false;  // Zone-map block skipping in threshold scans.
   bool speculative_rt = false;
   bool full = false;
@@ -222,6 +237,19 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-cap") == 0 && i + 1 < argc) {
       options.cache_cap =
           static_cast<size_t>(ParseU64Flag("--cache-cap", argv[++i]));
+    } else if (std::strcmp(argv[i], "--churn-events") == 0 && i + 1 < argc) {
+      options.churn_events = static_cast<int>(
+          ParseIntFlag("--churn-events", argv[++i], 0, 1'000'000));
+    } else if (std::strcmp(argv[i], "--churn-rate") == 0 && i + 1 < argc) {
+      options.churn_rate = ParseDoubleFlag("--churn-rate", argv[++i], 0.0, 1e9);
+      if (options.churn_rate <= 0.0) {
+        std::fprintf(stderr, "--churn-rate: must be > 0\n");
+        std::exit(1);
+      }
+    } else if (std::strcmp(argv[i], "--churn-seed") == 0 && i + 1 < argc) {
+      options.churn_seed = ParseU64Flag("--churn-seed", argv[++i]);
+    } else if (std::strcmp(argv[i], "--rebuild-maintenance") == 0) {
+      options.rebuild_maintenance = true;
     } else if (std::strcmp(argv[i], "--block-skip") == 0) {
       options.block_skip = true;
     } else if (std::strcmp(argv[i], "--speculative-rt") == 0) {
@@ -245,8 +273,9 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       std::printf(
           "usage: %s [--queries N] [--seed S] [--threads N] "
           "[--scan-chunk N] [--filter-set N] [--page-size B] "
-          "[--buffer-pages N] [--cache-cap N] [--block-skip] "
-          "[--speculative-rt] "
+          "[--buffer-pages N] [--cache-cap N] [--churn-events N] "
+          "[--churn-rate R] [--churn-seed S] [--rebuild-maintenance] "
+          "[--block-skip] [--speculative-rt] "
           "[--cost-model measured|calibrated|unit] [--json PATH] [--full]\n",
           argv[0]);
       std::exit(0);
@@ -261,12 +290,14 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
   const char* slash = std::strrchr(argv[0], '/');
   report.name = slash != nullptr ? slash + 1 : argv[0];
   report.path = options.json_path;
-  char buffer[640];
+  char buffer[832];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries\": %d, \"seed\": %llu, \"threads\": %d, "
       "\"scan_chunk\": %llu, \"filter_set\": %llu, \"page_size\": %llu, "
-      "\"buffer_pages\": %llu, \"cache_cap\": %llu, \"block_skip\": %s, "
+      "\"buffer_pages\": %llu, \"cache_cap\": %llu, \"churn_events\": %d, "
+      "\"churn_rate\": %s, \"churn_seed\": %llu, "
+      "\"rebuild_maintenance\": %s, \"block_skip\": %s, "
       "\"speculative_rt\": %s, \"full\": %s, \"cost_model\": \"%s\"}",
       options.queries, static_cast<unsigned long long>(options.seed),
       options.threads, static_cast<unsigned long long>(options.scan_chunk),
@@ -274,6 +305,9 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       static_cast<unsigned long long>(options.page_size),
       static_cast<unsigned long long>(options.buffer_pages),
       static_cast<unsigned long long>(options.cache_cap),
+      options.churn_events, JsonNumber(options.churn_rate).c_str(),
+      static_cast<unsigned long long>(options.churn_seed),
+      options.rebuild_maintenance ? "true" : "false",
       options.block_skip ? "true" : "false",
       options.speculative_rt ? "true" : "false",
       options.full ? "true" : "false", CostModelModeName(options.cost_model.mode));
@@ -382,6 +416,13 @@ inline SkypeerNetwork BuildNetwork(NetworkConfig config,
   config.buffer_pages = options.buffer_pages;
   config.cache_max_entries = options.cache_cap;
   config.cost_model = options.cost_model;
+  if (options.churn_events > 0) {
+    config.churn_events = options.churn_events;
+    config.churn_rate = options.churn_rate;
+    config.churn_seed = options.churn_seed;
+    config.dynamic_membership = true;
+    config.incremental_maintenance = !options.rebuild_maintenance;
+  }
   std::printf(
       "# N_p=%d N_sp=%d points/peer=%d d=%d DEG_sp=%.0f dist=%s seed=%llu "
       "scan_chunk=%zu filter_set=%zu block_skip=%d page_size=%zu "

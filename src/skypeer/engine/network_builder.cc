@@ -73,6 +73,16 @@ Status SkypeerNetwork::Validate(const NetworkConfig& config) {
       return Status::InvalidArgument("crashed_sps ids must be >= 0");
     }
   }
+  if (config.churn_events < 0) {
+    return Status::InvalidArgument("churn_events must be >= 0");
+  }
+  if (config.churn_events > 0 && !config.dynamic_membership) {
+    return Status::InvalidArgument(
+        "scheduled churn (churn_events) requires dynamic_membership");
+  }
+  if (config.churn_events > 0 && config.churn_rate <= 0.0) {
+    return Status::InvalidArgument("churn_rate must be positive");
+  }
   OverlayConfig overlay_config;
   overlay_config.num_peers = config.num_peers;
   overlay_config.num_super_peers = config.num_super_peers;
@@ -115,6 +125,9 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
     super_peers_.back()->set_thread_pool(pool_);
     super_peers_.back()->SetCostModel(config_.cost_model);
     super_peers_.back()->set_page_size(config_.page_size);
+    super_peers_.back()->set_incremental_maintenance(
+        config_.incremental_maintenance);
+    super_peers_.back()->set_verify_maintenance(config_.verify_maintenance);
     if (buffer_ != nullptr) {
       super_peers_.back()->ConfigurePaging(buffer_.get(), config_.page_size);
     }
@@ -160,6 +173,92 @@ SkypeerNetwork::SkypeerNetwork(const NetworkConfig& config)
   if (plan.HasFaults()) {
     simulator_.SetFaultPlan(std::move(plan));
   }
+
+  if (config_.churn_events > 0) {
+    const uint64_t churn_seed = config_.churn_seed != 0
+                                    ? config_.churn_seed
+                                    : config_.seed ^ 0xc4a221c4a221c4a2ULL;
+    churn_plan_ = sim::ChurnPlan::Seeded(
+        config_.churn_events, config_.churn_rate, churn_seed,
+        /*num_slots=*/config_.churn_events, num_sp);
+  }
+}
+
+void SkypeerNetwork::SetChurnPlan(sim::ChurnPlan plan) {
+  SKYPEER_CHECK(config_.dynamic_membership || plan.empty());
+  for (const sim::ChurnEvent& event : plan.events) {
+    SKYPEER_CHECK(event.node >= 0 && event.node < num_super_peers());
+    SKYPEER_CHECK(event.time >= 0.0);
+  }
+  churn_plan_ = std::move(plan);
+  churn_slot_ = 0;
+}
+
+Status SkypeerNetwork::ApplyChurnEvent(const sim::ChurnEvent& event,
+                                       OpCounts* maintenance_ops) {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition("network is not preprocessed yet");
+  }
+  if (!config_.dynamic_membership) {
+    return Status::FailedPrecondition(
+        "dynamic_membership is disabled in the configuration");
+  }
+  if (event.node < 0 || event.node >= num_super_peers()) {
+    return Status::OutOfRange("churn event node out of range");
+  }
+  Rng rng(event.seed);
+  OpCounts ops;
+  Status status = Status::OK();
+  switch (event.kind) {
+    case sim::ChurnKind::kJoin: {
+      // Fresh peers always draw uniform data: the event seed alone
+      // determines the dataset, so a replayed plan joins bit-identical
+      // points regardless of store mode or thread count. Ids are
+      // reassigned by JoinPeer.
+      PointSet data = GenerateUniform(config_.dims, config_.points_per_peer,
+                                      &rng, /*first_id=*/0);
+      status = JoinPeer(event.node, std::move(data), nullptr, &ops);
+      if (status.ok()) {
+        ++churn_stats_.joins;
+      }
+      break;
+    }
+    case sim::ChurnKind::kRemove: {
+      const auto& peers = overlay_.super_peer_peers[event.node];
+      if (peers.empty()) {
+        ++churn_stats_.skipped;  // Deterministic no-op: nothing to remove.
+        break;
+      }
+      const int victim =
+          peers[rng.UniformInt(0, static_cast<int>(peers.size()) - 1)];
+      status = RemovePeer(victim, &ops);
+      if (status.ok()) {
+        ++churn_stats_.removals;
+      }
+      break;
+    }
+    case sim::ChurnKind::kReplace: {
+      const auto& peers = overlay_.super_peer_peers[event.node];
+      if (peers.empty()) {
+        ++churn_stats_.skipped;
+        break;
+      }
+      const int victim =
+          peers[rng.UniformInt(0, static_cast<int>(peers.size()) - 1)];
+      PointSet data = GenerateUniform(config_.dims, config_.points_per_peer,
+                                      &rng, /*first_id=*/0);
+      status = ReplacePeerData(victim, std::move(data), &ops);
+      if (status.ok()) {
+        ++churn_stats_.replacements;
+      }
+      break;
+    }
+  }
+  churn_stats_.maintenance_ops += ops;
+  if (maintenance_ops != nullptr) {
+    *maintenance_ops += ops;
+  }
+  return status;
 }
 
 void SkypeerNetwork::SetFaultPlan(sim::FaultPlan plan) {
@@ -337,7 +436,7 @@ Status SkypeerNetwork::AdoptStores(std::vector<ResultList> stores) {
 }
 
 Status SkypeerNetwork::JoinPeer(int super_peer, PointSet data,
-                                int* out_peer_id) {
+                                int* out_peer_id, OpCounts* maintenance_ops) {
   if (!preprocessed_) {
     return Status::FailedPrecondition("network is not preprocessed yet");
   }
@@ -368,8 +467,8 @@ Status SkypeerNetwork::JoinPeer(int super_peer, PointSet data,
   }
 
   Peer peer(peer_id, std::move(fresh));
-  SKYPEER_RETURN_IF_ERROR(
-      super_peers_[super_peer]->JoinPeer(peer_id, peer.ComputeExtendedSkyline()));
+  SKYPEER_RETURN_IF_ERROR(super_peers_[super_peer]->JoinPeer(
+      peer_id, peer.ComputeExtendedSkyline(), maintenance_ops));
 
   // Overlay bookkeeping.
   overlay_.peer_super_peer.resize(
@@ -383,7 +482,7 @@ Status SkypeerNetwork::JoinPeer(int super_peer, PointSet data,
   return Status::OK();
 }
 
-Status SkypeerNetwork::RemovePeer(int peer_id) {
+Status SkypeerNetwork::RemovePeer(int peer_id, OpCounts* maintenance_ops) {
   if (!config_.dynamic_membership) {
     return Status::FailedPrecondition(
         "dynamic_membership is disabled in the configuration");
@@ -393,7 +492,8 @@ Status SkypeerNetwork::RemovePeer(int peer_id) {
     return Status::NotFound("unknown peer id");
   }
   const int super_peer = overlay_.peer_super_peer[peer_id];
-  SKYPEER_RETURN_IF_ERROR(super_peers_[super_peer]->RemovePeer(peer_id));
+  SKYPEER_RETURN_IF_ERROR(
+      super_peers_[super_peer]->RemovePeer(peer_id, maintenance_ops));
 
   const auto [lo, hi] = range_it->second;
   total_points_ -= static_cast<size_t>(hi - lo);
@@ -424,6 +524,17 @@ SkypeerNetwork::RunOutcome SkypeerNetwork::RunOnce(
   for (auto& sp : super_peers_) {
     sp->ResetProtocolState();
     sp->set_measure_cpu(config_.measure_cpu);
+  }
+
+  // Scheduled-churn maintenance ticks riding on this query (see
+  // ExecuteQuery): identical timers in both simulation runs, so the
+  // charged maintenance cost shapes both measured times the same way.
+  // A tick whose node is crashed at fire time is suppressed by the
+  // simulator like any other timer — churn composes with crash windows.
+  for (const ChurnTick& tick : pending_ticks_) {
+    auto body = std::make_shared<ChurnTickMessage>();
+    body->ops = tick.ops;
+    simulator_.ScheduleTimer(tick.node, tick.time, std::move(body));
   }
 
   // Stage the per-super-peer local scans concurrently when the variant's
@@ -551,6 +662,34 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
   SKYPEER_CHECK(Subspace::FullSpace(config_.dims).IsSupersetOf(subspace));
   SKYPEER_CHECK(initiator_sp >= 0 && initiator_sp < num_super_peers());
 
+  // Scheduled churn riding on this query slot: pin every super-peer's
+  // pre-churn store epoch, then apply the slot's membership changes
+  // durably. The pinned epochs keep both simulation runs serving the
+  // stores the query started on — an in-flight query is never torn by an
+  // install — while the maintenance cost lands on the affected node's
+  // virtual clock at the event's seeded in-query time (the ticks below,
+  // scheduled by RunOnce in both runs). The *next* query sees the
+  // post-churn stores.
+  std::vector<uint64_t> pinned_epochs;
+  if (!churn_plan_.empty()) {
+    const int slot = churn_slot_++;
+    const auto [begin, end] = churn_plan_.SlotRange(slot);
+    if (begin != end) {
+      pinned_epochs.reserve(super_peers_.size());
+      for (auto& sp : super_peers_) {
+        pinned_epochs.push_back(sp->PinStoreEpoch());
+      }
+      for (size_t i = begin; i < end; ++i) {
+        const sim::ChurnEvent& event = churn_plan_.events[i];
+        ChurnTick tick;
+        tick.node = event.node;
+        tick.time = event.time;
+        SKYPEER_CHECK(ApplyChurnEvent(event, &tick.ops).ok());
+        pending_ticks_.push_back(std::move(tick));
+      }
+    }
+  }
+
   QueryResult query_result;
 
   // Run 1: configured links — total response time and traffic volume.
@@ -565,6 +704,13 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
                                      compute_params, &compute_result);
   if (!config_.reliable) {
     SKYPEER_DCHECK(compute_result.size() == query_result.skyline.size());
+  }
+
+  // Both runs are done: release the pinned pre-churn epochs (retired
+  // stores drop now — pages included) and retire the ticks.
+  pending_ticks_.clear();
+  for (size_t sp = 0; sp < pinned_epochs.size(); ++sp) {
+    super_peers_[sp]->UnpinStoreEpoch(pinned_epochs[sp]);
   }
 
   query_result.metrics.total_time_s = total.completion_s;
@@ -608,11 +754,13 @@ QueryResult SkypeerNetwork::ExecuteQuery(Subspace subspace, int initiator_sp,
 std::unique_ptr<SkypeerNetwork> SkypeerNetwork::CloneForQueries() const {
   SKYPEER_CHECK(preprocessed_);
   NetworkConfig config = config_;
-  // Replicas only serve queries: no raw data, no churn bookkeeping, and
-  // no private pool of their own — they share the parent's (below), so a
-  // workload's nested ParallelFor calls stay re-entrant on one pool.
+  // Replicas only serve queries: no raw data, no churn bookkeeping or
+  // schedule (the original owns all membership changes), and no private
+  // pool of their own — they share the parent's (below), so a workload's
+  // nested ParallelFor calls stay re-entrant on one pool.
   config.retain_peer_data = false;
   config.dynamic_membership = false;
+  config.churn_events = 0;
   config.threads = 0;
   auto clone = std::make_unique<SkypeerNetwork>(config);
   clone->pool_ = pool_;
@@ -639,7 +787,8 @@ std::unique_ptr<SkypeerNetwork> SkypeerNetwork::CloneForQueries() const {
   return clone;
 }
 
-Status SkypeerNetwork::ReplacePeerData(int peer_id, PointSet data) {
+Status SkypeerNetwork::ReplacePeerData(int peer_id, PointSet data,
+                                       OpCounts* maintenance_ops) {
   if (!config_.dynamic_membership) {
     return Status::FailedPrecondition(
         "dynamic_membership is disabled in the configuration");
@@ -652,10 +801,10 @@ Status SkypeerNetwork::ReplacePeerData(int peer_id, PointSet data) {
     return Status::InvalidArgument("dimensionality mismatch");
   }
   const int super_peer = overlay_.peer_super_peer[peer_id];
-  SKYPEER_RETURN_IF_ERROR(RemovePeer(peer_id));
+  SKYPEER_RETURN_IF_ERROR(RemovePeer(peer_id, maintenance_ops));
   // Rejoin under the same super-peer; the peer receives a fresh id (point
   // ids must stay globally unique across the update).
-  return JoinPeer(super_peer, std::move(data), nullptr);
+  return JoinPeer(super_peer, std::move(data), nullptr, maintenance_ops);
 }
 
 PointSet SkypeerNetwork::GroundTruthSkyline(Subspace subspace) const {

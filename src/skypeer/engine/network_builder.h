@@ -16,6 +16,7 @@
 #include "skypeer/engine/query.h"
 #include "skypeer/engine/subspace_cache.h"
 #include "skypeer/engine/super_peer.h"
+#include "skypeer/sim/churn_plan.h"
 #include "skypeer/sim/simulator.h"
 #include "skypeer/storage/buffer_manager.h"
 #include "skypeer/storage/page_layout.h"
@@ -59,6 +60,34 @@ struct NetworkConfig {
   /// super-peers retain the uploaded per-peer lists (memory ~ SEL_p of
   /// the dataset).
   bool dynamic_membership = false;
+  /// Incremental membership maintenance (see `SuperPeer::RemovePeer`): a
+  /// departure drops the peer's points from the f-sorted store and
+  /// re-merges only the resurrection candidates. false restores the full
+  /// rebuild from the retained lists (the legacy path, kept as the
+  /// oracle). Store contents, order and every query metric are
+  /// bit-identical either way.
+  bool incremental_maintenance = true;
+  /// Check every incremental removal against the full-rebuild oracle
+  /// (CHECK-fails the process on any divergence). Testing aid; implies
+  /// full-rebuild cost on every removal.
+  bool verify_maintenance = false;
+  /// Scheduled churn (requires `dynamic_membership`): size of a seeded
+  /// plan of membership events — joins, removals and data replacements
+  /// cycling — spread over the first `churn_events` query slots (see
+  /// `sim::ChurnPlan::Seeded`). Each event's membership change applies
+  /// atomically between queries while its maintenance cost is charged on
+  /// the affected super-peer's virtual clock at a seeded instant *inside*
+  /// the slot's query, identically in both simulation runs — so churn
+  /// shapes simulated times deterministically and composes with any
+  /// fault plan. 0 disables scheduled churn (direct JoinPeer/RemovePeer
+  /// calls remain available).
+  int churn_events = 0;
+  /// Mean (seconds) of the exponential in-query instant at which a
+  /// scheduled event's maintenance cost lands on the virtual clock.
+  double churn_rate = 0.05;
+  /// Seed of the churn plan's dedicated RNG stream; 0 derives it from
+  /// `seed`. Identical seeds reproduce identical schedules.
+  uint64_t churn_seed = 0;
   /// Cache each super-peer's unconstrained local scan trace per query
   /// subspace; repeated queries on a subspace replay the trace under the
   /// incoming threshold — the exact truncated-scan result with zero
@@ -223,12 +252,17 @@ class SkypeerNetwork {
 
   /// True once a workload batch may be distributed over
   /// `CloneForQueries` replicas with bit-identical aggregates — i.e. the
-  /// network is preprocessed. The per-subspace cache no longer restricts
-  /// this: replicas share one thread-safe cache whose entries (scan
-  /// traces) are pure functions of (store, subspace), and the trace
-  /// replay answering a query is identical on hit and miss, so
-  /// aggregates do not depend on query order.
-  bool SupportsParallelWorkloads() const { return preprocessed_; }
+  /// network is preprocessed and no churn plan is installed. The
+  /// per-subspace cache no longer restricts this: replicas share one
+  /// thread-safe cache whose entries (scan traces) are pure functions of
+  /// (store, subspace, epoch), and the trace replay answering a query is
+  /// identical on hit and miss, so aggregates do not depend on query
+  /// order. A churn plan *does* restrict it: events ride on query slots,
+  /// so the workload must execute serially on this network for every
+  /// query to see the membership state its slot prescribes.
+  bool SupportsParallelWorkloads() const {
+    return preprocessed_ && churn_plan_.empty();
+  }
 
   /// The pool this network schedules parallel work on: the private pool
   /// when `config.threads > 0` (or the parent's, for replica clones),
@@ -258,18 +292,62 @@ class SkypeerNetwork {
   /// (points are re-identified to stay globally unique). The peer's
   /// extended skyline is computed and merged incrementally into the
   /// super-peer's store. Returns the new peer's id via `out_peer_id`
-  /// (optional).
-  Status JoinPeer(int super_peer, PointSet data, int* out_peer_id = nullptr);
+  /// (optional). When `maintenance_ops` is non-null the super-peer
+  /// merge's logical operation counts are added to it.
+  Status JoinPeer(int super_peer, PointSet data, int* out_peer_id = nullptr,
+                  OpCounts* maintenance_ops = nullptr);
 
-  /// Peer departure or failure: the owning super-peer rebuilds its store
-  /// without the peer's contribution; retained ground-truth data is
-  /// updated accordingly.
-  Status RemovePeer(int peer_id);
+  /// Peer departure or failure: the owning super-peer drops the peer's
+  /// contribution from its store — incrementally by default, or by full
+  /// rebuild under `incremental_maintenance = false` (see
+  /// `SuperPeer::RemovePeer`); retained ground-truth data is updated
+  /// accordingly. `maintenance_ops` as in `JoinPeer`.
+  Status RemovePeer(int peer_id, OpCounts* maintenance_ops = nullptr);
 
   /// Replaces a peer's dataset in place (departure + rejoin under the
   /// same super-peer): the update path for peers whose local data
-  /// changed. The peer is re-identified.
-  Status ReplacePeerData(int peer_id, PointSet data);
+  /// changed. The peer is re-identified. `maintenance_ops` as in
+  /// `JoinPeer`.
+  Status ReplacePeerData(int peer_id, PointSet data,
+                         OpCounts* maintenance_ops = nullptr);
+
+  // --- scheduled churn (requires `dynamic_membership`) ------------------
+
+  /// Installs (or replaces) the churn schedule, overriding the one
+  /// derived from the configuration, and restarts the slot counter: the
+  /// next `ExecuteQuery` is slot 0. Every event's node must be a valid
+  /// super-peer id. Workloads stop parallelizing while a non-empty plan
+  /// is installed (see `SupportsParallelWorkloads`).
+  void SetChurnPlan(sim::ChurnPlan plan);
+
+  /// The installed churn schedule (empty when none).
+  const sim::ChurnPlan& churn_plan() const { return churn_plan_; }
+
+  /// Applies one churn event's membership change now: kJoin generates a
+  /// fresh uniform dataset from the event seed and joins it at
+  /// `event.node`; kRemove / kReplace pick a seeded victim among the
+  /// node's current peers (a deterministic skip, counted in
+  /// `churn_stats().skipped`, when it has none). Scheduled execution
+  /// calls this between queries; tests replay plans through it to build
+  /// reference networks. Logical maintenance ops are added to
+  /// `maintenance_ops` when non-null.
+  Status ApplyChurnEvent(const sim::ChurnEvent& event,
+                         OpCounts* maintenance_ops = nullptr);
+
+  /// Running totals over every churn event applied through
+  /// `ApplyChurnEvent` (scheduled execution or direct replay).
+  struct ChurnStats {
+    uint64_t joins = 0;
+    uint64_t removals = 0;
+    uint64_t replacements = 0;
+    /// Scheduled remove/replace events that found no peer to act on.
+    uint64_t skipped = 0;
+    /// Logical operation counts of all maintenance work (identical
+    /// paged vs resident; incremental vs rebuild differ — that is the
+    /// cost the maintenance mode trades).
+    OpCounts maintenance_ops;
+  };
+  const ChurnStats& churn_stats() const { return churn_stats_; }
 
   const Overlay& overlay() const { return overlay_; }
   const NetworkConfig& config() const { return config_; }
@@ -314,6 +392,14 @@ class SkypeerNetwork {
   RunOutcome RunOnce(Subspace subspace, int initiator_sp, Variant variant,
                      const sim::LinkParams& params, ResultList* result);
 
+  /// One maintenance-cost timer riding on the current query (see
+  /// `ExecuteQuery`): scheduled identically in both simulation runs.
+  struct ChurnTick {
+    int node = 0;
+    double time = 0.0;
+    OpCounts ops;
+  };
+
   NetworkConfig config_;
   Overlay overlay_;
   sim::Simulator simulator_;
@@ -338,6 +424,12 @@ class SkypeerNetwork {
   PointId next_point_id_ = 0;
   /// peer id -> [first, last) range of its point ids.
   std::map<int, std::pair<PointId, PointId>> peer_point_ranges_;
+  /// Scheduled churn (empty = none): the plan, the slot the next query
+  /// occupies, the ticks of the in-flight query, and running totals.
+  sim::ChurnPlan churn_plan_;
+  int churn_slot_ = 0;
+  std::vector<ChurnTick> pending_ticks_;
+  ChurnStats churn_stats_;
 };
 
 }  // namespace skypeer

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "skypeer/algo/result_list.h"
+#include "skypeer/common/op_counts.h"
 #include "skypeer/common/subspace.h"
 #include "skypeer/sim/message.h"
 
@@ -161,6 +162,19 @@ struct QueryMessage : sim::MessageBody {
   /// Charged to query volume via `WireModel::FilterBytes`. Shared
   /// immutably across all flood hops and retransmissions.
   std::shared_ptr<const ResultList> filter;
+};
+
+/// Scheduled-churn maintenance tick (see `sim::ChurnPlan`): fires as a
+/// node timer at the churn event's simulated in-query time, at the
+/// affected super-peer, carrying the logical operation counts of the
+/// membership maintenance that event performed. The handler charges them
+/// to the node's virtual clock and per-query ops — identically in both
+/// simulation runs of a query, so churn costs shape simulated times
+/// deterministically. Deliveries to a crashed node are suppressed by the
+/// simulator like any other timer, which is how churn composes with
+/// crash windows.
+struct ChurnTickMessage : sim::MessageBody {
+  OpCounts ops;
 };
 
 /// A reply travelling back towards the initiator. Fixed merging bundles

@@ -14,7 +14,8 @@
 namespace skypeer {
 
 /// \brief Thread-safe cache of unconstrained per-subspace scan traces,
-/// keyed by (super-peer id, subspace mask, filter fingerprint).
+/// keyed by (super-peer id, store epoch, subspace mask, filter
+/// fingerprint).
 ///
 /// The cached value is the event trace of the sequential threshold scan
 /// over the owning super-peer's store with no threshold (see
@@ -36,6 +37,14 @@ namespace skypeer {
 /// silently return the wrong survivors — the same class of inexactness
 /// the threshold-constrained cache of PR 3 had. Entries are immutable
 /// once published; churn invalidates per super-peer.
+///
+/// The store epoch is part of the key because churn installs may happen
+/// while a pinned query still scans the *previous* epoch of the same
+/// super-peer (see `SuperPeer::PinStoreEpoch`): without the epoch, a
+/// pinned query's old-store trace fill could serve later queries of the
+/// new store. Epochs are never reused, so a stale entry can never alias
+/// a live one; `Invalidate` still drops every epoch of a super-peer in
+/// one scoped range erase.
 ///
 /// Capacity: `max_entries` > 0 bounds the cache with least-recently-used
 /// eviction (a lookup hit or an insert refreshes the entry's recency;
@@ -63,13 +72,14 @@ class SubspaceScanTraceCache {
   explicit SubspaceScanTraceCache(size_t max_entries = 0)
       : max_entries_(max_entries) {}
 
-  /// The cached unconstrained scan trace of `super_peer` for `mask` under
-  /// the filter identified by `filter_fp` (0 = no filter), or null. A hit
-  /// refreshes the entry's recency.
-  std::shared_ptr<const ScanTrace> Lookup(int super_peer, uint32_t mask,
+  /// The cached unconstrained scan trace of `super_peer`'s store epoch
+  /// `epoch` for `mask` under the filter identified by `filter_fp` (0 =
+  /// no filter), or null. A hit refreshes the entry's recency.
+  std::shared_ptr<const ScanTrace> Lookup(int super_peer, uint64_t epoch,
+                                          uint32_t mask,
                                           uint64_t filter_fp) const {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find({super_peer, mask, filter_fp});
+    const auto it = entries_.find({super_peer, epoch, mask, filter_fp});
     if (it == entries_.end()) {
       ++stats_.misses;
       return nullptr;
@@ -79,15 +89,16 @@ class SubspaceScanTraceCache {
     return it->second.trace;
   }
 
-  /// Publishes `trace` for (super_peer, mask, filter_fp) and returns the
-  /// entry. If another thread published first, its (identical) trace wins
-  /// and is returned instead, so concurrent fillers converge on one
-  /// object. Evicts the least-recently-used entries while over capacity.
+  /// Publishes `trace` for (super_peer, epoch, mask, filter_fp) and
+  /// returns the entry. If another thread published first, its
+  /// (identical) trace wins and is returned instead, so concurrent
+  /// fillers converge on one object. Evicts the least-recently-used
+  /// entries while over capacity.
   std::shared_ptr<const ScanTrace> Insert(
-      int super_peer, uint32_t mask, uint64_t filter_fp,
+      int super_peer, uint64_t epoch, uint32_t mask, uint64_t filter_fp,
       std::shared_ptr<const ScanTrace> trace) {
     std::lock_guard<std::mutex> lock(mutex_);
-    const Key key{super_peer, mask, filter_fp};
+    const Key key{super_peer, epoch, mask, filter_fp};
     const auto [it, inserted] = entries_.emplace(key, Entry{});
     if (inserted) {
       it->second.trace = std::move(trace);
@@ -102,13 +113,14 @@ class SubspaceScanTraceCache {
     return it->second.trace;
   }
 
-  /// Drops every entry of `super_peer` — call when its store changes
-  /// (churn, snapshot restore).
+  /// Drops every entry of `super_peer` (all epochs) — call when its
+  /// store changes (churn, snapshot restore). Scoped: entries of other
+  /// super-peers are untouched.
   void Invalidate(int super_peer) {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto begin = entries_.lower_bound({super_peer, 0, 0});
-    const auto end =
-        entries_.upper_bound({super_peer, UINT32_MAX, UINT64_MAX});
+    const auto begin = entries_.lower_bound({super_peer, 0, 0, 0});
+    const auto end = entries_.upper_bound(
+        {super_peer, UINT64_MAX, UINT32_MAX, UINT64_MAX});
     for (auto it = begin; it != end; ++it) {
       bytes_ -= it->second.trace->ByteSize();
       recency_.erase(it->second.tick);
@@ -132,7 +144,8 @@ class SubspaceScanTraceCache {
   }
 
  private:
-  using Key = std::tuple<int, uint32_t, uint64_t>;
+  /// (super-peer id, store epoch, subspace mask, filter fingerprint).
+  using Key = std::tuple<int, uint64_t, uint32_t, uint64_t>;
   struct Entry {
     std::shared_ptr<const ScanTrace> trace;
     /// Recency stamp; key into `recency_`.

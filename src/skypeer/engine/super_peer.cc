@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -75,11 +76,27 @@ void SuperPeer::RebuildStore(ThresholdScanStats* stats) {
 }
 
 void SuperPeer::InstallStore(ResultList store) {
+  if (current_pins_ > 0) {
+    // The outgoing epoch is pinned by an in-flight query: retire it
+    // intact — resident list, paged pages and summary — instead of
+    // destroying it. `View()` keeps serving it through `scan_epoch_`
+    // until the last pin is released.
+    EpochStore retiring;
+    retiring.store = std::move(store_);
+    retiring.paged = std::move(paged_store_);
+    retiring.summary = std::move(store_summary_);
+    retiring.pins = current_pins_;
+    current_pins_ = 0;
+    retired_.emplace(store_epoch_, std::move(retiring));
+    store_ = ResultList(dims_);
+  }
+  ++store_epoch_;
   if (buffer_ != nullptr) {
-    // Spill through the buffer manager: fresh page ids, so any frame
-    // still holding a page of the previous store is unreachable; the old
-    // pages themselves are dropped by Release() inside Build-then-move.
-    // The paged store builds and carries its own summary.
+    // Spill through the buffer manager: fresh page ids (never recycled),
+    // so any frame still holding a page of the previous store is
+    // unreachable; the old pages themselves are dropped by Release()
+    // inside Build-then-move — or travel with their retired epoch when
+    // pinned. The paged store builds and carries its own summary.
     paged_store_ = PagedStore::Build(store, buffer_);
     store_ = ResultList(dims_);
     store_summary_ = StoreSummary();
@@ -87,10 +104,42 @@ void SuperPeer::InstallStore(ResultList store) {
     store_ = std::move(store);
     // Same shared builder and page geometry as the paged mode, so skip
     // decisions never diverge between modes. Rebuilt on every install —
-    // initial merge, churn rebuild, incremental join, snapshot restore.
+    // initial merge, churn maintenance, incremental join, snapshot
+    // restore — so an emptied store never keeps the previous summary.
     store_summary_ =
         StoreSummary::Build(store_, PageLayout(page_size_, dims_));
   }
+  if (retired_.count(scan_epoch_) == 0) {
+    scan_epoch_ = store_epoch_;
+  }
+}
+
+uint64_t SuperPeer::PinStoreEpoch() {
+  // One scan epoch at a time: the engine serializes queries per network,
+  // so pins only ever stack on the same (current) epoch. A pin while an
+  // older epoch is still retired-and-pinned would redirect its view.
+  SKYPEER_CHECK(retired_.empty());
+  ++current_pins_;
+  scan_epoch_ = store_epoch_;
+  return store_epoch_;
+}
+
+void SuperPeer::UnpinStoreEpoch(uint64_t epoch) {
+  if (epoch == store_epoch_) {
+    SKYPEER_CHECK(current_pins_ > 0);
+    --current_pins_;
+  } else {
+    const auto it = retired_.find(epoch);
+    SKYPEER_CHECK(it != retired_.end());
+    SKYPEER_CHECK(it->second.pins > 0);
+    if (--it->second.pins == 0) {
+      // Last pin gone: the retired epoch dies here. In paged mode
+      // ~PagedStore releases its pages; ids are never recycled, so no
+      // frame can serve them again.
+      retired_.erase(it);
+    }
+  }
+  scan_epoch_ = store_epoch_;
 }
 
 double SuperPeer::FinalizePreprocessing(OpCounts* ops) {
@@ -118,7 +167,8 @@ void SuperPeer::SetStore(ResultList store) {
   preprocessed_ = true;
 }
 
-Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
+Status SuperPeer::JoinPeer(int peer_id, ResultList list,
+                           OpCounts* maintenance_ops) {
   if (!preprocessed_) {
     return Status::FailedPrecondition("pre-processing has not run yet");
   }
@@ -135,7 +185,10 @@ Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
   ThresholdScanOptions options;
   options.ext = true;
   // A paged store must come back into memory for the merge — the
-  // incremental join is a churn-path operation, not a scan.
+  // incremental join is a churn-path operation, not a scan. The
+  // materialization is not part of the logical maintenance cost (it has
+  // no resident-mode counterpart), so maintenance ops stay identical
+  // paged vs in-memory.
   ResultList materialized(dims_);
   const ResultList* current = &store_;
   if (paged_store_.valid()) {
@@ -143,8 +196,9 @@ Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
     current = &materialized;
   }
   std::vector<const ResultList*> inputs = {current, &list};
-  ResultList merged =
-      MergeSortedSkylines(inputs, Subspace::FullSpace(dims_), options);
+  ThresholdScanStats stats;
+  ResultList merged = MergeSortedSkylines(inputs, Subspace::FullSpace(dims_),
+                                          options, &stats);
   InstallStore(std::move(merged));
   if (retain_peer_lists_) {
     peer_lists_.emplace(peer_id, std::move(list));
@@ -152,21 +206,216 @@ Status SuperPeer::JoinPeer(int peer_id, ResultList list) {
   if (cache_ != nullptr) {
     cache_->Invalidate(id_);
   }
+  if (maintenance_ops != nullptr) {
+    *maintenance_ops += stats.ops;
+  }
   return Status::OK();
 }
 
-Status SuperPeer::RemovePeer(int peer_id) {
+Status SuperPeer::RemovePeer(int peer_id, OpCounts* maintenance_ops) {
   if (!retain_peer_lists_) {
     return Status::FailedPrecondition(
         "peer removal requires set_retain_peer_lists(true)");
   }
-  if (peer_lists_.erase(peer_id) == 0) {
+  const auto it = peer_lists_.find(peer_id);
+  if (it == peer_lists_.end()) {
     return Status::NotFound("unknown peer id");
   }
-  // A departure can resurrect points the departed list ext-dominated, so
-  // the store is rebuilt from the remaining retained lists.
-  RebuildStore();
+  const ResultList departed = std::move(it->second);
+  peer_lists_.erase(it);
+  if (!incremental_maintenance_) {
+    // Legacy path, kept as the oracle: redo the full merge from the
+    // remaining retained lists. RebuildStore routes the empty store (the
+    // last peer departed) through InstallStore too, so the summary and
+    // paged state always describe the store that is actually served.
+    ThresholdScanStats stats;
+    RebuildStore(&stats);
+    if (maintenance_ops != nullptr) {
+      *maintenance_ops += stats.ops;
+    }
+    return Status::OK();
+  }
+  OpCounts ops;
+  ResultList next = RemoveIncremental(departed, &ops);
+  if (verify_maintenance_) {
+    // Checked oracle: the incremental result must be bit-identical to
+    // the full rebuild's merge — same ids, coordinates and f, in the
+    // same canonical order.
+    ThresholdScanOptions options;
+    options.ext = true;
+    std::vector<const ResultList*> inputs;
+    inputs.reserve(peer_lists_.size());
+    for (const auto& [pid, list] : peer_lists_) {
+      inputs.push_back(&list);
+    }
+    const ResultList oracle = MergeSortedSkylines(
+        dims_, inputs, Subspace::FullSpace(dims_), options);
+    SKYPEER_CHECK(oracle.size() == next.size());
+    for (size_t i = 0; i < next.size(); ++i) {
+      SKYPEER_CHECK(oracle.points.id(i) == next.points.id(i));
+      SKYPEER_CHECK(oracle.f[i] == next.f[i]);
+      for (int d = 0; d < dims_; ++d) {
+        SKYPEER_CHECK(oracle.points[i][d] == next.points[i][d]);
+      }
+    }
+  }
+  // The empty store (last peer departed) flows through the same install
+  // builder as every other store change: summary, paged state and epoch
+  // all advance — nothing is left describing the previous store.
+  InstallStore(std::move(next));
+  if (cache_ != nullptr) {
+    cache_->Invalidate(id_);
+  }
+  if (maintenance_ops != nullptr) {
+    *maintenance_ops += ops;
+  }
   return Status::OK();
+}
+
+ResultList SuperPeer::RemoveIncremental(const ResultList& departed,
+                                        OpCounts* ops) {
+  // Canonical store order is the full merge's heap order: ascending f,
+  // f-ties broken by the owning peer's rank in id order, then by
+  // position inside the peer's (f-sorted) list. Removing a peer
+  // preserves the survivors' relative ranks, so the old store minus the
+  // departing points is already canonically ordered for the new peer
+  // set — only the resurrection candidates need merging back in.
+  const ResultList old = MaterializeStore();
+  const Subspace full = Subspace::FullSpace(dims_);
+
+  std::unordered_set<PointId> departing;
+  departing.reserve(departed.size());
+  for (size_t i = 0; i < departed.size(); ++i) {
+    departing.insert(departed.points.id(i));
+  }
+  std::unordered_set<PointId> in_store;
+  in_store.reserve(old.size());
+  for (size_t i = 0; i < old.size(); ++i) {
+    in_store.insert(old.points.id(i));
+  }
+
+  // Drop pass: the survivors. Every one of them stays in the final store
+  // (a departure only shrinks the set of potential ext-dominators), and
+  // the minimum of their dist values is the exact Observation-5 cutoff
+  // for the candidate scan: a candidate with f above it sits strictly
+  // above some survivor on every dimension, hence is ext-dominated.
+  ResultList survivors(dims_);
+  double seed_threshold = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < old.size(); ++i) {
+    if (departing.count(old.points.id(i)) > 0) {
+      continue;
+    }
+    survivors.points.Append(old.points[i], old.points.id(i));
+    survivors.f.push_back(old.f[i]);
+    seed_threshold = std::min(seed_threshold, DistU(old.points[i], full));
+  }
+  ops->scan_steps += old.size();
+
+  // Resurrection candidates: surviving peers' retained points that were
+  // not in the pre-removal store — both the ext-dominated (shadowed by a
+  // departed point) and the merge's threshold-truncated tail. Visited in
+  // canonical (f, rank, position) order via a heap over the per-peer
+  // f-sorted lists, offered into an accumulator seeded with the
+  // survivors (seeds prune but are never emitted), and cut off at the
+  // exact threshold above.
+  ThresholdScanOptions options;
+  options.ext = true;
+  options.initial_threshold = seed_threshold;
+  SkylineAccumulator acc(dims_, full, options);
+  acc.SeedWindow(survivors);
+
+  struct Cursor {
+    const ResultList* list = nullptr;
+    size_t pos = 0;
+    int rank = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(peer_lists_.size());
+  int rank = 0;
+  for (const auto& [pid, list] : peer_lists_) {
+    Cursor cursor{&list, 0, rank++};
+    while (cursor.pos < list.size() &&
+           in_store.count(list.points.id(cursor.pos)) > 0) {
+      ++cursor.pos;
+    }
+    if (cursor.pos < list.size()) {
+      cursors.push_back(cursor);
+    }
+  }
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    const double fa = a.list->f[a.pos];
+    const double fb = b.list->f[b.pos];
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return a.rank > b.rank;
+  };
+  std::make_heap(cursors.begin(), cursors.end(), later);
+  ResultList resurrected(dims_);
+  while (!cursors.empty()) {
+    std::pop_heap(cursors.begin(), cursors.end(), later);
+    Cursor cursor = cursors.back();
+    cursors.pop_back();
+    const double f = cursor.list->f[cursor.pos];
+    if (f > acc.threshold()) {
+      break;  // Observation 5: no later candidate can survive.
+    }
+    ops->merge_pulls += 1;
+    acc.Offer((*cursor.list).points[cursor.pos],
+              cursor.list->points.id(cursor.pos), f);
+    ++cursor.pos;
+    while (cursor.pos < cursor.list->size() &&
+           in_store.count(cursor.list->points.id(cursor.pos)) > 0) {
+      ++cursor.pos;
+    }
+    if (cursor.pos < cursor.list->size()) {
+      cursors.push_back(cursor);
+      std::push_heap(cursors.begin(), cursors.end(), later);
+    }
+  }
+  ResultList result = acc.TakeResult();
+  *ops += acc.ops();
+
+  // Splice pass: two-way merge of the survivors (canonically ordered
+  // subsequence of the old store) and the resurrected points (offered in
+  // canonical order, so emitted in it) on (f, rank, position) — the
+  // exact order the full rebuild's heap would produce.
+  std::unordered_map<PointId, std::pair<int, size_t>> order;
+  rank = 0;
+  for (const auto& [pid, list] : peer_lists_) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      order.emplace(list.points.id(i), std::make_pair(rank, i));
+    }
+    ++rank;
+  }
+  ResultList merged(dims_);
+  size_t a = 0;
+  size_t b = 0;
+  const auto take_survivor = [&]() {
+    if (b >= result.size()) {
+      return true;
+    }
+    if (a >= survivors.size()) {
+      return false;
+    }
+    if (survivors.f[a] != result.f[b]) {
+      return survivors.f[a] < result.f[b];
+    }
+    return order.at(survivors.points.id(a)) < order.at(result.points.id(b));
+  };
+  while (a < survivors.size() || b < result.size()) {
+    ops->merge_pulls += 1;
+    if (take_survivor()) {
+      merged.points.Append(survivors.points[a], survivors.points.id(a));
+      merged.f.push_back(survivors.f[a]);
+      ++a;
+    } else {
+      merged.points.Append(result.points[b], result.points.id(b));
+      merged.f.push_back(result.f[b]);
+      ++b;
+    }
+  }
+  return merged;
 }
 
 std::vector<int> SuperPeer::RetainedPeerIds() const {
@@ -235,6 +484,14 @@ void SuperPeer::HandleMessage(sim::Simulator* simulator,
   } else if (const auto* pipeline =
                  dynamic_cast<const PipelineMessage*>(message.body.get())) {
     HandlePipeline(simulator, message.src, *pipeline);
+  } else if (const auto* churn =
+                 dynamic_cast<const ChurnTickMessage*>(message.body.get())) {
+    // Scheduled churn maintenance lands on this node's virtual clock at
+    // the event's simulated time. The ops are logical (no measured
+    // seconds — the membership change itself already ran outside the
+    // simulation), so the charge is identical in both simulation runs,
+    // across store modes and under every cost model.
+    ChargeOps(simulator, churn->ops, 0.0);
   } else if (reliable_.enabled) {
     ++rstats_.stale_ignored;  // Unknown payloads are tolerated, not fatal.
   } else {
@@ -607,7 +864,7 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
       cache_ = std::make_shared<SubspaceScanTraceCache>();
     }
     std::shared_ptr<const ScanTrace> entry =
-        cache_->Lookup(id_, subspace.mask(), filter_fp);
+        cache_->Lookup(id_, scan_epoch_, subspace.mask(), filter_fp);
     if (entry == nullptr) {
       auto trace = std::make_shared<ScanTrace>();
       ThresholdScanOptions fill_options;
@@ -615,7 +872,10 @@ void SuperPeer::RunLocalScan(const Subspace& subspace, Variant variant,
       fill_options.filter = filter;
       TracedSortedSkyline(view, subspace, fill_options, nullptr,
                           trace.get());
-      entry = cache_->Insert(id_, subspace.mask(), filter_fp,
+      // Keyed by the epoch the scan actually read (`scan_epoch_`), so a
+      // pinned query's old-epoch fill can never serve queries of a newer
+      // store.
+      entry = cache_->Insert(id_, scan_epoch_, subspace.mask(), filter_fp,
                              std::move(trace));
     }
     ThresholdScanStats stats;

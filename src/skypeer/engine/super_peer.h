@@ -119,12 +119,44 @@ class SuperPeer : public sim::Node {
   /// otherwise. Page-charging geometry is identical in both modes, and so
   /// is the attached zone-map summary (the paged store carries its own;
   /// resident stores attach `store_summary_`, built by the same shared
-  /// function at install time).
+  /// function at install time). While a pinned epoch is older than the
+  /// current store epoch the view serves the pinned (retired) epoch, so
+  /// an in-flight query never observes a churn install.
   StoreView View() const {
+    if (scan_epoch_ != store_epoch_) {
+      const EpochStore& epoch = retired_.at(scan_epoch_);
+      return epoch.paged.valid()
+                 ? StoreView(&epoch.paged)
+                 : StoreView(&epoch.store, page_size_, &epoch.summary);
+    }
     return paged_store_.valid()
                ? StoreView(&paged_store_)
                : StoreView(&store_, page_size_, &store_summary_);
   }
+
+  // --- epoch-versioned stores -------------------------------------------
+
+  /// Epoch of the current store: 0 before the first install, advanced by
+  /// one on every `InstallStore` (initial merge, churn maintenance,
+  /// snapshot restore).
+  uint64_t store_epoch() const { return store_epoch_; }
+
+  /// Pins the current store epoch for an in-flight query and returns it.
+  /// Until the matching `UnpinStoreEpoch`, `View()` keeps serving this
+  /// epoch even if churn installs newer ones (the pinned store — pages
+  /// included, in paged mode — is retired intact, never torn). The trace
+  /// cache is keyed by epoch, so pinned-epoch scans never pollute later
+  /// epochs' entries.
+  uint64_t PinStoreEpoch();
+
+  /// Releases a pin taken by `PinStoreEpoch`. A retired epoch whose last
+  /// pin is released is dropped (paged mode frees its pages; page ids are
+  /// never recycled, so no stale frame can be read). `View()` reverts to
+  /// the current epoch.
+  void UnpinStoreEpoch(uint64_t epoch);
+
+  /// Retired epochs still held alive by pins (0 in steady state).
+  size_t RetiredEpochCount() const { return retired_.size(); }
 
   /// Replaces the store wholesale (snapshot restore). The list must be
   /// f-sorted. Clears the result cache and retained peer lists and marks
@@ -138,12 +170,36 @@ class SuperPeer : public sim::Node {
   /// merged *incrementally* into the store (ext-skyline merging is
   /// associative, so no other peer list needs reprocessing — the cheap
   /// join the paper describes). Fails if the id is already present.
-  Status JoinPeer(int peer_id, ResultList list);
+  /// When `maintenance_ops` is non-null the merge's logical operation
+  /// counts are added to it (identical paged vs resident — maintenance
+  /// never charges physical page or materialization work).
+  Status JoinPeer(int peer_id, ResultList list,
+                  OpCounts* maintenance_ops = nullptr);
 
-  /// Peer departure / failure: rebuilds the store from the remaining
-  /// retained lists. Requires `set_retain_peer_lists(true)` before
-  /// pre-processing. NotFound if the peer is unknown.
-  Status RemovePeer(int peer_id);
+  /// Peer departure / failure. Requires `set_retain_peer_lists(true)`
+  /// before pre-processing. NotFound if the peer is unknown.
+  ///
+  /// Default (incremental) path: the departing peer's points are dropped
+  /// from the f-sorted store — every survivor provably stays in the final
+  /// ext-skyline, a departure only *resurrects* points — and only the
+  /// resurrection candidates (surviving peers' retained list points not
+  /// in the pre-removal store) are re-merged, seeded against the
+  /// survivors under the exact Observation-5 threshold. The result —
+  /// points, order, summary — is bit-identical to a full rebuild from the
+  /// retained lists (`set_verify_maintenance` checks it against that
+  /// oracle). `maintenance_ops` as in `JoinPeer`.
+  Status RemovePeer(int peer_id, OpCounts* maintenance_ops = nullptr);
+
+  /// When false, `RemovePeer` falls back to the full rebuild from the
+  /// retained lists (the legacy path, kept as the oracle). Default true.
+  void set_incremental_maintenance(bool enable) {
+    incremental_maintenance_ = enable;
+  }
+
+  /// When true, every incremental `RemovePeer` additionally runs the full
+  /// rebuild and CHECKs the incremental result bit-identical to it (ids,
+  /// coordinates, f-order). Testing aid; default false.
+  void set_verify_maintenance(bool verify) { verify_maintenance_ = verify; }
 
   /// Ids of the peers currently contributing to the store (retained mode
   /// only).
@@ -552,10 +608,32 @@ class SuperPeer : public sim::Node {
   /// statistics are added to `stats` when non-null.
   void RebuildStore(ThresholdScanStats* stats = nullptr);
 
-  /// Installs the new store list: spilled through the buffer manager in
-  /// paged mode (dropping the previous store's pages), kept resident
-  /// otherwise. `store_` stays a dims-correct empty list while paged.
+  /// The incremental `RemovePeer` core: given the departing peer's
+  /// retained list (already erased from `peer_lists_`), computes the
+  /// post-removal store in canonical (f, peer rank, list position) order
+  /// — bit-identical to `RebuildStore`'s merge — touching only the
+  /// survivors and the resurrection candidates. Logical op counts of the
+  /// drop pass, candidate merge and final splice are added to `ops`.
+  ResultList RemoveIncremental(const ResultList& departed, OpCounts* ops);
+
+  /// Installs the new store list under the next store epoch: spilled
+  /// through the buffer manager in paged mode (dropping the previous
+  /// store's pages), kept resident otherwise. `store_` stays a
+  /// dims-correct empty list while paged. If the outgoing epoch is
+  /// pinned it is retired intact instead of destroyed; `View()` keeps
+  /// serving it until the last pin is released.
   void InstallStore(ResultList store);
+
+  /// A retired store epoch kept alive by in-flight query pins: the full
+  /// resident-or-paged store state of a superseded `InstallStore`
+  /// generation. Dropped when its last pin is released (`~PagedStore`
+  /// then frees the pages).
+  struct EpochStore {
+    ResultList store{1};
+    PagedStore paged;
+    StoreSummary summary;
+    int pins = 0;
+  };
 
   int id_;
   int dims_;
@@ -567,6 +645,19 @@ class SuperPeer : public sim::Node {
   /// paged store owns its own); rebuilt by `InstallStore` on every store
   /// change, so churn rebuilds and snapshot restores stay covered.
   StoreSummary store_summary_;
+  /// Epoch of the current store (see store_epoch()).
+  uint64_t store_epoch_ = 0;
+  /// Epoch `View()` serves: the current epoch in steady state, the
+  /// pinned epoch between `PinStoreEpoch` and the last matching unpin.
+  uint64_t scan_epoch_ = 0;
+  /// Pins on the *current* epoch; moved into the `EpochStore` when an
+  /// install retires it.
+  int current_pins_ = 0;
+  /// Retired epochs still pinned, keyed by epoch id.
+  std::map<uint64_t, EpochStore> retired_;
+  /// Incremental vs full-rebuild `RemovePeer` (see the setters).
+  bool incremental_maintenance_ = true;
+  bool verify_maintenance_ = false;
   BufferManager* buffer_ = nullptr;
   /// Page geometry used for logical page charging in *both* modes.
   size_t page_size_ = kDefaultPageSize;

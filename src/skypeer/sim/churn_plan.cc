@@ -1,0 +1,74 @@
+#include "skypeer/sim/churn_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skypeer/common/rng.h"
+
+namespace skypeer::sim {
+
+const char* ChurnKindName(ChurnKind kind) {
+  switch (kind) {
+    case ChurnKind::kJoin:
+      return "join";
+    case ChurnKind::kRemove:
+      return "remove";
+    case ChurnKind::kReplace:
+      return "replace";
+  }
+  return "?";
+}
+
+void ChurnPlan::AddEvent(ChurnEvent event) {
+  // Insert before the first strictly later event so equal (slot, time)
+  // pairs keep insertion order.
+  auto it = std::upper_bound(
+      events.begin(), events.end(), event,
+      [](const ChurnEvent& a, const ChurnEvent& b) {
+        if (a.slot != b.slot) {
+          return a.slot < b.slot;
+        }
+        return a.time < b.time;
+      });
+  events.insert(it, event);
+}
+
+int ChurnPlan::MaxSlot() const {
+  return events.empty() ? -1 : events.back().slot;
+}
+
+std::pair<size_t, size_t> ChurnPlan::SlotRange(int s) const {
+  const auto lower = std::lower_bound(
+      events.begin(), events.end(), s,
+      [](const ChurnEvent& e, int slot) { return e.slot < slot; });
+  const auto upper = std::upper_bound(
+      events.begin(), events.end(), s,
+      [](int slot, const ChurnEvent& e) { return slot < e.slot; });
+  return {static_cast<size_t>(lower - events.begin()),
+          static_cast<size_t>(upper - events.begin())};
+}
+
+ChurnPlan ChurnPlan::Seeded(int num_events, double rate, uint64_t seed,
+                            int num_slots, int num_super_peers) {
+  ChurnPlan plan;
+  if (num_events <= 0 || num_slots <= 0 || num_super_peers <= 0) {
+    return plan;
+  }
+  Rng rng(seed);
+  static const ChurnKind kCycle[] = {ChurnKind::kJoin, ChurnKind::kRemove,
+                                     ChurnKind::kReplace};
+  for (int i = 0; i < num_events; ++i) {
+    ChurnEvent event;
+    event.slot = static_cast<int>(rng.UniformInt(0, num_slots - 1));
+    // Exponential in-query time with mean `rate` seconds; 1 - Uniform()
+    // is in (0, 1], so the log argument never hits zero.
+    event.time = -rate * std::log(1.0 - rng.Uniform());
+    event.kind = kCycle[i % 3];
+    event.node = static_cast<int>(rng.UniformInt(0, num_super_peers - 1));
+    event.seed = rng.Fork();
+    plan.AddEvent(event);
+  }
+  return plan;
+}
+
+}  // namespace skypeer::sim

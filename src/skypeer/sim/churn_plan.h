@@ -1,0 +1,74 @@
+#ifndef SKYPEER_SIM_CHURN_PLAN_H_
+#define SKYPEER_SIM_CHURN_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace skypeer::sim {
+
+/// Kind of a scheduled membership change.
+enum class ChurnKind {
+  kJoin,     ///< A fresh peer joins a super-peer.
+  kRemove,   ///< An existing peer of the super-peer departs.
+  kReplace,  ///< An existing peer republishes a fresh data set.
+};
+
+const char* ChurnKindName(ChurnKind kind);
+
+/// One scheduled membership change. Events are grouped into query
+/// *slots*: all events of slot `s` take effect with the `s`-th query the
+/// network executes after the plan is installed (queries beyond the last
+/// slot run churn-free). `time` is the simulated instant, seconds into
+/// that query, at which the affected super-peer is charged the
+/// maintenance cost on its virtual clock; the membership change itself is
+/// applied atomically between queries so that every query sees exactly
+/// one epoch of every store.
+struct ChurnEvent {
+  int slot = 0;             ///< Query ordinal the event rides on.
+  double time = 0.0;        ///< Seconds into the query (>= 0).
+  ChurnKind kind = ChurnKind::kJoin;
+  int node = 0;             ///< Affected super-peer node id.
+  uint64_t seed = 0;        ///< Per-event stream (victim pick, fresh data).
+};
+
+/// \brief Declarative, seeded churn schedule, the membership counterpart
+/// of `FaultPlan`.
+///
+/// A plan is consumed passively by the engine: it never touches the
+/// simulator's state by itself. Determinism contract: a fixed plan yields
+/// a bit-identical interleaving of query results and simulated metrics at
+/// any thread count, paged or in-memory, and composes with any
+/// `FaultPlan` (events scheduled at a crashed super-peer are suppressed
+/// by the simulator exactly like any other delivery).
+struct ChurnPlan {
+  /// Events sorted by (slot, time, insertion order).
+  std::vector<ChurnEvent> events;
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+
+  /// Appends an event, keeping `events` sorted by (slot, time) with
+  /// insertion order as the tie break.
+  void AddEvent(ChurnEvent event);
+
+  /// Largest slot index present, or -1 for an empty plan.
+  int MaxSlot() const;
+
+  /// The contiguous range of events with `slot == s` as [begin, end)
+  /// indices into `events`.
+  std::pair<size_t, size_t> SlotRange(int s) const;
+
+  /// Builds a seeded plan of `num_events` events spread over query slots
+  /// [0, num_slots): per event the slot and the affected super-peer are
+  /// uniform, the kind cycles join/remove/replace, and the in-query time
+  /// is exponential with mean `rate` seconds. Each event carries a forked
+  /// seed for its own choices (victim pick, fresh data).
+  static ChurnPlan Seeded(int num_events, double rate, uint64_t seed,
+                          int num_slots, int num_super_peers);
+};
+
+}  // namespace skypeer::sim
+
+#endif  // SKYPEER_SIM_CHURN_PLAN_H_

@@ -28,17 +28,17 @@ std::shared_ptr<const ScanTrace> MakeTrace(size_t events) {
 
 TEST(CacheCap, EvictsTheLeastRecentlyUsedEntry) {
   SubspaceScanTraceCache cache(/*max_entries=*/2);
-  cache.Insert(0, 0b01, 0, MakeTrace(4));
-  cache.Insert(0, 0b10, 0, MakeTrace(4));
+  cache.Insert(0, 0, 0b01, 0, MakeTrace(4));
+  cache.Insert(0, 0, 0b10, 0, MakeTrace(4));
   EXPECT_EQ(cache.size(), 2u);
 
   // Touch the first entry, then overflow: the untouched one goes.
-  EXPECT_NE(cache.Lookup(0, 0b01, 0), nullptr);
-  cache.Insert(0, 0b11, 0, MakeTrace(4));
+  EXPECT_NE(cache.Lookup(0, 0, 0b01, 0), nullptr);
+  cache.Insert(0, 0, 0b11, 0, MakeTrace(4));
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_NE(cache.Lookup(0, 0b01, 0), nullptr);
-  EXPECT_EQ(cache.Lookup(0, 0b10, 0), nullptr);  // Evicted.
-  EXPECT_NE(cache.Lookup(0, 0b11, 0), nullptr);
+  EXPECT_NE(cache.Lookup(0, 0, 0b01, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 0b10, 0), nullptr);  // Evicted.
+  EXPECT_NE(cache.Lookup(0, 0, 0b11, 0), nullptr);
 
   const SubspaceScanTraceCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
@@ -49,21 +49,21 @@ TEST(CacheCap, EvictsTheLeastRecentlyUsedEntry) {
 
 TEST(CacheCap, InsertRefreshesRecencyAndReinsertDoesNotDuplicate) {
   SubspaceScanTraceCache cache(2);
-  const auto first = cache.Insert(0, 0b01, 0, MakeTrace(4));
-  cache.Insert(0, 0b10, 0, MakeTrace(4));
+  const auto first = cache.Insert(0, 0, 0b01, 0, MakeTrace(4));
+  cache.Insert(0, 0, 0b10, 0, MakeTrace(4));
   // Re-inserting an existing key returns the published trace and
   // refreshes it, so the *other* entry is the LRU victim.
-  const auto again = cache.Insert(0, 0b01, 0, MakeTrace(99));
+  const auto again = cache.Insert(0, 0, 0b01, 0, MakeTrace(99));
   EXPECT_EQ(again.get(), first.get());  // First publisher wins.
-  cache.Insert(0, 0b11, 0, MakeTrace(4));
-  EXPECT_NE(cache.Lookup(0, 0b01, 0), nullptr);
-  EXPECT_EQ(cache.Lookup(0, 0b10, 0), nullptr);
+  cache.Insert(0, 0, 0b11, 0, MakeTrace(4));
+  EXPECT_NE(cache.Lookup(0, 0, 0b01, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 0b10, 0), nullptr);
 }
 
 TEST(CacheCap, UnboundedCacheNeverEvicts) {
   SubspaceScanTraceCache cache;  // max_entries = 0.
   for (uint32_t mask = 1; mask <= 64; ++mask) {
-    cache.Insert(0, mask, 0, MakeTrace(2));
+    cache.Insert(0, 0, mask, 0, MakeTrace(2));
   }
   EXPECT_EQ(cache.size(), 64u);
   EXPECT_EQ(cache.stats().evictions, 0u);
@@ -73,8 +73,8 @@ TEST(CacheCap, ByteAccountingTracksResidentTraces) {
   SubspaceScanTraceCache cache(8);
   const auto a = MakeTrace(10);
   const auto b = MakeTrace(20);
-  cache.Insert(0, 0b01, 0, a);
-  cache.Insert(1, 0b01, 0, b);
+  cache.Insert(0, 0, 0b01, 0, a);
+  cache.Insert(1, 0, 0b01, 0, b);
   EXPECT_EQ(cache.stats().bytes, a->ByteSize() + b->ByteSize());
 
   cache.Invalidate(0);
@@ -93,14 +93,14 @@ TEST(CacheCap, EvictionOrderIsDeterministic) {
     SubspaceScanTraceCache cache(3);
     for (int sp = 0; sp < 2; ++sp) {
       for (uint32_t mask = 1; mask <= 5; ++mask) {
-        cache.Insert(sp, mask, 0, MakeTrace(mask));
-        cache.Lookup(sp, 1, 0);  // Keep (sp, 1) hot.
+        cache.Insert(sp, 0, mask, 0, MakeTrace(mask));
+        cache.Lookup(sp, 0, 1, 0);  // Keep (sp, 1) hot.
       }
     }
     std::vector<bool> present;
     for (int sp = 0; sp < 2; ++sp) {
       for (uint32_t mask = 1; mask <= 5; ++mask) {
-        present.push_back(cache.Lookup(sp, mask, 0) != nullptr);
+        present.push_back(cache.Lookup(sp, 0, mask, 0) != nullptr);
       }
     }
     return std::make_pair(present, cache.stats());
@@ -120,8 +120,8 @@ TEST(CacheCap, ConcurrentFillRespectsTheCap) {
   pool.ParallelFor(64, [&](size_t i) {
     const int sp = static_cast<int>(i % 4);
     const uint32_t mask = static_cast<uint32_t>(1 + i % 11);
-    cache.Insert(sp, mask, 0, MakeTrace(1 + i % 3));
-    cache.Lookup(sp, mask, 0);
+    cache.Insert(sp, 0, mask, 0, MakeTrace(1 + i % 3));
+    cache.Lookup(sp, 0, mask, 0);
     if (i % 16 == 0) {
       cache.Invalidate(sp);
     }

@@ -269,23 +269,23 @@ TEST(TraceCache, FilterFingerprintSeparatesEntries) {
   const auto unfiltered_trace = std::make_shared<const ScanTrace>();
   const auto filtered_trace = std::make_shared<const ScanTrace>();
 
-  EXPECT_EQ(cache.Lookup(0, mask, 0), nullptr);
-  cache.Insert(0, mask, 0, unfiltered_trace);
+  EXPECT_EQ(cache.Lookup(0, 0, mask, 0), nullptr);
+  cache.Insert(0, 0, mask, 0, unfiltered_trace);
   // A no-filter trace must never answer for a filtered query (and vice
   // versa): the fingerprint is part of the key.
-  EXPECT_EQ(cache.Lookup(0, mask, fp), nullptr);
-  cache.Insert(0, mask, fp, filtered_trace);
-  EXPECT_EQ(cache.Lookup(0, mask, 0), unfiltered_trace);
-  EXPECT_EQ(cache.Lookup(0, mask, fp), filtered_trace);
+  EXPECT_EQ(cache.Lookup(0, 0, mask, fp), nullptr);
+  cache.Insert(0, 0, mask, fp, filtered_trace);
+  EXPECT_EQ(cache.Lookup(0, 0, mask, 0), unfiltered_trace);
+  EXPECT_EQ(cache.Lookup(0, 0, mask, fp), filtered_trace);
   EXPECT_EQ(cache.size(), 2u);
 
   // Concurrent fillers converge on the first published trace.
-  EXPECT_EQ(cache.Insert(0, mask, 0, std::make_shared<const ScanTrace>()),
+  EXPECT_EQ(cache.Insert(0, 0, mask, 0, std::make_shared<const ScanTrace>()),
             unfiltered_trace);
 
   cache.Invalidate(0);
-  EXPECT_EQ(cache.Lookup(0, mask, 0), nullptr);
-  EXPECT_EQ(cache.Lookup(0, mask, fp), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, mask, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, mask, fp), nullptr);
   EXPECT_EQ(cache.size(), 0u);
 }
 

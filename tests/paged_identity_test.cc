@@ -310,6 +310,62 @@ TEST(PagedChurn, DrainedSuperPeerHoldsAnEmptyPagedStore) {
   ExpectMetricsIdentical(b.metrics, a.metrics, "drained initiator");
 }
 
+TEST(PagedChurn, ScheduledChurnPlanMatchesInMemoryQueryForQuery) {
+  // Scheduled churn under fire: the same seeded churn plan executes on a
+  // paged and an in-memory network while queries are in flight. Pinned
+  // epochs hold retired pages alive through each install, and every
+  // query — including the ones whose slot applies joins/removals/
+  // replacements mid-simulation — must stay bit-identical across store
+  // modes, maintenance op charges included.
+  for (int threads : {1, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    NetworkConfig mem_config = DynamicPaged(33);
+    mem_config.buffer_pages = 0;
+    mem_config.churn_events = 6;
+    mem_config.churn_seed = 5;
+    NetworkConfig paged_config = DynamicPaged(33);
+    paged_config.churn_events = 6;
+    paged_config.churn_seed = 5;
+
+    SkypeerNetwork in_memory(mem_config);
+    in_memory.Preprocess();
+    SkypeerNetwork paged(paged_config);
+    paged.Preprocess();
+    ASSERT_EQ(in_memory.churn_plan().size(), 6u);
+
+    std::vector<Variant> variants(kAllVariants, kAllVariants + 5);
+    variants.push_back(Variant::kPipeline);
+    const std::vector<QueryTask> tasks = GenerateWorkload(4, 2, 8, 8, 61);
+    for (size_t q = 0; q < tasks.size(); ++q) {
+      const Variant variant = variants[q % variants.size()];
+      const std::string context = "threads=" + std::to_string(threads) +
+                                  " q=" + std::to_string(q) + " " +
+                                  VariantName(variant);
+      const QueryResult a = in_memory.ExecuteQuery(
+          tasks[q].subspace, tasks[q].initiator_sp, variant);
+      const QueryResult b =
+          paged.ExecuteQuery(tasks[q].subspace, tasks[q].initiator_sp,
+                             variant);
+      EXPECT_EQ(Signature(a.skyline), Signature(b.skyline)) << context;
+      ExpectMetricsIdentical(b.metrics, a.metrics, context);
+    }
+    // Both executed the identical schedule, and the post-churn stores
+    // still match row for row.
+    EXPECT_EQ(paged.churn_stats().joins, in_memory.churn_stats().joins);
+    EXPECT_EQ(paged.churn_stats().removals, in_memory.churn_stats().removals);
+    EXPECT_EQ(paged.churn_stats().replacements,
+              in_memory.churn_stats().replacements);
+    EXPECT_TRUE(paged.churn_stats().maintenance_ops ==
+                in_memory.churn_stats().maintenance_ops);
+    for (int sp = 0; sp < paged.num_super_peers(); ++sp) {
+      EXPECT_EQ(Signature(paged.super_peer(sp).MaterializeStore()),
+                Signature(in_memory.super_peer(sp).store()))
+          << "store " << sp;
+    }
+  }
+  ThreadPool::SetGlobalConcurrency(1);
+}
+
 // --- workloads, clones, persistence ------------------------------------------
 
 TEST(PagedWorkloads, ParallelAggregatesMatchInMemorySequential) {

@@ -104,6 +104,21 @@ void PrintUsageAndExit(const char* binary, int code) {
       "                   the initiator's local skyline with every query\n"
       "                   (default 0 = no filter). Skylines are identical\n"
       "                   either way; ext-SKY shipping volume drops\n"
+      "  --churn-events N schedule N seeded membership events (joins,\n"
+      "                   removals, data replacements cycling) over the\n"
+      "                   first N queries; each event applies atomically\n"
+      "                   between queries while its maintenance cost is\n"
+      "                   charged mid-query on the affected super-peer's\n"
+      "                   virtual clock (default 0 = no scheduled churn).\n"
+      "                   Implies dynamic membership\n"
+      "  --churn-rate R   mean in-query charge instant in seconds of a\n"
+      "                   scheduled event (exponential; default 0.05)\n"
+      "  --churn-seed S   seed of the churn schedule (default: derived\n"
+      "                   from --seed)\n"
+      "  --rebuild-maintenance  peer removals rebuild the super-peer\n"
+      "                   store from the retained lists instead of the\n"
+      "                   default incremental drop + candidate re-merge;\n"
+      "                   stores and all metrics are bit-identical\n"
       "  --cache          enable the per-subspace result cache\n"
       "  --cache-cap N    bound the result cache to N entries with LRU\n"
       "                   eviction (default 0 = unbounded); results and\n"
@@ -251,6 +266,20 @@ CliOptions Parse(int argc, char** argv) {
       options.cost_profile = next_value(&i);
     } else if (std::strcmp(arg, "--calibrate") == 0) {
       options.calibrate = true;
+    } else if (std::strcmp(arg, "--churn-events") == 0) {
+      options.network.churn_events = static_cast<int>(
+          ParseIntFlag("--churn-events", next_value(&i), 0, 1'000'000));
+      if (options.network.churn_events > 0) {
+        options.network.dynamic_membership = true;
+      }
+    } else if (std::strcmp(arg, "--churn-rate") == 0) {
+      options.network.churn_rate =
+          ParseDoubleFlag("--churn-rate", next_value(&i), 0.0, 1e9);
+    } else if (std::strcmp(arg, "--churn-seed") == 0) {
+      options.network.churn_seed =
+          ParseU64Flag("--churn-seed", next_value(&i));
+    } else if (std::strcmp(arg, "--rebuild-maintenance") == 0) {
+      options.network.incremental_maintenance = false;
     } else if (std::strcmp(arg, "--cache") == 0) {
       options.network.enable_cache = true;
     } else if (std::strcmp(arg, "--cache-cap") == 0) {
@@ -621,6 +650,22 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(aggregate.total_ops.dominance_tests),
           static_cast<unsigned long long>(aggregate.total_ops.page_reads));
     }
+  }
+  if (options.network.churn_events > 0) {
+    // Deterministic: the schedule, victim picks and maintenance ops are
+    // pure functions of the seeds and the query order, so this line
+    // participates in determinism diffs.
+    const SkypeerNetwork::ChurnStats& cs = network.churn_stats();
+    std::printf(
+        "churn: events=%zu joins=%llu removals=%llu replacements=%llu "
+        "skipped=%llu\n",
+        network.churn_plan().size(),
+        static_cast<unsigned long long>(cs.joins),
+        static_cast<unsigned long long>(cs.removals),
+        static_cast<unsigned long long>(cs.replacements),
+        static_cast<unsigned long long>(cs.skipped));
+    std::printf("churn: maintenance ops: %s\n",
+                cs.maintenance_ops.ToString().c_str());
   }
   // Out-of-band physical counters: hit/miss/eviction totals depend on
   // thread interleaving in parallel workloads, so they are printed under
